@@ -1,0 +1,36 @@
+// Package backup exposes the Dropbox-like geo-replicated file backup
+// service (paper §V-A, §VI-B) as part of Stabilizer's public API: files
+// are chunked into ≤8 KB packets, replicated through the WAN K/V store,
+// and each backup can wait on a user-chosen consistency model (Table III
+// predicates or custom DSL).
+package backup
+
+import (
+	ifb "stabilizer/internal/filebackup"
+	iwankv "stabilizer/internal/wankv"
+)
+
+// DefaultChunkSize is the paper's 8 KB packet bound.
+const DefaultChunkSize = ifb.DefaultChunkSize
+
+// Re-exported types.
+type (
+	// Service is one node's backup endpoint.
+	Service = ifb.Service
+	// Result describes a completed local backup.
+	Result = ifb.Result
+	// Option configures a Service.
+	Option = ifb.Option
+)
+
+// Re-exported errors.
+var (
+	ErrNotBackedUp = ifb.ErrNotBackedUp
+	ErrCorrupt     = ifb.ErrCorrupt
+)
+
+// New attaches a backup service to a WAN K/V store.
+func New(kv *iwankv.Store, opts ...Option) *Service { return ifb.New(kv, opts...) }
+
+// WithChunkSize overrides the 8 KB default packet bound.
+func WithChunkSize(n int) Option { return ifb.WithChunkSize(n) }

@@ -1,0 +1,48 @@
+// Package pubsub exposes the Stabilizer pub/sub broker prototype (paper
+// §V-B) as part of the public API: publish multicasts through the
+// asynchronous data plane, subscribers register callbacks, and the
+// publisher's delivery predicate reconfigures itself dynamically as remote
+// brokers gain and lose subscribers (§VI-D).
+package pubsub
+
+import (
+	"stabilizer/internal/core"
+	ips "stabilizer/internal/pubsub"
+)
+
+// DeliveryPredicateKey is the broker's managed delivery predicate for the
+// default topic.
+const DeliveryPredicateKey = ips.DeliveryPredicateKey
+
+// DefaultTopic is the implicit topic of Publish/Subscribe.
+const DefaultTopic = ips.DefaultTopic
+
+// Re-exported types.
+type (
+	// Broker is one data center's pub/sub endpoint.
+	Broker = ips.Broker
+	// Message is one published message as seen by a subscriber.
+	Message = ips.Message
+	// SubscribeFunc consumes delivered messages.
+	SubscribeFunc = ips.SubscribeFunc
+	// Option configures a Broker.
+	Option = ips.Option
+)
+
+// Re-exported errors.
+var (
+	// ErrNoSubscribers is returned by PublishWait with no active brokers.
+	ErrNoSubscribers = ips.ErrNoSubscribers
+	// ErrBadTopic rejects over-long topic names.
+	ErrBadTopic = ips.ErrBadTopic
+)
+
+// New attaches a broker to a Stabilizer node.
+func New(node *core.Node, opts ...Option) (*Broker, error) { return ips.New(node, opts...) }
+
+// WithRetention keeps the most recent limit messages per topic and replays
+// them to late local subscribers.
+func WithRetention(limit int) Option { return ips.WithRetention(limit) }
+
+// DeliveryPredicateKeyFor returns the managed predicate key for a topic.
+func DeliveryPredicateKeyFor(topic string) string { return ips.DeliveryPredicateKeyFor(topic) }

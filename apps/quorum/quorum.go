@@ -1,0 +1,27 @@
+// Package quorum exposes the quorum-protocol K/V (paper §IV-B) as part of
+// Stabilizer's public API: writes complete once Nw member replicas hold
+// them (a KTH_MIN write predicate), reads collect Nr member responses and
+// return the freshest value; Nw+Nr > N guarantees intersection.
+package quorum
+
+import (
+	iq "stabilizer/internal/quorum"
+)
+
+// Re-exported types.
+type (
+	// KV is one node's quorum endpoint.
+	KV = iq.KV
+	// Config parameterizes a quorum KV.
+	Config = iq.Config
+)
+
+// Re-exported errors.
+var (
+	ErrBadQuorum   = iq.ErrBadQuorum
+	ErrNotFound    = iq.ErrNotFound
+	ErrReadTimeout = iq.ErrReadTimeout
+)
+
+// New creates a quorum endpoint and registers its handlers on the node.
+func New(cfg Config) (*KV, error) { return iq.New(cfg) }

@@ -1,0 +1,35 @@
+// Package wankv exposes the geo-replicated WAN K/V store (paper §V-A) —
+// a versioned object store where each WAN node owns a pool of keys it
+// alone updates and mirrors every other node's pool read-only — as part of
+// Stabilizer's public API. See the internal implementation package
+// stabilizer/internal/wankv for design details.
+package wankv
+
+import (
+	"stabilizer/internal/core"
+	iwankv "stabilizer/internal/wankv"
+)
+
+// Re-exported types.
+type (
+	// Store is one node's view of the geo-replicated K/V system.
+	Store = iwankv.Store
+	// PutResult describes a committed local write.
+	PutResult = iwankv.PutResult
+	// Option configures a Store.
+	Option = iwankv.Option
+)
+
+// Re-exported errors.
+var (
+	ErrBadUpdate = iwankv.ErrBadUpdate
+	ErrBadOrigin = iwankv.ErrBadOrigin
+)
+
+// New attaches a geo-replicated K/V store to a Stabilizer node.
+func New(node *core.Node, opts ...Option) *Store { return iwankv.New(node, opts...) }
+
+// WithApplyHook registers a callback invoked after each replicated update.
+func WithApplyHook(fn func(origin int, key string, ver uint64)) Option {
+	return iwankv.WithApplyHook(fn)
+}

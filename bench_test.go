@@ -1,0 +1,137 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure
+// of the paper's evaluation (§VI), plus the design-choice ablations from
+// DESIGN.md. Each benchmark runs the corresponding internal/bench
+// experiment in its Short configuration; run
+//
+//	go test -bench=. -benchmem
+//
+// for the quick pass, or cmd/stabilizer-bench for full paper-scale runs
+// with printed tables (see EXPERIMENTS.md for recorded results).
+package stabilizer_test
+
+import (
+	"io"
+	"testing"
+
+	"stabilizer/internal/bench"
+)
+
+// benchOpts is the shared Short configuration. Latency-sensitive
+// experiments override TimeScale themselves where fidelity demands it.
+func benchOpts() bench.Options {
+	return bench.Options{Out: io.Discard, TimeScale: 10, Short: true}
+}
+
+func BenchmarkTable1NetworkEmulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2NetworkEmulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Predicates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroDSLCompileAndEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.MicroDSL(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3QuorumRead(b *testing.B) {
+	opts := benchOpts()
+	opts.TimeScale = 5 // latency fidelity matters here
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig3(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4TraceShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5StabilityFrontier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6FileSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ImprovementOverPaxos*100, "impr%")
+	}
+}
+
+func BenchmarkFig7PubSub(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig7(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Reconfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCompiledVsInterpreted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationDSL(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+	}
+}
+
+func BenchmarkAblationControlPlaneSeparation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationControlPlane(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+	}
+}
+
+func BenchmarkAblationUpcallBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.AblationBatching(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio, "msgs/upcall")
+	}
+}

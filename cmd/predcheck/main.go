@@ -1,0 +1,100 @@
+// Command predcheck compiles a stability-frontier predicate against a
+// topology and reports its canonical form, the WAN nodes it depends on,
+// and the compiled bytecode — the offline counterpart of
+// register_predicate's just-in-time checking step.
+//
+// Usage:
+//
+//	predcheck -topology topo.json 'KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)'
+//	predcheck -builtin ec2 -self 1 'MIN($ALLWNODES-$MYWNODE)'
+//	predcheck -builtin cloudlab -types verified 'MIN(($ALLWNODES-$MYWNODE).verified)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/dsl"
+	"stabilizer/internal/frontier"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "predcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON file")
+		builtin  = flag.String("builtin", "", "built-in topology: ec2 or cloudlab")
+		self     = flag.Int("self", 1, "local node index for $MYWNODE/$MYAZWNODES")
+		types    = flag.String("types", "", "comma-separated application-defined stability types")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("exactly one predicate argument expected (got %d)", flag.NArg())
+	}
+	source := flag.Arg(0)
+
+	var (
+		topo *config.Topology
+		err  error
+	)
+	switch {
+	case *topoPath != "":
+		topo, err = config.Load(*topoPath)
+		if err != nil {
+			return err
+		}
+		topo = topo.WithSelf(*self)
+	case *builtin == "ec2":
+		topo = config.EC2Topology(*self)
+	case *builtin == "cloudlab":
+		topo = config.CloudLabTopology(*self)
+	default:
+		return fmt.Errorf("provide -topology FILE or -builtin ec2|cloudlab")
+	}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+
+	reg := frontier.NewTypes()
+	if *types != "" {
+		for _, name := range strings.Split(*types, ",") {
+			if _, err := reg.Register(strings.TrimSpace(name)); err != nil {
+				return err
+			}
+		}
+	}
+
+	ast, err := dsl.Parse(source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("canonical: %s\n", ast)
+
+	env := core.NewDSLEnv(topo, reg)
+	resolved, err := dsl.Resolve(ast, env)
+	if err != nil {
+		return err
+	}
+	prog := dsl.CompileResolved(source, resolved)
+
+	fmt.Printf("topology:  %d WAN nodes, self=%s ($%d)\n",
+		topo.N(), topo.SelfNode().Name, topo.Self)
+	deps := prog.DependsOn()
+	names := make([]string, len(deps))
+	for i, d := range deps {
+		n, _ := topo.NodeAt(d)
+		names[i] = fmt.Sprintf("$%d=%s", d, n.Name)
+	}
+	fmt.Printf("reads:     %s\n", strings.Join(names, ", "))
+	fmt.Printf("bytecode (%d instructions):\n%s", prog.Len(), prog.Disassemble())
+	return nil
+}

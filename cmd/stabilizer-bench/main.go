@@ -1,0 +1,90 @@
+// Command stabilizer-bench regenerates the paper's evaluation tables and
+// figures (§VI) on the emulated WAN.
+//
+// Usage:
+//
+//	stabilizer-bench -experiment all
+//	stabilizer-bench -experiment fig6 -timescale 10
+//	stabilizer-bench -experiment fig7 -short
+//
+// Experiments: table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8
+// ablation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"stabilizer/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stabilizer-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8 ablation all)")
+		timescale  = flag.Float64("timescale", 1, "divide emulated latencies by this factor (1 = faithful wall-clock)")
+		fabric     = flag.String("fabric", "mem", "network fabric: mem or tcp")
+		short      = flag.Bool("short", false, "shrink workloads for a quick pass")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Out:       os.Stdout,
+		TimeScale: *timescale,
+		Fabric:    *fabric,
+		Short:     *short,
+	}
+
+	type exp struct {
+		name string
+		run  func() error
+	}
+	experiments := []exp{
+		{"table1", func() error { _, err := bench.Table1(opts); return err }},
+		{"table2", func() error { _, err := bench.Table2(opts); return err }},
+		{"table3", func() error { _, err := bench.Table3(opts); return err }},
+		{"micro", func() error { _, err := bench.MicroDSL(opts); return err }},
+		{"fig3", func() error { _, err := bench.Fig3(opts); return err }},
+		{"fig4", func() error { _, err := bench.Fig4(opts); return err }},
+		{"fig5", func() error { _, err := bench.Fig5(opts); return err }},
+		{"fig6", func() error { _, err := bench.Fig6(opts); return err }},
+		{"fig7", func() error { _, err := bench.Fig7(opts); return err }},
+		{"fig8", func() error { _, err := bench.Fig8(opts); return err }},
+		{"ablation", func() error {
+			if _, err := bench.AblationDSL(opts); err != nil {
+				return err
+			}
+			if _, err := bench.AblationControlPlane(opts); err != nil {
+				return err
+			}
+			_, err := bench.AblationBatching(opts)
+			return err
+		}},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", e.name)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

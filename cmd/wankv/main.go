@@ -1,0 +1,219 @@
+// Command wankv runs an interactive geo-replicated K/V demo: it boots one
+// Stabilizer node per topology entry on an in-process emulated WAN and
+// accepts commands on stdin, so you can watch writes propagate, frontiers
+// advance, and predicates change — all from one terminal.
+//
+// Usage:
+//
+//	wankv                       # Fig. 2 EC2 topology, Table I links
+//	wankv -topology topo.json   # custom deployment
+//	wankv -timescale 5          # compress WAN latencies 5x
+//
+// Commands:
+//
+//	put <key> <value>                write into node 1's pool
+//	get <key>                        read node 1's pool
+//	mirror <node> <key>              read node 1's pool from another node
+//	wait <seq> <predicate-key>       block until the frontier covers seq
+//	register <key> <predicate...>    register a new consistency model
+//	change <key> <predicate...>      swap a consistency model at runtime
+//	frontier [key]                   show stability frontiers
+//	predicates                       list registered predicates
+//	acks                             dump the ACK recorder for node 1
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"stabilizer"
+	"stabilizer/apps/wankv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wankv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topoPath  = flag.String("topology", "", "topology JSON file (default: built-in EC2 Fig. 2)")
+		timescale = flag.Float64("timescale", 10, "divide emulated WAN latencies by this factor")
+	)
+	flag.Parse()
+
+	topo := stabilizer.EC2Topology(1)
+	matrix := stabilizer.EC2Matrix()
+	if *topoPath != "" {
+		var err error
+		topo, err = stabilizer.LoadTopology(*topoPath)
+		if err != nil {
+			return err
+		}
+		matrix = stabilizer.NewMatrix()
+	}
+	network := stabilizer.NewMemNetwork(matrix.Scaled(*timescale))
+	defer network.Close()
+
+	nodes := make([]*stabilizer.Node, topo.N())
+	stores := make([]*wankv.Store, topo.N())
+	for i := 1; i <= topo.N(); i++ {
+		n, err := stabilizer.Open(stabilizer.Config{Topology: topo.WithSelf(i), Network: network})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes[i-1] = n
+		stores[i-1] = wankv.New(n)
+	}
+	primary := nodes[0]
+	kv := stores[0]
+	for name, src := range stabilizer.TableIII(topo) {
+		if err := primary.RegisterPredicate(name, src); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("wankv: %d WAN nodes up; node 1 (%s) is yours. Type 'help'.\n",
+		topo.N(), topo.SelfNode().Name)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if err := dispatch(fields, topo, primary, kv, stores); err != nil {
+			if err == errQuit {
+				return nil
+			}
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.Node, kv *wankv.Store, stores []*wankv.Store) error {
+	switch fields[0] {
+	case "quit", "exit":
+		return errQuit
+
+	case "help":
+		fmt.Println("put get mirror wait register change frontier predicates acks quit")
+		return nil
+
+	case "put":
+		if len(fields) < 3 {
+			return fmt.Errorf("put <key> <value>")
+		}
+		res, err := kv.Put(fields[1], []byte(strings.Join(fields[2:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seq=%d version=%d (locally stable; use 'wait %d <predicate>' for more)\n",
+			res.Seq, res.Version, res.Seq)
+		return nil
+
+	case "get":
+		if len(fields) != 2 {
+			return fmt.Errorf("get <key>")
+		}
+		v, err := kv.Get(fields[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q (version %d, %s)\n", v.Value, v.Num, v.Time.Format(time.RFC3339Nano))
+		return nil
+
+	case "mirror":
+		if len(fields) != 3 {
+			return fmt.Errorf("mirror <node> <key>")
+		}
+		idx, err := strconv.Atoi(fields[1])
+		if err != nil || idx < 1 || idx > len(stores) {
+			return fmt.Errorf("bad node index %q", fields[1])
+		}
+		v, err := stores[idx-1].GetFrom(1, fields[2])
+		if err != nil {
+			return err
+		}
+		name, _ := topo.NodeAt(idx)
+		fmt.Printf("[%s] %q (version %d)\n", name.Name, v.Value, v.Num)
+		return nil
+
+	case "wait":
+		if len(fields) != 3 {
+			return fmt.Errorf("wait <seq> <predicate-key>")
+		}
+		seq, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seq %q", fields[1])
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		start := time.Now()
+		if err := primary.WaitFor(ctx, seq, fields[2]); err != nil {
+			return err
+		}
+		fmt.Printf("satisfied in %v\n", time.Since(start).Round(time.Millisecond))
+		return nil
+
+	case "register", "change":
+		if len(fields) < 3 {
+			return fmt.Errorf("%s <key> <predicate>", fields[0])
+		}
+		src := strings.Join(fields[2:], " ")
+		if fields[0] == "register" {
+			return primary.RegisterPredicate(fields[1], src)
+		}
+		return primary.ChangePredicate(fields[1], src)
+
+	case "frontier":
+		keys := primary.Predicates()
+		if len(fields) == 2 {
+			keys = []string{fields[1]}
+		}
+		for _, k := range keys {
+			f, err := primary.StabilityFrontier(k)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %d\n", k, f)
+		}
+		return nil
+
+	case "predicates":
+		for _, k := range primary.Predicates() {
+			src, _ := primary.PredicateSource(k)
+			fmt.Printf("%-20s %s\n", k, src)
+		}
+		return nil
+
+	case "acks":
+		fmt.Printf("%-12s %10s %10s %10s\n", "node", "received", "delivered", "persisted")
+		for i := 1; i <= topo.N(); i++ {
+			name, _ := topo.NodeAt(i)
+			r, _ := primary.AckValue(1, i, "received")
+			d, _ := primary.AckValue(1, i, "delivered")
+			p, _ := primary.AckValue(1, i, "persisted")
+			fmt.Printf("%-12s %10d %10d %10d\n", name.Name, r, d, p)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+}

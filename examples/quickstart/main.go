@@ -1,0 +1,120 @@
+// Quickstart: a three-node Stabilizer cluster on an in-process emulated
+// WAN. One node streams updates; predicates written in the DSL decide when
+// they count as "stable".
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"stabilizer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Three data centers; Tokyo is far away.
+	topo := &stabilizer.Topology{
+		Self: 1,
+		Nodes: []stabilizer.TopologyNode{
+			{Name: "Frankfurt", AZ: "eu1", Region: "EU"},
+			{Name: "Dublin", AZ: "eu2", Region: "EU"},
+			{Name: "Tokyo", AZ: "ap1", Region: "AP"},
+		},
+	}
+	matrix := stabilizer.NewMatrix()
+	matrix.SetSymmetric(1, 2, stabilizer.Link{OneWayLatency: 10 * time.Millisecond, BandwidthBps: stabilizer.Mbps(500)})
+	matrix.SetSymmetric(1, 3, stabilizer.Link{OneWayLatency: 120 * time.Millisecond, BandwidthBps: stabilizer.Mbps(80)})
+	matrix.SetSymmetric(2, 3, stabilizer.Link{OneWayLatency: 115 * time.Millisecond, BandwidthBps: stabilizer.Mbps(80)})
+	network := stabilizer.NewMemNetwork(matrix)
+	defer network.Close()
+
+	// One node per data center (in one process for the demo; in a real
+	// deployment each runs in its own data center).
+	var nodes []*stabilizer.Node
+	for i := 1; i <= topo.N(); i++ {
+		n, err := stabilizer.Open(stabilizer.Config{
+			Topology: topo.WithSelf(i),
+			Network:  network,
+		})
+		if err != nil {
+			return err
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	frankfurt := nodes[0]
+
+	// Receivers print what they mirror.
+	for i, n := range nodes[1:] {
+		name := topo.Nodes[i+1].Name
+		n.OnDeliver(func(m stabilizer.Message) {
+			log.Printf("[%s] mirrored message %d: %q", name, m.Seq, m.Payload)
+		})
+	}
+
+	// Two consistency models for the same stream:
+	//   "eu"  — stable once Dublin (same region) has it,
+	//   "all" — stable once every node has it.
+	if err := frankfurt.RegisterPredicate("eu", "MIN($WNODE_Dublin)"); err != nil {
+		return err
+	}
+	if err := frankfurt.RegisterPredicate("all", stabilizer.AllWNodes()); err != nil {
+		return err
+	}
+
+	// Watch the global frontier advance.
+	cancel, err := frankfurt.MonitorStabilityFrontier("all", func(seq uint64) {
+		log.Printf("[Frankfurt] globally stable through message %d", seq)
+	})
+	if err != nil {
+		return err
+	}
+	defer cancel()
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancelCtx()
+	for i := 1; i <= 3; i++ {
+		payload := fmt.Sprintf("update #%d", i)
+		seq, err := frankfurt.Send([]byte(payload))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := frankfurt.WaitFor(ctx, seq, "eu"); err != nil {
+			return err
+		}
+		euAt := time.Since(start)
+		if err := frankfurt.WaitFor(ctx, seq, "all"); err != nil {
+			return err
+		}
+		log.Printf("[Frankfurt] %q: EU-stable in %v, world-stable in %v",
+			payload, euAt.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	}
+
+	// The consistency model is data, not code: tighten it at runtime.
+	if err := frankfurt.ChangePredicate("eu", "MIN($WNODE_Dublin, $WNODE_Tokyo.delivered)"); err != nil {
+		return err
+	}
+	seq, err := frankfurt.Send([]byte("after reconfiguration"))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := frankfurt.WaitFor(ctx, seq, "eu"); err != nil {
+		return err
+	}
+	log.Printf("[Frankfurt] reconfigured predicate now also waits for Tokyo delivery: %v",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,3 @@
+module stabilizer
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) on the emulated WAN. Each
+// experiment is a plain function returning structured results and printing
+// the same rows/series the paper reports; cmd/stabilizer-bench and the
+// repository's bench_test.go are thin wrappers around these functions.
+//
+// Absolute numbers differ from the paper (the substrate is an emulator,
+// not EC2/CloudLab hardware), but the comparisons — who wins, by what
+// factor, where the crossovers are — are the reproduction targets;
+// EXPERIMENTS.md records paper-vs-measured for each.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/emunet"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Out receives the experiment's report (defaults to io.Discard).
+	Out io.Writer
+	// TimeScale divides all emulated latencies (and multiplies
+	// bandwidth) so experiments finish quickly; reported latencies are
+	// rescaled back to paper units. 1 = faithful wall-clock.
+	TimeScale float64
+	// Fabric picks the network: "mem" (default) or "tcp".
+	Fabric string
+	// Short shrinks workloads for use under `go test -short` and
+	// testing.B iteration.
+	Short bool
+}
+
+func (o Options) normalized() Options {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 10
+	}
+	if o.Fabric == "" {
+		o.Fabric = "mem"
+	}
+	return o
+}
+
+// network builds the chosen fabric over a time-scaled matrix.
+func (o Options) network(m *emunet.Matrix) emunet.Network {
+	scaled := m.Scaled(o.TimeScale)
+	if o.Fabric == "tcp" {
+		return emunet.NewTCPNetwork(scaled)
+	}
+	return emunet.NewMemNetwork(scaled)
+}
+
+// rescale converts a measured duration back to paper time units.
+func (o Options) rescale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * o.TimeScale)
+}
+
+// cluster is a set of core nodes sharing one fabric.
+type cluster struct {
+	nodes []*core.Node
+	net   emunet.Network
+}
+
+// startCluster opens one node per topology entry.
+func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*cluster, error) {
+	c := &cluster{net: opts.network(matrix)}
+	for i := 1; i <= topo.N(); i++ {
+		n, err := core.Open(core.Config{
+			Topology:       topo.WithSelf(i),
+			Network:        c.net,
+			HeartbeatEvery: 100 * time.Millisecond,
+			PeerTimeout:    5 * time.Second,
+		})
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("bench: open node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+func (c *cluster) close() {
+	for _, n := range c.nodes {
+		_ = n.Close()
+	}
+	if c.net != nil {
+		_ = c.net.Close()
+	}
+}
+
+// node returns the 1-based node.
+func (c *cluster) node(i int) *core.Node { return c.nodes[i-1] }
+
+// --- small stat helpers ---
+
+type series []time.Duration
+
+func (s series) avg() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s {
+		sum += v
+	}
+	return sum / time.Duration(len(s))
+}
+
+func (s series) percentile(p float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	cp := make(series, len(s))
+	copy(cp, s)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(p * float64(len(cp)-1))
+	return cp[idx]
+}
+
+func (s series) max() time.Duration {
+	var m time.Duration
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ms renders a duration in milliseconds with two decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// mbps renders bits-per-second as Mbit/s.
+func mbps(bps float64) string {
+	return fmt.Sprintf("%.1f", bps/1e6)
+}
+
+// randomBytes returns a deterministic pseudo-random payload.
+func randomBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this test binary was built with -race; timing-
+// shape assertions are skipped because the detector's 5-20x slowdown
+// swamps sub-millisecond emulated latencies.
+const raceEnabled = true

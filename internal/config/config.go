@@ -1,0 +1,255 @@
+// Package config describes the WAN topology a Stabilizer deployment runs on:
+// the ordered list of WAN nodes, their availability zones and regions, and
+// the identity of the local node.
+//
+// The configuration is the ground truth the DSL resolves its operands
+// against: node indexes ($1, $2, ...), availability zones ($AZ_name,
+// $MYAZWNODES) and the full node list ($ALLWNODES) all come from here. Data
+// centers have unique names; Stabilizer maps them to 1-based indexes by
+// their rank in the configured node list, exactly as the paper describes.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Node describes one WAN node (one data center) in the deployment.
+type Node struct {
+	// Name is the unique data-center name, e.g. "Foo". Names must match
+	// [A-Za-z][A-Za-z0-9_]* so that they can be referenced from the DSL
+	// as $WNODE_Foo.
+	Name string `json:"name"`
+	// AZ is the availability-zone name the node belongs to, referenced
+	// from the DSL as $AZ_<name>.
+	AZ string `json:"az"`
+	// Region is the (coarser) region name. The DSL's $AZ_<name> operand
+	// falls back to region names when no availability zone matches,
+	// which is how the paper's Table III predicates address whole
+	// regions (e.g. $AZ_North_Virginia).
+	Region string `json:"region,omitempty"`
+	// Addr is the transport address ("host:port"). Empty for in-memory
+	// deployments.
+	Addr string `json:"addr,omitempty"`
+}
+
+// Topology is the full WAN deployment: an ordered node list plus the local
+// node's position in it. Node indexes used by the DSL are 1-based ranks in
+// Nodes.
+type Topology struct {
+	// Nodes is the ordered list of WAN nodes. Order is significant: the
+	// 1-based position of a node in this slice is its DSL index.
+	Nodes []Node `json:"nodes"`
+	// Self is the 1-based index of the local node.
+	Self int `json:"self"`
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z][A-Za-z0-9_]*$`)
+
+// Errors returned by Validate and the lookup helpers.
+var (
+	ErrNoNodes      = errors.New("config: topology has no nodes")
+	ErrSelfRange    = errors.New("config: self index out of range")
+	ErrNodeNotFound = errors.New("config: node not found")
+	ErrAZNotFound   = errors.New("config: availability zone not found")
+)
+
+// Validate checks structural invariants: at least one node, a valid self
+// index, unique well-formed node names, and well-formed AZ/region names.
+func (t *Topology) Validate() error {
+	if len(t.Nodes) == 0 {
+		return ErrNoNodes
+	}
+	if t.Self < 1 || t.Self > len(t.Nodes) {
+		return fmt.Errorf("%w: self=%d with %d nodes", ErrSelfRange, t.Self, len(t.Nodes))
+	}
+	seen := make(map[string]int, len(t.Nodes))
+	for i, n := range t.Nodes {
+		if !nameRE.MatchString(n.Name) {
+			return fmt.Errorf("config: node %d has malformed name %q", i+1, n.Name)
+		}
+		if !nameRE.MatchString(n.AZ) {
+			return fmt.Errorf("config: node %q has malformed az %q", n.Name, n.AZ)
+		}
+		if n.Region != "" && !nameRE.MatchString(n.Region) {
+			return fmt.Errorf("config: node %q has malformed region %q", n.Name, n.Region)
+		}
+		if prev, dup := seen[n.Name]; dup {
+			return fmt.Errorf("config: duplicate node name %q at indexes %d and %d", n.Name, prev, i+1)
+		}
+		seen[n.Name] = i + 1
+	}
+	return nil
+}
+
+// N returns the number of WAN nodes.
+func (t *Topology) N() int { return len(t.Nodes) }
+
+// SelfNode returns the local node's description.
+func (t *Topology) SelfNode() Node { return t.Nodes[t.Self-1] }
+
+// NodeAt returns the node with the given 1-based index.
+func (t *Topology) NodeAt(idx int) (Node, error) {
+	if idx < 1 || idx > len(t.Nodes) {
+		return Node{}, fmt.Errorf("%w: index %d with %d nodes", ErrNodeNotFound, idx, len(t.Nodes))
+	}
+	return t.Nodes[idx-1], nil
+}
+
+// IndexOf returns the 1-based index of the node with the given name.
+func (t *Topology) IndexOf(name string) (int, error) {
+	for i, n := range t.Nodes {
+		if n.Name == name {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNodeNotFound, name)
+}
+
+// AllIndexes returns the 1-based indexes of every node, ascending.
+func (t *Topology) AllIndexes() []int {
+	out := make([]int, len(t.Nodes))
+	for i := range t.Nodes {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// AZIndexes returns the indexes of every node whose availability zone equals
+// name. If no availability zone matches, it falls back to matching region
+// names, so region-granularity predicates like the paper's
+// $AZ_North_Virginia resolve naturally.
+func (t *Topology) AZIndexes(name string) ([]int, error) {
+	var out []int
+	for i, n := range t.Nodes {
+		if n.AZ == name {
+			out = append(out, i+1)
+		}
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	for i, n := range t.Nodes {
+		if n.Region == name {
+			out = append(out, i+1)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrAZNotFound, name)
+	}
+	return out, nil
+}
+
+// MyAZIndexes returns the indexes of every node sharing the local node's
+// availability zone, including the local node itself ($MYAZWNODES).
+func (t *Topology) MyAZIndexes() []int {
+	self := t.SelfNode()
+	var out []int
+	for i, n := range t.Nodes {
+		if n.AZ == self.AZ {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// MyRegionIndexes returns the indexes of every node sharing the local node's
+// region (falling back to AZ when regions are not configured).
+func (t *Topology) MyRegionIndexes() []int {
+	self := t.SelfNode()
+	if self.Region == "" {
+		return t.MyAZIndexes()
+	}
+	var out []int
+	for i, n := range t.Nodes {
+		if n.Region == self.Region {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// Regions returns the distinct region names in first-appearance order.
+// Nodes without a region contribute their AZ instead.
+func (t *Topology) Regions() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, n := range t.Nodes {
+		r := n.Region
+		if r == "" {
+			r = n.AZ
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the topology.
+func (t *Topology) Clone() *Topology {
+	nodes := make([]Node, len(t.Nodes))
+	copy(nodes, t.Nodes)
+	return &Topology{Nodes: nodes, Self: t.Self}
+}
+
+// WithSelf returns a copy of the topology with the local node set to the
+// given 1-based index. Useful when instantiating one process per node from a
+// shared deployment description.
+func (t *Topology) WithSelf(idx int) *Topology {
+	c := t.Clone()
+	c.Self = idx
+	return c
+}
+
+// Load reads a topology from a JSON file and validates it.
+func Load(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: read %s: %w", path, err)
+	}
+	return Parse(raw)
+}
+
+// Parse decodes a topology from JSON and validates it.
+func Parse(raw []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Save writes the topology to a JSON file.
+func (t *Topology) Save(path string) error {
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("config: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// SortedAZs returns the distinct availability-zone names, sorted.
+func (t *Topology) SortedAZs() []string {
+	set := make(map[string]bool)
+	for _, n := range t.Nodes {
+		set[n.AZ] = true
+	}
+	out := make([]string, 0, len(set))
+	for az := range set {
+		out = append(out, az)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,179 @@
+package config
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func validTopo() *Topology {
+	return &Topology{
+		Self: 1,
+		Nodes: []Node{
+			{Name: "A", AZ: "az1", Region: "west"},
+			{Name: "B", AZ: "az1", Region: "west"},
+			{Name: "C", AZ: "az2", Region: "east"},
+			{Name: "D", AZ: "az3", Region: "east"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validTopo().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Topology)
+		want   error
+	}{
+		{"no nodes", func(tp *Topology) { tp.Nodes = nil }, ErrNoNodes},
+		{"self zero", func(tp *Topology) { tp.Self = 0 }, ErrSelfRange},
+		{"self too big", func(tp *Topology) { tp.Self = 9 }, ErrSelfRange},
+		{"dup name", func(tp *Topology) { tp.Nodes[1].Name = "A" }, nil},
+		{"bad name", func(tp *Topology) { tp.Nodes[0].Name = "has space" }, nil},
+		{"bad az", func(tp *Topology) { tp.Nodes[0].AZ = "-x" }, nil},
+		{"bad region", func(tp *Topology) { tp.Nodes[0].Region = "9bad!" }, nil},
+	}
+	for _, c := range cases {
+		tp := validTopo()
+		c.mutate(tp)
+		err := tp.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+			continue
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	tp := validTopo()
+	if idx, err := tp.IndexOf("C"); err != nil || idx != 3 {
+		t.Fatalf("IndexOf(C) = %d, %v", idx, err)
+	}
+	if _, err := tp.IndexOf("Z"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("IndexOf(Z) err = %v", err)
+	}
+	if n, err := tp.NodeAt(2); err != nil || n.Name != "B" {
+		t.Fatalf("NodeAt(2) = %v, %v", n, err)
+	}
+	if _, err := tp.NodeAt(5); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("NodeAt(5) err = %v", err)
+	}
+	if got := tp.AllIndexes(); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("AllIndexes = %v", got)
+	}
+}
+
+func TestAZIndexesWithRegionFallback(t *testing.T) {
+	tp := validTopo()
+	if got, err := tp.AZIndexes("az1"); err != nil || !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("AZIndexes(az1) = %v, %v", got, err)
+	}
+	// "east" is a region, not an AZ: the fallback should find it.
+	if got, err := tp.AZIndexes("east"); err != nil || !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Fatalf("AZIndexes(east) = %v, %v", got, err)
+	}
+	if _, err := tp.AZIndexes("nowhere"); !errors.Is(err, ErrAZNotFound) {
+		t.Fatalf("AZIndexes(nowhere) err = %v", err)
+	}
+}
+
+func TestMyAZAndRegion(t *testing.T) {
+	tp := validTopo()
+	if got := tp.MyAZIndexes(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("MyAZIndexes = %v", got)
+	}
+	tp.Self = 3
+	if got := tp.MyRegionIndexes(); !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Fatalf("MyRegionIndexes = %v", got)
+	}
+	// Without a region, fall back to the AZ.
+	tp2 := &Topology{Self: 1, Nodes: []Node{{Name: "X", AZ: "z"}, {Name: "Y", AZ: "z"}}}
+	if got := tp2.MyRegionIndexes(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("MyRegionIndexes (no region) = %v", got)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	tp := validTopo()
+	if got := tp.Regions(); !reflect.DeepEqual(got, []string{"west", "east"}) {
+		t.Fatalf("Regions = %v", got)
+	}
+}
+
+func TestWithSelfAndClone(t *testing.T) {
+	tp := validTopo()
+	tp2 := tp.WithSelf(3)
+	if tp2.Self != 3 || tp.Self != 1 {
+		t.Fatalf("WithSelf mutated original or failed: %d / %d", tp.Self, tp2.Self)
+	}
+	tp2.Nodes[0].Name = "Changed"
+	if tp.Nodes[0].Name != "A" {
+		t.Fatal("Clone shares node slice with original")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tp := validTopo()
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := tp.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(tp, got) {
+		t.Fatalf("round trip mismatch:\nsaved  %+v\nloaded %+v", tp, got)
+	}
+}
+
+func TestParseRejectsBadJSONAndBadTopology(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"nodes":[],"self":0}`)); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestCanonicalTopologies(t *testing.T) {
+	ec2 := EC2Topology(1)
+	if err := ec2.Validate(); err != nil {
+		t.Fatalf("EC2 topology invalid: %v", err)
+	}
+	if ec2.N() != 8 {
+		t.Fatalf("EC2 topology has %d nodes, want 8", ec2.N())
+	}
+	if got := ec2.Regions(); len(got) != 4 {
+		t.Fatalf("EC2 regions = %v, want 4", got)
+	}
+	nv, err := ec2.AZIndexes("North_Virginia")
+	if err != nil || !reflect.DeepEqual(nv, []int{3, 4, 5, 6}) {
+		t.Fatalf("North_Virginia nodes = %v, %v", nv, err)
+	}
+
+	cl := CloudLabTopology(1)
+	if err := cl.Validate(); err != nil {
+		t.Fatalf("CloudLab topology invalid: %v", err)
+	}
+	if cl.N() != 5 {
+		t.Fatalf("CloudLab topology has %d nodes, want 5", cl.N())
+	}
+	utah := cl.MyAZIndexes()
+	if !reflect.DeepEqual(utah, []int{1, 2}) {
+		t.Fatalf("Utah AZ = %v, want [1 2]", utah)
+	}
+}
+
+func TestSortedAZs(t *testing.T) {
+	tp := validTopo()
+	if got := tp.SortedAZs(); !reflect.DeepEqual(got, []string{"az1", "az2", "az3"}) {
+		t.Fatalf("SortedAZs = %v", got)
+	}
+}

@@ -1,0 +1,45 @@
+package config
+
+// Canonical experiment topologies from the paper's evaluation (§VI).
+
+// EC2Topology returns the paper's Fig. 2 topology: eight WAN nodes in four
+// AWS regions. Node 1 (NCal_A) is the sender in the paper's experiments.
+//
+//	Region1 North_California: nodes 1, 2
+//	Region2 North_Virginia:   nodes 3, 4, 5, 6
+//	Region3 Oregon:           node 7
+//	Region4 Ohio:             node 8
+//
+// Each node is its own availability zone; region names carry the grouping
+// that the paper's Table III predicates address via $AZ_<region>.
+func EC2Topology(self int) *Topology {
+	return &Topology{
+		Self: self,
+		Nodes: []Node{
+			{Name: "NCal_A", AZ: "NCal_AZ1", Region: "North_California"},
+			{Name: "NCal_B", AZ: "NCal_AZ2", Region: "North_California"},
+			{Name: "NVir_A", AZ: "NVir_AZ1", Region: "North_Virginia"},
+			{Name: "NVir_B", AZ: "NVir_AZ2", Region: "North_Virginia"},
+			{Name: "NVir_C", AZ: "NVir_AZ3", Region: "North_Virginia"},
+			{Name: "NVir_D", AZ: "NVir_AZ4", Region: "North_Virginia"},
+			{Name: "Oregon_A", AZ: "Oregon_AZ1", Region: "Oregon"},
+			{Name: "Ohio_A", AZ: "Ohio_AZ1", Region: "Ohio"},
+		},
+	}
+}
+
+// CloudLabTopology returns the paper's Table II real-WAN setup: five
+// CloudLab servers, with Utah1 (the sender in the experiments) and Utah2
+// sharing the Utah cluster.
+func CloudLabTopology(self int) *Topology {
+	return &Topology{
+		Self: self,
+		Nodes: []Node{
+			{Name: "Utah1", AZ: "Utah", Region: "Utah"},
+			{Name: "Utah2", AZ: "Utah", Region: "Utah"},
+			{Name: "Wisconsin", AZ: "Wisconsin", Region: "Wisconsin"},
+			{Name: "Clemson", AZ: "Clemson", Region: "Clemson"},
+			{Name: "Massachusetts", AZ: "Massachusetts", Region: "Massachusetts"},
+		},
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAllNodesReachSameConclusions verifies the paper's §III-A claim: each
+// WAN node detects stability independently and asynchronously, but all
+// reach the same conclusions eventually. Every node evaluates the same
+// predicate about node 1's stream; once traffic quiesces, all evaluations
+// agree.
+func TestAllNodesReachSameConclusions(t *testing.T) {
+	c := startCluster(t, flatTopology(4), nil)
+	sender := c.nodes[0]
+	if err := sender.RegisterPredicate("all", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 30; i++ {
+		var err error
+		last, err = sender.Send([]byte("converge"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sender.WaitFor(ctx, last, "all"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The sender knows everything is stable; the other nodes learn it
+	// from the broadcast ACK stream within a short settle window.
+	const pred = "MIN($ALLWNODES)"
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		agree := true
+		for _, n := range c.nodes {
+			f, err := n.EvalFor(1, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != last {
+				agree = false
+			}
+		}
+		if agree {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, n := range c.nodes {
+				f, _ := n.EvalFor(1, pred)
+				t.Logf("node %d evaluates %q about origin 1 as %d (want %d)", i+1, pred, f, last)
+			}
+			t.Fatal("nodes never converged on the same stability conclusion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEvalForValidation covers origin-range and compile errors.
+func TestEvalForValidation(t *testing.T) {
+	c := startCluster(t, flatTopology(2), nil)
+	if _, err := c.nodes[0].EvalFor(0, "MIN($1)"); err == nil {
+		t.Fatal("origin 0 accepted")
+	}
+	if _, err := c.nodes[0].EvalFor(3, "MIN($1)"); err == nil {
+		t.Fatal("origin out of range accepted")
+	}
+	if _, err := c.nodes[0].EvalFor(2, "MIN($9)"); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+	if _, err := c.nodes[0].EvalFor(2, "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+}

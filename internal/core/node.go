@@ -1,0 +1,665 @@
+// Package core implements the Stabilizer node: the paper's primary
+// contribution. A node glues the aggressive streaming data plane
+// (internal/transport) to the asynchronous control plane
+// (internal/frontier) and exposes the paper's interfaces (§III-D):
+//
+//   - Send            — sequence and stream a message to every peer
+//   - WaitFor         — one-time stability frontier update trigger
+//   - MonitorStabilityFrontier — stability frontier update monitor
+//   - RegisterPredicate / ChangePredicate — DSL predicate management
+//   - ReportStability — application-defined stability reports
+//
+// Each node owns one outbound stream (primary-site model: only the owner
+// updates its data) and mirrors the streams of every other node. Stability
+// reports are monotonic and coalesced, so control traffic never blocks the
+// data flow (§III-A control/data separation).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/dsl"
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/frontier"
+	"stabilizer/internal/transport"
+	"stabilizer/internal/wire"
+)
+
+// ReclaimPredicateKey is the reserved predicate used internally to reclaim
+// send-buffer space once a message has been received everywhere (§III-B).
+const ReclaimPredicateKey = "__stabilizer_reclaim"
+
+// Errors returned by Node methods.
+var (
+	ErrClosed      = errors.New("core: node closed")
+	ErrReservedKey = errors.New("core: predicate key is reserved")
+)
+
+// Message is one delivered data-plane message.
+type Message struct {
+	// Origin is the 1-based index of the node that sent the message.
+	Origin int
+	// Seq is the origin-assigned sequence number.
+	Seq uint64
+	// Payload is the application data. The slice is owned by the
+	// receiver and may be retained.
+	Payload []byte
+	// SentAt is the origin's send timestamp.
+	SentAt time.Time
+}
+
+// DeliverFunc is a data-plane upcall. Upcalls for one origin arrive in
+// FIFO order; upcalls for different origins may be concurrent.
+type DeliverFunc func(m Message)
+
+// AppMessage is an out-of-band application request or response (used by
+// the quorum protocol's read path, among others).
+type AppMessage struct {
+	From       int
+	ID         uint64
+	Method     uint16
+	IsResponse bool
+	Payload    []byte
+}
+
+// AppFunc handles application messages.
+type AppFunc func(m AppMessage)
+
+// Persister, when configured, is invoked after delivery; a nil error makes
+// the node report the "persisted" stability level for the message.
+type Persister interface {
+	Persist(m Message) error
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// Topology is the WAN deployment; required.
+	Topology *config.Topology
+	// Network is the fabric the node dials through; required.
+	Network emunet.Network
+	// HeartbeatEvery and PeerTimeout tune failure detection; zero values
+	// pick transport defaults.
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	// Persister optionally persists delivered messages (see Persister).
+	Persister Persister
+	// Checkpoint resumes a restarted primary (§III-E); nil starts fresh.
+	Checkpoint *Checkpoint
+	// DisableAutoReclaim keeps the send buffer forever (useful in tests
+	// and ablations). By default the node reclaims buffer space once a
+	// message is received everywhere.
+	DisableAutoReclaim bool
+	// Epoch identifies this process incarnation for reconnect handling.
+	Epoch uint64
+}
+
+// Checkpoint captures the durable control-plane state of a node so a
+// restarted primary resumes sequence numbering and frontier tracking where
+// it left off (§III-E).
+type Checkpoint struct {
+	// NextSeq is the next sequence number to assign.
+	NextSeq uint64 `json:"nextSeq"`
+	// SelfAcks is the ACK recorder snapshot for the local origin's
+	// stream, keyed by stability-type id.
+	SelfAcks map[uint16][]uint64 `json:"selfAcks"`
+}
+
+// Node is one Stabilizer WAN node.
+type Node struct {
+	topo     *config.Topology
+	types    *frontier.Types
+	tables   []*frontier.Table // index origin-1
+	registry *frontier.Registry
+	log      *transport.SendLog
+	tr       *transport.Transport
+	env      *topoEnv
+
+	persister Persister
+
+	mu            sync.Mutex
+	deliverFns    []DeliverFunc
+	appFns        []AppFunc
+	peerDownFns   []func(peer int)
+	peerUpFns     []func(peer int)
+	customByName  map[string]uint16
+	reclaimCancel func()
+
+	closed atomic.Bool
+	nowFn  func() time.Time
+}
+
+// Open starts a Stabilizer node and connects it to its peers.
+func Open(cfg Config) (*Node, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("core: Config.Topology is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("core: Config.Network is required")
+	}
+	topo := cfg.Topology.Clone()
+	n := topo.N()
+
+	types := frontier.NewTypes()
+	tables := make([]*frontier.Table, n)
+	for i := range tables {
+		tables[i] = frontier.NewTable(n)
+	}
+	env := &topoEnv{topo: topo, types: types}
+	selfTable := tables[topo.Self-1]
+	registry := frontier.NewRegistry(env, selfTable)
+
+	firstSeq := uint64(1)
+	if cfg.Checkpoint != nil {
+		firstSeq = cfg.Checkpoint.NextSeq
+		selfTable.Restore(cfg.Checkpoint.SelfAcks)
+	}
+	log := transport.NewSendLog(firstSeq)
+
+	node := &Node{
+		topo:         topo,
+		types:        types,
+		tables:       tables,
+		registry:     registry,
+		log:          log,
+		env:          env,
+		persister:    cfg.Persister,
+		customByName: make(map[string]uint16),
+		nowFn:        time.Now,
+	}
+	// Materialize the well-known stability rows so the completeness rule
+	// (UpdateAll on Send) covers them from the first message.
+	head := log.Head()
+	for _, typ := range []uint16{frontier.TypeReceived, frontier.TypePersisted, frontier.TypeDelivered} {
+		selfTable.EnsureType(typ, topo.Self, head)
+	}
+
+	tr, err := transport.New(transport.Config{
+		Self:           topo.Self,
+		N:              n,
+		Network:        cfg.Network,
+		Handler:        (*trHandler)(node),
+		Log:            log,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		PeerTimeout:    cfg.PeerTimeout,
+		Epoch:          cfg.Epoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	node.tr = tr
+
+	if !cfg.DisableAutoReclaim && n > 1 {
+		if err := registry.Register(ReclaimPredicateKey, "MIN($ALLWNODES)"); err != nil {
+			return nil, fmt.Errorf("core: install reclaim predicate: %w", err)
+		}
+		cancel, err := registry.Monitor(ReclaimPredicateKey, func(f uint64) {
+			log.TruncateThrough(f)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: monitor reclaim predicate: %w", err)
+		}
+		node.reclaimCancel = cancel
+	}
+
+	if err := tr.Start(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	if n.reclaimCancel != nil {
+		n.reclaimCancel()
+	}
+	n.log.Close()
+	return n.tr.Close()
+}
+
+// Self returns the local node's 1-based index.
+func (n *Node) Self() int { return n.topo.Self }
+
+// Topology returns a copy of the node's topology.
+func (n *Node) Topology() *config.Topology { return n.topo.Clone() }
+
+// --- data plane ---
+
+// Send assigns the next sequence number to payload and streams it to every
+// peer asynchronously. It returns as soon as the message is buffered: the
+// semantics of a bare Send is local stability only — callers wanting a
+// stronger guarantee follow up with WaitFor on a predicate matching their
+// consistency model (paper §V-A).
+//
+// The payload is copied; callers may reuse the slice.
+func (n *Node) Send(payload []byte) (uint64, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return n.sendOwned(buf)
+}
+
+// SendNoCopy is Send without the defensive copy, for callers that promise
+// not to mutate payload afterwards (bulk paths such as file backup).
+func (n *Node) SendNoCopy(payload []byte) (uint64, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	return n.sendOwned(payload)
+}
+
+func (n *Node) sendOwned(payload []byte) (uint64, error) {
+	seq, err := n.log.Append(payload, n.nowFn().UnixNano())
+	if err != nil {
+		return 0, ErrClosed
+	}
+	// Completeness rule (§III-C): every stability property holds at the
+	// originating node the moment the message exists.
+	n.selfTable().UpdateAll(n.topo.Self, seq)
+	n.tr.NotifyData()
+	n.registry.Recompute()
+	return seq, nil
+}
+
+// OnDeliver registers a data-plane upcall for messages from remote origins.
+func (n *Node) OnDeliver(fn DeliverFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deliverFns = append(n.deliverFns, fn)
+}
+
+// OnApp registers a handler for out-of-band application messages.
+func (n *Node) OnApp(fn AppFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.appFns = append(n.appFns, fn)
+}
+
+// OnPeerDown registers a callback fired when a peer is suspected failed.
+// The paper's recovery recipe (§III-E): the application inspects which
+// predicates depend on the dead node (PredicateDependsOn) and adjusts them
+// with ChangePredicate.
+func (n *Node) OnPeerDown(fn func(peer int)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerDownFns = append(n.peerDownFns, fn)
+}
+
+// OnPeerUp registers a callback fired when a peer is (re)heard from.
+func (n *Node) OnPeerUp(fn func(peer int)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerUpFns = append(n.peerUpFns, fn)
+}
+
+// SendApp sends an out-of-band application message to one peer.
+func (n *Node) SendApp(to int, id uint64, method uint16, isResponse bool, payload []byte) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return n.tr.SendApp(to, &wire.App{
+		ID:         id,
+		Method:     method,
+		IsResponse: isResponse,
+		From:       uint16(n.topo.Self),
+		Payload:    buf,
+	})
+}
+
+// --- control plane ---
+
+// RegisterStabilityType registers an application-defined stability level
+// ("verified", "countersigned", ...) usable as a '.suffix' in predicates
+// and with ReportStability.
+func (n *Node) RegisterStabilityType(name string) error {
+	id, err := n.types.Register(name)
+	if err != nil {
+		return err
+	}
+	// Completeness: the local origin trivially satisfies the new level
+	// for everything it has sent so far.
+	n.selfTable().EnsureType(id, n.topo.Self, n.log.Head())
+	n.mu.Lock()
+	n.customByName[name] = id
+	n.mu.Unlock()
+	return nil
+}
+
+// ReportStability records that this node has reached the named stability
+// level for origin's messages up to seq, and broadcasts the (monotonic)
+// report to every peer.
+func (n *Node) ReportStability(origin int, typeName string, seq uint64) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	typ, err := n.types.Lookup(typeName)
+	if err != nil {
+		return err
+	}
+	if origin < 1 || origin > n.topo.N() {
+		return fmt.Errorf("core: origin %d out of range", origin)
+	}
+	advanced := n.tables[origin-1].Update(n.topo.Self, typ, seq)
+	n.tr.QueueAck(wire.Ack{
+		Origin: uint16(origin),
+		By:     uint16(n.topo.Self),
+		Type:   typ,
+		Seq:    seq,
+	})
+	if advanced && origin == n.topo.Self {
+		n.registry.Recompute()
+	}
+	return nil
+}
+
+// RegisterPredicate compiles a DSL predicate and installs it under key
+// (paper register_predicate). The predicate evaluates the stability of the
+// local node's outbound stream.
+func (n *Node) RegisterPredicate(key, source string) error {
+	if key == ReclaimPredicateKey {
+		return fmt.Errorf("%w: %q", ErrReservedKey, key)
+	}
+	return n.registry.Register(key, source)
+}
+
+// ChangePredicate swaps the predicate under key at runtime (paper
+// change_predicate, exercised by the dynamic reconfiguration experiment).
+func (n *Node) ChangePredicate(key, source string) error {
+	if key == ReclaimPredicateKey {
+		return fmt.Errorf("%w: %q", ErrReservedKey, key)
+	}
+	return n.registry.Change(key, source)
+}
+
+// RemovePredicate deletes the predicate under key.
+func (n *Node) RemovePredicate(key string) error {
+	if key == ReclaimPredicateKey {
+		return fmt.Errorf("%w: %q", ErrReservedKey, key)
+	}
+	return n.registry.Remove(key)
+}
+
+// Predicates lists the application-registered predicate keys.
+func (n *Node) Predicates() []string {
+	keys := n.registry.Keys()
+	out := keys[:0]
+	for _, k := range keys {
+		if k != ReclaimPredicateKey {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// PredicateSource returns the DSL source registered under key.
+func (n *Node) PredicateSource(key string) (string, error) {
+	return n.registry.Source(key)
+}
+
+// PredicateDependsOn lists the WAN nodes the predicate under key reads.
+func (n *Node) PredicateDependsOn(key string) ([]int, error) {
+	return n.registry.DependsOn(key)
+}
+
+// WaitFor blocks until the stability frontier of the named predicate
+// reaches seq (paper waitfor).
+func (n *Node) WaitFor(ctx context.Context, seq uint64, key string) error {
+	return n.registry.WaitFor(ctx, seq, key)
+}
+
+// MonitorStabilityFrontier registers fn to run with the newest frontier
+// each time the named predicate advances (paper
+// monitor_stability_frontier). Intermediate values may be skipped; an
+// upcall with sequence s implies the stability of every message ≤ s.
+func (n *Node) MonitorStabilityFrontier(key string, fn func(seq uint64)) (cancel func(), err error) {
+	return n.registry.Monitor(key, frontier.MonitorFunc(fn))
+}
+
+// StabilityFrontier returns the last computed frontier of the named
+// predicate (paper get_stability_frontier).
+func (n *Node) StabilityFrontier(key string) (uint64, error) {
+	return n.registry.Frontier(key)
+}
+
+// Eval compiles source against this node's topology and evaluates it once
+// against the local origin's ACK recorder, without registering anything.
+func (n *Node) Eval(source string) (uint64, error) {
+	return n.EvalFor(n.topo.Self, source)
+}
+
+// EvalFor evaluates a predicate over another origin's stream: because
+// every node receives every node's stability reports, each WAN site can
+// independently evaluate the same predicate about the same stream, and
+// "all WAN nodes reach the same conclusions eventually" (§III-A). The
+// predicate is compiled ad hoc; registered predicates always concern the
+// local origin's stream.
+func (n *Node) EvalFor(origin int, source string) (uint64, error) {
+	if origin < 1 || origin > n.topo.N() {
+		return 0, fmt.Errorf("core: origin %d out of range", origin)
+	}
+	prog, err := dsl.Compile(source, n.env)
+	if err != nil {
+		return 0, err
+	}
+	return n.tables[origin-1].EvalLocked(prog), nil
+}
+
+// AckValue reads one recorder cell: the highest sequence of origin's
+// stream that node has acknowledged at the named stability level.
+func (n *Node) AckValue(origin, node int, typeName string) (uint64, error) {
+	typ, err := n.types.Lookup(typeName)
+	if err != nil {
+		return 0, err
+	}
+	if origin < 1 || origin > n.topo.N() {
+		return 0, fmt.Errorf("core: origin %d out of range", origin)
+	}
+	return n.tables[origin-1].Value(node, typ), nil
+}
+
+// Checkpoint exports the control-plane state needed to restart the node as
+// the same primary (§III-E).
+func (n *Node) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		NextSeq:  n.log.NextSeq(),
+		SelfAcks: n.selfTable().Snapshot(),
+	}
+}
+
+// NextSeq returns the sequence number the next Send will be assigned.
+func (n *Node) NextSeq() uint64 { return n.log.NextSeq() }
+
+// BufferedBytes reports the bytes currently held in the send buffer.
+func (n *Node) BufferedBytes() int64 { return n.log.Bytes() }
+
+// BytesSent reports total frame bytes written to peers.
+func (n *Node) BytesSent() int64 { return n.tr.BytesSent() }
+
+// Stats is a point-in-time snapshot of a node's data- and control-plane
+// state, for dashboards and debugging.
+type Stats struct {
+	// Self is the local node index; N the cluster size.
+	Self, N int
+	// NextSeq is the next outbound sequence number.
+	NextSeq uint64
+	// BufferedBytes/BufferedMessages describe the retransmission buffer.
+	BufferedBytes    int64
+	BufferedMessages int
+	// BytesSent counts all frame bytes written to peers; DataFramesSent
+	// counts data frames (retransmissions included).
+	BytesSent      int64
+	DataFramesSent int64
+	// Predicates maps each registered predicate to its current frontier.
+	Predicates map[string]uint64
+}
+
+// Stats captures a snapshot of the node's state.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		Self:             n.topo.Self,
+		N:                n.topo.N(),
+		NextSeq:          n.log.NextSeq(),
+		BufferedBytes:    n.log.Bytes(),
+		BufferedMessages: n.log.Len(),
+		BytesSent:        n.tr.BytesSent(),
+		DataFramesSent:   n.tr.DataSent(),
+		Predicates:       make(map[string]uint64),
+	}
+	for _, key := range n.Predicates() {
+		if f, err := n.registry.Frontier(key); err == nil {
+			s.Predicates[key] = f
+		}
+	}
+	return s
+}
+
+func (n *Node) selfTable() *frontier.Table { return n.tables[n.topo.Self-1] }
+
+// --- transport handler ---
+
+// trHandler adapts Node to transport.Handler without exporting the
+// callback methods on Node itself.
+type trHandler Node
+
+var _ transport.Handler = (*trHandler)(nil)
+
+// HandleData implements transport.Handler: deliver, then report stability.
+func (h *trHandler) HandleData(from int, d *wire.Data) {
+	n := (*Node)(h)
+	m := Message{
+		Origin:  from,
+		Seq:     d.Seq,
+		Payload: d.Payload,
+		SentAt:  time.Unix(0, d.SentUnixNano),
+	}
+	// Completeness rule (§III-C), applied remotely: learning of message
+	// d.Seq implies the ORIGIN trivially holds every stability property
+	// for it, so the origin's own row advances in our recorder too —
+	// this is what lets every WAN node evaluate predicates about any
+	// origin's stream and reach the same conclusions.
+	for _, typ := range []uint16{frontier.TypeReceived, frontier.TypePersisted, frontier.TypeDelivered} {
+		n.tables[from-1].EnsureType(typ, from, d.Seq)
+	}
+	n.tables[from-1].UpdateAll(from, d.Seq)
+
+	// "received" is reported before the application upcall: the bytes
+	// are in Stabilizer's hands.
+	n.tables[from-1].Update(n.topo.Self, frontier.TypeReceived, d.Seq)
+	n.tr.QueueAck(wire.Ack{Origin: uint16(from), By: uint16(n.topo.Self), Type: frontier.TypeReceived, Seq: d.Seq})
+
+	n.mu.Lock()
+	fns := make([]DeliverFunc, len(n.deliverFns))
+	copy(fns, n.deliverFns)
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn(m)
+	}
+	n.tables[from-1].Update(n.topo.Self, frontier.TypeDelivered, d.Seq)
+	n.tr.QueueAck(wire.Ack{Origin: uint16(from), By: uint16(n.topo.Self), Type: frontier.TypeDelivered, Seq: d.Seq})
+
+	if n.persister != nil {
+		if err := n.persister.Persist(m); err == nil {
+			n.tables[from-1].Update(n.topo.Self, frontier.TypePersisted, d.Seq)
+			n.tr.QueueAck(wire.Ack{Origin: uint16(from), By: uint16(n.topo.Self), Type: frontier.TypePersisted, Seq: d.Seq})
+		}
+	}
+}
+
+// HandleAck implements transport.Handler.
+func (h *trHandler) HandleAck(a *wire.Ack) {
+	n := (*Node)(h)
+	origin := int(a.Origin)
+	if origin < 1 || origin > n.topo.N() {
+		return
+	}
+	advanced := n.tables[origin-1].Update(int(a.By), a.Type, a.Seq)
+	if advanced && origin == n.topo.Self {
+		n.registry.Recompute()
+	}
+}
+
+// HandleApp implements transport.Handler.
+func (h *trHandler) HandleApp(from int, a *wire.App) {
+	n := (*Node)(h)
+	n.mu.Lock()
+	fns := make([]AppFunc, len(n.appFns))
+	copy(fns, n.appFns)
+	n.mu.Unlock()
+	m := AppMessage{
+		From:       from,
+		ID:         a.ID,
+		Method:     a.Method,
+		IsResponse: a.IsResponse,
+		Payload:    a.Payload,
+	}
+	for _, fn := range fns {
+		fn(m)
+	}
+}
+
+// PeerUp implements transport.Handler.
+func (h *trHandler) PeerUp(peer int) {
+	n := (*Node)(h)
+	n.mu.Lock()
+	fns := make([]func(int), len(n.peerUpFns))
+	copy(fns, n.peerUpFns)
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn(peer)
+	}
+}
+
+// PeerDown implements transport.Handler.
+func (h *trHandler) PeerDown(peer int) {
+	n := (*Node)(h)
+	n.mu.Lock()
+	fns := make([]func(int), len(n.peerDownFns))
+	copy(fns, n.peerDownFns)
+	n.mu.Unlock()
+	for _, fn := range fns {
+		fn(peer)
+	}
+}
+
+// NewDSLEnv builds a dsl.Env from a topology and a stability-type
+// registry, for tooling (predcheck, benchmarks) that compiles predicates
+// without running a node.
+func NewDSLEnv(topo *config.Topology, types *frontier.Types) dsl.Env {
+	return &topoEnv{topo: topo, types: types}
+}
+
+// --- DSL environment ---
+
+// topoEnv adapts (Topology, Types) to dsl.Env.
+type topoEnv struct {
+	topo  *config.Topology
+	types *frontier.Types
+}
+
+var _ dsl.Env = (*topoEnv)(nil)
+
+func (e *topoEnv) N() int           { return e.topo.N() }
+func (e *topoEnv) MyNode() int      { return e.topo.Self }
+func (e *topoEnv) AllNodes() []int  { return e.topo.AllIndexes() }
+func (e *topoEnv) MyAZNodes() []int { return e.topo.MyAZIndexes() }
+
+func (e *topoEnv) AZNodes(name string) ([]int, error) { return e.topo.AZIndexes(name) }
+
+func (e *topoEnv) NodeIndex(name string) (int, error) { return e.topo.IndexOf(name) }
+
+func (e *topoEnv) StabilityType(name string) (uint16, error) { return e.types.Lookup(name) }

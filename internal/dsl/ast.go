@@ -1,0 +1,216 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OpKind is one of the four frontier operators.
+type OpKind int
+
+// The operator set of the paper's predicate form p = O(x).
+const (
+	OpMax OpKind = iota + 1
+	OpMin
+	OpKthMax
+	OpKthMin
+)
+
+// String returns the operator's DSL spelling.
+func (o OpKind) String() string {
+	switch o {
+	case OpMax:
+		return "MAX"
+	case OpMin:
+		return "MIN"
+	case OpKthMax:
+		return "KTH_MAX"
+	case OpKthMin:
+		return "KTH_MIN"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// opByName maps DSL spellings (including the paper's space-separated
+// figures rendered with underscores) to operator kinds.
+var opByName = map[string]OpKind{
+	"MAX":     OpMax,
+	"MIN":     OpMin,
+	"KTH_MAX": OpKthMax,
+	"KTH_MIN": OpKthMin,
+}
+
+// SetKind identifies the flavor of a $-reference.
+type SetKind int
+
+// $-reference flavors (paper §III-C operands, macros and variables).
+const (
+	SetIndex      SetKind = iota + 1 // $3
+	SetAllWNodes                     // $ALLWNODES
+	SetMyWNode                       // $MYWNODE (alias: $MYWNODES)
+	SetMyAZWNodes                    // $MYAZWNODES
+	SetWNodeNamed                    // $WNODE_<name>
+	SetAZNamed                       // $AZ_<name>
+)
+
+// Expr is a parsed expression node.
+type Expr interface {
+	fmt.Stringer
+	// Pos is the byte offset of the expression's first token.
+	Pos() int
+	exprNode()
+}
+
+// CallExpr is an operator application: MAX(a, b, ...).
+type CallExpr struct {
+	Op   OpKind
+	Args []Expr
+	At   int
+}
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int64
+	At    int
+}
+
+// SizeofExpr is SIZEOF(set).
+type SizeofExpr struct {
+	Arg Expr
+	At  int
+}
+
+// BinExpr is a binary arithmetic or set-difference expression. Op is one of
+// '+', '-', '*', '/'.
+type BinExpr struct {
+	Op   byte
+	L, R Expr
+	At   int
+}
+
+// SetRef is a $-reference.
+type SetRef struct {
+	Kind SetKind
+	// Name holds the node or AZ name for SetWNodeNamed / SetAZNamed.
+	Name string
+	// Index holds the node index for SetIndex.
+	Index int
+	At    int
+}
+
+// TypedExpr applies a stability-type suffix to a set expression:
+// ($MYAZWNODES-$MYWNODE).verified.
+type TypedExpr struct {
+	Set  Expr
+	Type string
+	At   int
+}
+
+var (
+	_ Expr = (*CallExpr)(nil)
+	_ Expr = (*NumLit)(nil)
+	_ Expr = (*SizeofExpr)(nil)
+	_ Expr = (*BinExpr)(nil)
+	_ Expr = (*SetRef)(nil)
+	_ Expr = (*TypedExpr)(nil)
+)
+
+func (*CallExpr) exprNode()   {}
+func (*NumLit) exprNode()     {}
+func (*SizeofExpr) exprNode() {}
+func (*BinExpr) exprNode()    {}
+func (*SetRef) exprNode()     {}
+func (*TypedExpr) exprNode()  {}
+
+// Pos implements Expr.
+func (e *CallExpr) Pos() int { return e.At }
+
+// Pos implements Expr.
+func (e *NumLit) Pos() int { return e.At }
+
+// Pos implements Expr.
+func (e *SizeofExpr) Pos() int { return e.At }
+
+// Pos implements Expr.
+func (e *BinExpr) Pos() int { return e.At }
+
+// Pos implements Expr.
+func (e *SetRef) Pos() int { return e.At }
+
+// Pos implements Expr.
+func (e *TypedExpr) Pos() int { return e.At }
+
+// String renders the expression in canonical DSL syntax.
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Op.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders the expression in canonical DSL syntax.
+func (e *NumLit) String() string { return strconv.FormatInt(e.Value, 10) }
+
+// String renders the expression in canonical DSL syntax.
+func (e *SizeofExpr) String() string { return "SIZEOF(" + e.Arg.String() + ")" }
+
+// String renders the expression in canonical DSL syntax.
+func (e *BinExpr) String() string {
+	l := e.L.String()
+	r := e.R.String()
+	if rb, ok := e.R.(*BinExpr); ok && samePrecedence(e.Op, rb.Op) {
+		// Left-associative operators need parentheses on the right to
+		// round-trip: a-(b-c) must not print as a-b-c.
+		r = "(" + r + ")"
+	}
+	if lb, ok := e.L.(*BinExpr); ok && lowerPrecedence(lb.Op, e.Op) {
+		l = "(" + l + ")"
+	}
+	if rb, ok := e.R.(*BinExpr); ok && lowerPrecedence(rb.Op, e.Op) {
+		r = "(" + r + ")"
+	}
+	return l + string(e.Op) + r
+}
+
+// String renders the expression in canonical DSL syntax.
+func (e *SetRef) String() string {
+	switch e.Kind {
+	case SetIndex:
+		return "$" + strconv.Itoa(e.Index)
+	case SetAllWNodes:
+		return "$ALLWNODES"
+	case SetMyWNode:
+		return "$MYWNODE"
+	case SetMyAZWNodes:
+		return "$MYAZWNODES"
+	case SetWNodeNamed:
+		return "$WNODE_" + e.Name
+	case SetAZNamed:
+		return "$AZ_" + e.Name
+	default:
+		return fmt.Sprintf("$?(%d)", int(e.Kind))
+	}
+}
+
+// String renders the expression in canonical DSL syntax.
+func (e *TypedExpr) String() string {
+	if _, ok := e.Set.(*SetRef); ok {
+		return e.Set.String() + "." + e.Type
+	}
+	return "(" + e.Set.String() + ")." + e.Type
+}
+
+func precedence(op byte) int {
+	switch op {
+	case '*', '/':
+		return 2
+	default:
+		return 1
+	}
+}
+
+func samePrecedence(a, b byte) bool  { return precedence(a) == precedence(b) }
+func lowerPrecedence(a, b byte) bool { return precedence(a) < precedence(b) }

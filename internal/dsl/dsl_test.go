@@ -1,0 +1,339 @@
+package dsl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeEnv is a test topology: 8 nodes in 4 regions mirroring the paper's
+// Fig. 2, with self = 1.
+type fakeEnv struct {
+	n    int
+	self int
+	az   map[string][]int
+	name map[string]int
+	typs map[string]uint16
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		n:    8,
+		self: 1,
+		az: map[string][]int{
+			"North_California": {1, 2},
+			"North_Virginia":   {3, 4, 5, 6},
+			"Oregon":           {7},
+			"Ohio":             {8},
+		},
+		name: map[string]int{
+			"NCal_A": 1, "NCal_B": 2,
+			"NVir_A": 3, "NVir_B": 4, "NVir_C": 5, "NVir_D": 6,
+			"Oregon_A": 7, "Ohio_A": 8,
+		},
+		typs: map[string]uint16{"received": 1, "persisted": 2, "delivered": 3, "verified": 16},
+	}
+}
+
+func (e *fakeEnv) N() int      { return e.n }
+func (e *fakeEnv) MyNode() int { return e.self }
+
+func (e *fakeEnv) AllNodes() []int {
+	out := make([]int, e.n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func (e *fakeEnv) MyAZNodes() []int { return e.az["North_California"] }
+
+func (e *fakeEnv) AZNodes(name string) ([]int, error) {
+	if ns, ok := e.az[name]; ok {
+		return ns, nil
+	}
+	return nil, fmt.Errorf("no az %q", name)
+}
+
+func (e *fakeEnv) NodeIndex(name string) (int, error) {
+	if i, ok := e.name[name]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("no node %q", name)
+}
+
+func (e *fakeEnv) StabilityType(name string) (uint16, error) {
+	if id, ok := e.typs[name]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("no type %q", name)
+}
+
+// mapSource backs predicate evaluation with a plain map.
+type mapSource map[[2]int]uint64
+
+func (s mapSource) Value(node int, typ uint16) uint64 { return s[[2]int{node, int(typ)}] }
+
+// tableSource assigns node i counter value vals[i-1] for type received(1),
+// and vals[i-1]+offset for other types.
+func received(vals ...uint64) mapSource {
+	s := make(mapSource)
+	for i, v := range vals {
+		s[[2]int{i + 1, 1}] = v
+	}
+	return s
+}
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src, newFakeEnv())
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return p
+}
+
+func TestEvalBasicOperators(t *testing.T) {
+	// Counters per Fig. 1: node1..node6 (we use 8; extra nodes zero).
+	src := received(33, 25, 19, 21, 23, 28, 40, 2)
+	tests := []struct {
+		pred string
+		want uint64
+	}{
+		{"MAX($ALLWNODES-$MYWNODE)", 40},
+		{"MIN($ALLWNODES)", 2},
+		{"MIN($ALLWNODES-$WNODE_Ohio_A)", 19},
+		{"MAX($1, $2, $3)", 33},
+		{"MIN($2, $3, $4)", 19},
+		{"KTH_MAX(1, $ALLWNODES)", 40},
+		{"KTH_MAX(2, $ALLWNODES)", 33},
+		{"KTH_MIN(1, $ALLWNODES)", 2},
+		{"KTH_MIN(2, $ALLWNODES)", 19},
+		{"KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)", 25}, // 5th smallest of {2,19,21,23,25,28,33,40}
+		{"MAX($MYAZWNODES-$MYWNODE)", 25},
+		{"MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))", 25},
+		{"MAX($AZ_North_Virginia)", 28},
+		{"MIN(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))", 2},
+		{"KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))", 28},
+		{"MAX(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))", 40},
+		{"MAX($ALLWNODES-$MYAZWNODES+$MYWNODE)", 40}, // union extension
+	}
+	for _, tc := range tests {
+		t.Run(tc.pred, func(t *testing.T) {
+			p := compile(t, tc.pred)
+			if got := p.Eval(src); got != tc.want {
+				t.Fatalf("Eval(%q) = %d, want %d", tc.pred, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTypedSuffixSelectsRow(t *testing.T) {
+	src := make(mapSource)
+	for node := 1; node <= 8; node++ {
+		src[[2]int{node, 1}] = uint64(100 + node) // received
+		src[[2]int{node, 16}] = uint64(node)      // verified
+	}
+	p := compile(t, "MIN(($ALLWNODES-$MYWNODE).verified)")
+	if got := p.Eval(src); got != 2 {
+		t.Fatalf("verified min = %d, want 2", got)
+	}
+	p2 := compile(t, "MIN($ALLWNODES-$MYWNODE)")
+	if got := p2.Eval(src); got != 102 {
+		t.Fatalf("default received min = %d, want 102", got)
+	}
+	p3 := compile(t, "MAX($3.verified, $4.verified)")
+	if got := p3.Eval(src); got != 4 {
+		t.Fatalf("single-node suffix = %d, want 4", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	sources := []string{
+		"MAX($ALLWNODES-$MYWNODE)",
+		"KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)",
+		"MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+		"KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+		"MIN(($MYAZWNODES-$MYWNODE).verified)",
+		"MAX($WNODE_Ohio_A.persisted)",
+	}
+	for _, src := range sources {
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.String()
+		ast2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (printed from %q): %v", printed, src, err)
+		}
+		if ast2.String() != printed {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", src, printed, ast2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"MAX",
+		"MAX(",
+		"MAX()",
+		"$ALLWNODES",         // not an operator application
+		"FOO($1)",            // unknown operator
+		"MAX($)",             // bare $
+		"MAX($1,)",           // trailing comma
+		"MAX($1) extra",      // trailing tokens
+		"MAX($1 $2)",         // missing comma
+		"MAX($1.)",           // missing suffix name
+		"MAX($UNKNOWNMACRO)", // unknown reference
+		"MAX($WNODE_)",       // empty node name
+		"MAX($AZ_)",          // empty az name
+		"MAX(%$1)",           // bad character
+		"MAX(2 + + 3, $1)",   // malformed arithmetic
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	env := newFakeEnv()
+	bad := []struct {
+		src  string
+		frag string
+	}{
+		{"MAX($99)", "exceeds"},
+		{"MAX($WNODE_Nowhere)", "unknown WAN node"},
+		{"MAX($AZ_Atlantis)", "unknown availability zone"},
+		{"MAX($1.notatype)", "unknown stability type"},
+		{"KTH_MAX($1)", "needs a rank"},
+		{"KTH_MAX(0, $ALLWNODES)", "out of range"},
+		{"KTH_MAX(9, $ALLWNODES)", "out of range"},
+		{"KTH_MIN(SIZEOF($ALLWNODES)/0, $ALLWNODES)", "division by zero"},
+		{"MAX(5)", "stability source"},
+		{"MAX(SIZEOF($ALLWNODES))", "stability source"},
+		{"KTH_MIN($ALLWNODES, $ALLWNODES)", "SIZEOF"},
+		{"KTH_MIN(MAX($1), $ALLWNODES)", "compile-time"},
+		{"MAX($MYWNODE-$MYWNODE)", "no WAN nodes"},
+		{"MAX($1*$2)", "not defined on WAN node sets"},
+		{"MAX(($1.verified)-$2)", "value list"},
+	}
+	for _, tc := range bad {
+		ast, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q should succeed (resolution must fail instead): %v", tc.src, err)
+		}
+		_, err = Resolve(ast, env)
+		if err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error containing %q", tc.src, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Resolve(%q) error %q does not mention %q", tc.src, err, tc.frag)
+		}
+		var re *ResolveError
+		if !errors.As(err, &re) {
+			t.Errorf("Resolve(%q) error is %T, want *ResolveError", tc.src, err)
+		}
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []int
+	}{
+		{"MAX($ALLWNODES-$MYWNODE)", []int{2, 3, 4, 5, 6, 7, 8}},
+		{"MIN($MYAZWNODES)", []int{1, 2}},
+		{"MAX($AZ_Oregon, $AZ_Ohio)", []int{7, 8}},
+		{"MIN(MAX($3), MAX($3.persisted))", []int{3}},
+	}
+	for _, tc := range tests {
+		p := compile(t, tc.src)
+		got := p.DependsOn()
+		if len(got) != len(tc.want) {
+			t.Fatalf("DependsOn(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("DependsOn(%q) = %v, want %v", tc.src, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestKthDegenerateCases(t *testing.T) {
+	src := received(5, 3, 9, 1, 1, 9, 3, 5)
+	// KTH_MIN(1, ·) == MIN, KTH_MAX(1, ·) == MAX.
+	if got := compile(t, "KTH_MIN(1, $ALLWNODES)").Eval(src); got != 1 {
+		t.Fatalf("KTH_MIN(1) = %d, want 1", got)
+	}
+	if got := compile(t, "KTH_MAX(1, $ALLWNODES)").Eval(src); got != 9 {
+		t.Fatalf("KTH_MAX(1) = %d, want 9", got)
+	}
+	// KTH_MIN(n, ·) == MAX, KTH_MAX(n, ·) == MIN.
+	if got := compile(t, "KTH_MIN(SIZEOF($ALLWNODES), $ALLWNODES)").Eval(src); got != 9 {
+		t.Fatalf("KTH_MIN(n) = %d, want 9", got)
+	}
+	if got := compile(t, "KTH_MAX(SIZEOF($ALLWNODES), $ALLWNODES)").Eval(src); got != 1 {
+		t.Fatalf("KTH_MAX(n) = %d, want 1", got)
+	}
+}
+
+func TestWhitespaceAndCaseTolerance(t *testing.T) {
+	src := received(1, 2, 3, 4, 5, 6, 7, 8)
+	variants := []string{
+		"max( $allwnodes )",
+		"MAX($ALLWNODES)",
+		"  MAX(\n\t$ALLWNODES\n)  ",
+	}
+	for _, v := range variants {
+		p := compile(t, v)
+		if got := p.Eval(src); got != 8 {
+			t.Fatalf("Eval(%q) = %d, want 8", v, got)
+		}
+	}
+}
+
+func TestDisassembleMentionsEveryLoad(t *testing.T) {
+	p := compile(t, "KTH_MIN(2, $MYAZWNODES)")
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "LOAD") || !strings.Contains(dis, "KTHMIN") {
+		t.Fatalf("disassembly missing expected mnemonics:\n%s", dis)
+	}
+	if p.Len() != 3 { // 2 loads + 1 kth
+		t.Fatalf("program length = %d, want 3", p.Len())
+	}
+}
+
+func TestPaperTable3Predicates(t *testing.T) {
+	// All six predicates from Table III must compile against the Fig. 2
+	// topology. (The AZ_ names resolve via the region fallback.)
+	preds := map[string]string{
+		"OneRegion":       "MAX(MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+		"MajorityRegions": "KTH_MAX(2,MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+		"AllRegions":      "MIN(MAX($AZ_North_Virginia),MAX($AZ_Oregon),MAX($AZ_Ohio))",
+		"OneWNode":        "MAX($ALLWNODES-$MYWNODE)",
+		"MajorityWNodes":  "KTH_MAX(SIZEOF($ALLWNODES)/2+1, ($ALLWNODES-$MYWNODE))",
+		"AllWNodes":       "MIN($ALLWNODES-$MYWNODE)",
+	}
+	src := received(100, 90, 10, 20, 30, 40, 50, 60)
+	want := map[string]uint64{
+		"OneRegion":       60, // best region max: NVir 40, Oregon 50, Ohio 60
+		"MajorityRegions": 50,
+		"AllRegions":      40,
+		"OneWNode":        90,
+		"MajorityWNodes":  30, // 5th largest of {90,10,20,30,40,50,60}
+		"AllWNodes":       10,
+	}
+	for name, pred := range preds {
+		p := compile(t, pred)
+		if got := p.Eval(src); got != want[name] {
+			t.Errorf("%s = %d, want %d", name, got, want[name])
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package dsl
+
+import (
+	"testing"
+)
+
+// FuzzParseResolveCompile feeds arbitrary strings through the full
+// predicate pipeline. Invariants under fuzzing:
+//
+//   - no panic anywhere in lex/parse/resolve/compile/eval;
+//   - anything that parses must print to a string that reparses to the
+//     same canonical form;
+//   - anything that resolves must compile, and the compiled program must
+//     agree with the tree-walking interpreter on a fixed counter state.
+//
+// Run with `go test -fuzz=FuzzParseResolveCompile ./internal/dsl` for a
+// real fuzzing session; the seed corpus runs in ordinary test mode.
+func FuzzParseResolveCompile(f *testing.F) {
+	for _, seed := range []string{
+		"MIN($ALLWNODES)",
+		"MAX($ALLWNODES-$MYWNODE)",
+		"KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)",
+		"KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+		"MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+		"MIN(($ALLWNODES-$MYWNODE).verified)",
+		"MAX($WNODE_Ohio_A.persisted, $1)",
+		"MAX($1+$2-$3)",
+		"KTH_MIN(2-1, $ALLWNODES)",
+		"MAX(((($1))))",
+		"MAX($",
+		"KTH_MIN(,)",
+		"MIN($AZ_)",
+		"MAX(1/0)",
+		"\x00\xff$(",
+	} {
+		f.Add(seed)
+	}
+
+	env := newFakeEnv()
+	state := make(mapSource)
+	for node := 1; node <= 8; node++ {
+		for _, typ := range []int{1, 2, 3, 16} {
+			state[[2]int{node, typ}] = uint64(node*31+typ) % 97
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := ast.String()
+		ast2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, src, err)
+		}
+		if ast2.String() != printed {
+			t.Fatalf("canonical form unstable: %q -> %q", printed, ast2.String())
+		}
+		resolved, err := Resolve(ast, env)
+		if err != nil {
+			return
+		}
+		prog := CompileResolved(src, resolved)
+		if got, want := prog.Eval(state), resolved.Eval(state); got != want {
+			t.Fatalf("backends disagree on %q: compiled %d, interpreted %d", src, got, want)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package dsl
+
+// lexer splits a predicate source string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexAll tokenizes the entire input, appending a trailing EOF token.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, pos: start}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case c == '$':
+		l.pos++
+		refStart := l.pos
+		for l.pos < len(l.src) && isRefChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == refStart {
+			return token{}, syntaxErrf(start, "bare '$' without a reference name")
+		}
+		return token{kind: tokRef, text: l.src[refStart:l.pos], pos: start}, nil
+	case isDigit(c):
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, syntaxErrf(start, "unexpected character %q", string(c))
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// isRefChar accepts the characters of a $-reference body: node indexes
+// ($12) and names ($ALLWNODES, $WNODE_Foo, $AZ_North_Virginia).
+func isRefChar(c byte) bool { return isIdentChar(c) }

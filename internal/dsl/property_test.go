@@ -1,0 +1,220 @@
+package dsl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genPredicate builds a random well-formed predicate over the fake 8-node
+// topology, up to the given nesting depth.
+func genPredicate(rng *rand.Rand, depth int) string {
+	op := []string{"MAX", "MIN", "KTH_MAX", "KTH_MIN"}[rng.Intn(4)]
+	nArgs := 1 + rng.Intn(4)
+	args := make([]string, 0, nArgs+1)
+	for i := 0; i < nArgs; i++ {
+		args = append(args, genValueArg(rng, depth))
+	}
+	if strings.HasPrefix(op, "KTH") {
+		// A rank of 1 is always within range regardless of how many
+		// values the sets expand to.
+		args = append([]string{genRankExpr(rng)}, args...)
+	}
+	return op + "(" + strings.Join(args, ", ") + ")"
+}
+
+func genValueArg(rng *rand.Rand, depth int) string {
+	if depth > 0 && rng.Intn(3) == 0 {
+		return genPredicate(rng, depth-1)
+	}
+	set := genSetExpr(rng)
+	switch rng.Intn(4) {
+	case 0:
+		return "(" + set + ").verified"
+	case 1:
+		return "(" + set + ").persisted"
+	default:
+		return set
+	}
+}
+
+func genSetExpr(rng *rand.Rand) string {
+	base := []string{
+		"$ALLWNODES",
+		"$MYAZWNODES",
+		fmt.Sprintf("$%d", 1+rng.Intn(8)),
+		"$AZ_North_Virginia",
+		"$AZ_Oregon",
+		"$WNODE_Ohio_A",
+	}[rng.Intn(6)]
+	if rng.Intn(3) == 0 {
+		// Subtract something that can never empty the set entirely
+		// when the base is $ALLWNODES; other bases may still empty —
+		// the caller tolerates resolve errors for those.
+		return base + "-$" + fmt.Sprint(1+rng.Intn(8))
+	}
+	if rng.Intn(4) == 0 {
+		return base + "+$" + fmt.Sprint(1+rng.Intn(8))
+	}
+	return base
+}
+
+func genRankExpr(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return "1"
+	case 1:
+		return "SIZEOF($MYAZWNODES)" // == 2 on the fake env... actually 2 nodes
+	default:
+		return "2-1" // == 1
+	}
+}
+
+// TestQuickCompiledMatchesInterpreted cross-checks the bytecode evaluator
+// against the tree-walking interpreter on random predicates and random
+// counter states: both backends must agree exactly.
+func TestQuickCompiledMatchesInterpreted(t *testing.T) {
+	env := newFakeEnv()
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for i := 0; i < 3000; i++ {
+		src := genPredicate(rng, 2)
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated unparseable predicate %q: %v", src, err)
+		}
+		resolved, err := Resolve(ast, env)
+		if err != nil {
+			continue // e.g. an emptied set or out-of-range rank: fine
+		}
+		prog := CompileResolved(src, resolved)
+		// Random counter state.
+		srcTable := make(mapSource)
+		for node := 1; node <= 8; node++ {
+			for _, typ := range []int{1, 2, 3, 16} {
+				srcTable[[2]int{node, typ}] = uint64(rng.Intn(1000))
+			}
+		}
+		got := prog.Eval(srcTable)
+		want := resolved.Eval(srcTable)
+		if got != want {
+			t.Fatalf("backends disagree on %q: compiled %d, interpreted %d", src, got, want)
+		}
+		checked++
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d/3000 generated predicates resolved; generator too narrow", checked)
+	}
+}
+
+// TestQuickPrintParseStable: printing a parsed predicate and reparsing the
+// output is a fixed point.
+func TestQuickPrintParseStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		src := genPredicate(rng, 2)
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.String()
+		ast2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", printed, src, err)
+		}
+		if ast2.String() != printed {
+			t.Fatalf("print not stable: %q -> %q", printed, ast2.String())
+		}
+	}
+}
+
+// TestQuickFrontierMonotoneInCounters: predicates are monotone — raising
+// any counter can never lower the frontier. This is the property that
+// makes stability reports safely coalescible.
+func TestQuickFrontierMonotoneInCounters(t *testing.T) {
+	env := newFakeEnv()
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 1500; i++ {
+		src := genPredicate(rng, 2)
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolved, err := Resolve(ast, env)
+		if err != nil {
+			continue
+		}
+		prog := CompileResolved(src, resolved)
+		table := make(mapSource)
+		for node := 1; node <= 8; node++ {
+			for _, typ := range []int{1, 2, 3, 16} {
+				table[[2]int{node, typ}] = uint64(rng.Intn(100))
+			}
+		}
+		before := prog.Eval(table)
+		// Raise one random counter.
+		k := [2]int{1 + rng.Intn(8), []int{1, 2, 3, 16}[rng.Intn(4)]}
+		table[k] += uint64(1 + rng.Intn(100))
+		after := prog.Eval(table)
+		if after < before {
+			t.Fatalf("%q not monotone: %d -> %d after raising %v", src, before, after, k)
+		}
+	}
+}
+
+// TestQuickParserNeverPanics throws random garbage at the full pipeline.
+func TestQuickParserNeverPanics(t *testing.T) {
+	env := newFakeEnv()
+	f := func(junk string) bool {
+		ast, err := Parse(junk)
+		if err != nil {
+			return true
+		}
+		if _, err := Resolve(ast, env); err != nil {
+			return true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Also structured near-miss inputs built from real tokens.
+	pieces := []string{"MAX", "MIN", "KTH_MIN", "(", ")", ",", "$1", "$ALLWNODES",
+		"$MYWNODE", "-", "+", "/", "SIZEOF", ".", "received", "2", "$AZ_", "$"}
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(12)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+		}
+		ast, err := Parse(b.String())
+		if err == nil {
+			_, _ = Resolve(ast, env) // must not panic
+		}
+	}
+}
+
+// TestEvalZeroStateIsZero: with no acknowledgments at all, every predicate
+// that resolves evaluates to 0 — no message can be falsely stable.
+func TestEvalZeroStateIsZero(t *testing.T) {
+	env := newFakeEnv()
+	rng := rand.New(rand.NewSource(31))
+	empty := make(mapSource)
+	for i := 0; i < 800; i++ {
+		src := genPredicate(rng, 2)
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resolved, err := Resolve(ast, env)
+		if err != nil {
+			continue
+		}
+		if got := CompileResolved(src, resolved).Eval(empty); got != 0 {
+			t.Fatalf("%q = %d on empty state", src, got)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Env supplies everything resolution needs from the deployment: the
+// topology (for macro and variable expansion) and the stability-type
+// registry (for '.suffix' lookup). config.Topology plus the frontier's type
+// registry satisfy it; tests use lightweight fakes.
+type Env interface {
+	// N is the number of WAN nodes.
+	N() int
+	// MyNode is the local node's 1-based index ($MYWNODE).
+	MyNode() int
+	// AllNodes lists every node index ($ALLWNODES).
+	AllNodes() []int
+	// MyAZNodes lists the local availability zone's node indexes
+	// ($MYAZWNODES), including the local node.
+	MyAZNodes() []int
+	// AZNodes lists the node indexes of the named availability zone
+	// ($AZ_name); implementations may fall back to region names.
+	AZNodes(name string) ([]int, error)
+	// NodeIndex resolves a node name ($WNODE_name) to its index.
+	NodeIndex(name string) (int, error)
+	// StabilityType resolves a stability-type name ('.received',
+	// '.persisted', application-defined) to its numeric id.
+	StabilityType(name string) (uint16, error)
+}
+
+// Source supplies per-(node, stability type) monotonic counters at
+// evaluation time — the ACK recorder.
+type Source interface {
+	// Value returns the highest sequence number acknowledged by node for
+	// the given stability type.
+	Value(node int, typ uint16) uint64
+}
+
+// ResolveError reports a semantic problem found while resolving a parsed
+// predicate against an Env.
+type ResolveError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ResolveError) Error() string {
+	return fmt.Sprintf("dsl: resolve error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func resolveErrf(pos int, format string, args ...any) error {
+	return &ResolveError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Resolved is a predicate after macro expansion, type checking and constant
+// folding: an operator tree whose leaves are single counter loads. It can
+// be evaluated directly (tree-walking; the ablation baseline) or compiled
+// to a Program.
+type Resolved struct {
+	// Root is the top operator.
+	Root *ROp
+	// DependsOn lists the distinct node indexes the predicate reads,
+	// ascending.
+	DependsOn []int
+}
+
+// RNode is a node of the resolved tree: either an ROp or an RLoad.
+type RNode interface{ rnode() }
+
+// RLoad reads one (node, stability-type) counter.
+type RLoad struct {
+	Node int
+	Type uint16
+}
+
+// ROp applies an operator over resolved children. K is the (constant-
+// folded) rank for the KTH operators.
+type ROp struct {
+	Op   OpKind
+	K    int
+	Args []RNode
+}
+
+func (*RLoad) rnode() {}
+func (*ROp) rnode()   {}
+
+// Resolve expands, checks and folds a parsed predicate against env.
+func Resolve(call *CallExpr, env Env) (*Resolved, error) {
+	r := &resolver{env: env, defaultType: "received"}
+	root, err := r.call(call)
+	if err != nil {
+		return nil, err
+	}
+	deps := make([]int, 0, len(r.deps))
+	for n := range r.deps {
+		deps = append(deps, n)
+	}
+	sort.Ints(deps)
+	return &Resolved{Root: root, DependsOn: deps}, nil
+}
+
+type resolver struct {
+	env         Env
+	defaultType string
+	deps        map[int]bool
+}
+
+func (r *resolver) call(c *CallExpr) (*ROp, error) {
+	op := &ROp{Op: c.Op}
+	args := c.Args
+	switch c.Op {
+	case OpKthMax, OpKthMin:
+		if len(args) < 2 {
+			return nil, resolveErrf(c.At, "%s needs a rank and at least one value", c.Op)
+		}
+		k, err := r.constInt(args[0])
+		if err != nil {
+			return nil, err
+		}
+		op.K = int(k)
+		args = args[1:]
+	default:
+		if len(args) == 0 {
+			return nil, resolveErrf(c.At, "%s needs at least one argument", c.Op)
+		}
+	}
+	for _, a := range args {
+		vals, err := r.valueList(a)
+		if err != nil {
+			return nil, err
+		}
+		op.Args = append(op.Args, vals...)
+	}
+	if len(op.Args) == 0 {
+		return nil, resolveErrf(c.At, "%s argument expands to an empty value list", c.Op)
+	}
+	if c.Op == OpKthMax || c.Op == OpKthMin {
+		if op.K < 1 || op.K > len(op.Args) {
+			return nil, resolveErrf(c.At, "%s rank %d out of range [1, %d]", c.Op, op.K, len(op.Args))
+		}
+	}
+	return op, nil
+}
+
+// valueList resolves an operator argument to one or more value sources.
+func (r *resolver) valueList(e Expr) ([]RNode, error) {
+	switch v := e.(type) {
+	case *CallExpr:
+		op, err := r.call(v)
+		if err != nil {
+			return nil, err
+		}
+		return []RNode{op}, nil
+
+	case *TypedExpr:
+		nodes, err := r.set(v.Set)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := r.env.StabilityType(v.Type)
+		if err != nil {
+			return nil, resolveErrf(v.At, "unknown stability type %q: %v", v.Type, err)
+		}
+		return r.loads(nodes, typ, v.At)
+
+	case *SetRef, *BinExpr:
+		nodes, err := r.set(e)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := r.env.StabilityType(r.defaultType)
+		if err != nil {
+			return nil, resolveErrf(e.Pos(), "default stability type %q unavailable: %v", r.defaultType, err)
+		}
+		return r.loads(nodes, typ, e.Pos())
+
+	case *NumLit, *SizeofExpr:
+		return nil, resolveErrf(e.Pos(), "integer expression cannot be used as a stability source (SIZEOF arithmetic belongs in a KTH rank)")
+
+	default:
+		return nil, resolveErrf(e.Pos(), "unsupported expression %T", e)
+	}
+}
+
+func (r *resolver) loads(nodes []int, typ uint16, pos int) ([]RNode, error) {
+	if len(nodes) == 0 {
+		return nil, resolveErrf(pos, "set expands to no WAN nodes")
+	}
+	if r.deps == nil {
+		r.deps = make(map[int]bool)
+	}
+	out := make([]RNode, len(nodes))
+	for i, n := range nodes {
+		r.deps[n] = true
+		out[i] = &RLoad{Node: n, Type: typ}
+	}
+	return out, nil
+}
+
+// set evaluates a set-valued expression to a sorted list of node indexes.
+func (r *resolver) set(e Expr) ([]int, error) {
+	switch v := e.(type) {
+	case *SetRef:
+		return r.setRef(v)
+	case *BinExpr:
+		l, err := r.set(v.L)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.set(v.R)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case '-':
+			return setDiff(l, rr), nil
+		case '+':
+			// Union is a documented extension beyond the paper's '-'.
+			return setUnion(l, rr), nil
+		default:
+			return nil, resolveErrf(v.At, "operator %q is not defined on WAN node sets", string(v.Op))
+		}
+	case *TypedExpr:
+		return nil, resolveErrf(v.At, "a '.%s'-suffixed expression is a value list, not a node set", v.Type)
+	case *NumLit:
+		return nil, resolveErrf(v.At, "integer %d is not a node set (node references are written $%d)", v.Value, v.Value)
+	default:
+		return nil, resolveErrf(e.Pos(), "expression is not a node set")
+	}
+}
+
+func (r *resolver) setRef(s *SetRef) ([]int, error) {
+	switch s.Kind {
+	case SetIndex:
+		if s.Index > r.env.N() {
+			return nil, resolveErrf(s.At, "node index $%d exceeds the %d configured WAN nodes", s.Index, r.env.N())
+		}
+		return []int{s.Index}, nil
+	case SetAllWNodes:
+		return normalizeSet(r.env.AllNodes()), nil
+	case SetMyWNode:
+		return []int{r.env.MyNode()}, nil
+	case SetMyAZWNodes:
+		return normalizeSet(r.env.MyAZNodes()), nil
+	case SetWNodeNamed:
+		idx, err := r.env.NodeIndex(s.Name)
+		if err != nil {
+			return nil, resolveErrf(s.At, "unknown WAN node %q", s.Name)
+		}
+		return []int{idx}, nil
+	case SetAZNamed:
+		nodes, err := r.env.AZNodes(s.Name)
+		if err != nil {
+			return nil, resolveErrf(s.At, "unknown availability zone %q", s.Name)
+		}
+		return normalizeSet(nodes), nil
+	default:
+		return nil, resolveErrf(s.At, "unknown reference kind %d", int(s.Kind))
+	}
+}
+
+// constInt evaluates a compile-time integer expression (KTH ranks).
+func (r *resolver) constInt(e Expr) (int64, error) {
+	switch v := e.(type) {
+	case *NumLit:
+		return v.Value, nil
+	case *SizeofExpr:
+		nodes, err := r.set(v.Arg)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(nodes)), nil
+	case *BinExpr:
+		l, err := r.constInt(v.L)
+		if err != nil {
+			return 0, err
+		}
+		rr, err := r.constInt(v.R)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case '+':
+			return l + rr, nil
+		case '-':
+			return l - rr, nil
+		case '*':
+			return l * rr, nil
+		case '/':
+			if rr == 0 {
+				return 0, resolveErrf(v.At, "division by zero in rank expression")
+			}
+			return l / rr, nil
+		default:
+			return 0, resolveErrf(v.At, "unknown arithmetic operator %q", string(v.Op))
+		}
+	case *SetRef:
+		return 0, resolveErrf(v.At, "a node set cannot be used as an integer; did you mean SIZEOF(%s)?", v)
+	case *CallExpr:
+		return 0, resolveErrf(v.At, "KTH ranks must be compile-time constants; nested %s calls are runtime values", v.Op)
+	default:
+		return 0, resolveErrf(e.Pos(), "expression is not a constant integer")
+	}
+}
+
+// Eval evaluates the resolved tree directly against src. This is the
+// tree-walking ablation baseline; production evaluation goes through
+// Program.Eval.
+func (r *Resolved) Eval(src Source) uint64 {
+	return evalRNode(r.Root, src)
+}
+
+func evalRNode(n RNode, src Source) uint64 {
+	switch v := n.(type) {
+	case *RLoad:
+		return src.Value(v.Node, v.Type)
+	case *ROp:
+		vals := make([]uint64, len(v.Args))
+		for i, a := range v.Args {
+			vals[i] = evalRNode(a, src)
+		}
+		return applyOp(v.Op, v.K, vals)
+	default:
+		return 0
+	}
+}
+
+// applyOp reduces vals with the operator. vals may be reordered in place.
+func applyOp(op OpKind, k int, vals []uint64) uint64 {
+	switch op {
+	case OpMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case OpMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case OpKthMax:
+		sortU64(vals)
+		return vals[len(vals)-k]
+	case OpKthMin:
+		sortU64(vals)
+		return vals[k-1]
+	default:
+		return 0
+	}
+}
+
+// sortU64 sorts ascending; operand lists are small, so insertion sort wins.
+func sortU64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+func normalizeSet(nodes []int) []int {
+	out := make([]int, len(nodes))
+	copy(out, nodes)
+	sort.Ints(out)
+	// Deduplicate in place.
+	w := 0
+	for i, n := range out {
+		if i == 0 || n != out[w-1] {
+			out[w] = n
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func setDiff(a, b []int) []int {
+	drop := make(map[int]bool, len(b))
+	for _, n := range b {
+		drop[n] = true
+	}
+	var out []int
+	for _, n := range a {
+		if !drop[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func setUnion(a, b []int) []int {
+	return normalizeSet(append(append([]int{}, a...), b...))
+}

@@ -1,0 +1,89 @@
+// Package dsl implements the stability-frontier predicate language of the
+// paper (§III-C): a compact expression language whose operators (MAX, MIN,
+// KTH_MAX, KTH_MIN) range over per-node monotonic acknowledgment counters.
+//
+// A predicate source string goes through four phases, all performed once
+// per predicate registration:
+//
+//	Lex → Parse (AST) → Resolve (macro/variable expansion, type checking,
+//	constant folding against a topology) → Compile (flat bytecode program)
+//
+// The compiled Program is then evaluated on the critical path with a tight,
+// allocation-free loop — this reproduction's substitute for the paper's
+// libgccjit JIT backend. A tree-walking interpreter over the resolved form
+// is kept as an ablation baseline (see Resolved.Eval).
+package dsl
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota + 1
+	tokIdent            // MAX, MIN, KTH_MAX, KTH_MIN, SIZEOF, suffix names
+	tokInt              // integer literal
+	tokRef              // $-reference: $3, $ALLWNODES, $WNODE_Foo, ...
+	tokLParen           // (
+	tokRParen           // )
+	tokComma            // ,
+	tokDot              // .
+	tokPlus             // +
+	tokMinus            // -
+	tokStar             // *
+	tokSlash            // /
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokRef:
+		return "$-reference"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string // identifier text, ref text (without '$'), or digits
+	pos  int    // byte offset in the source
+}
+
+// SyntaxError reports a lexical or grammatical problem with its byte offset
+// in the predicate source.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("dsl: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func syntaxErrf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,321 @@
+// Package emunet emulates a wide-area network on a single machine. It is
+// this reproduction's substitute for the paper's TC-based latency/bandwidth
+// injection (§VI): every directed link between two WAN nodes is shaped by a
+// one-way latency and a token-bucket bandwidth limit taken from a Matrix.
+//
+// Two fabrics are provided behind the same Network interface:
+//
+//   - MemNetwork: in-process, built on net.Pipe. Deterministic to set up,
+//     no sockets, used by tests and most experiments.
+//   - TCPNetwork: real TCP over loopback, used to exercise the full socket
+//     path.
+//
+// All shaping happens at the dialing endpoint: its writes are delayed and
+// throttled by the forward link profile, and its reads by the reverse
+// profile, so the accepting side can use the connection unmodified.
+package emunet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Link is one directed link's emulation profile.
+type Link struct {
+	// OneWayLatency is the propagation delay applied to every byte.
+	OneWayLatency time.Duration
+	// BandwidthBps is the link capacity in bits per second. Zero means
+	// unlimited.
+	BandwidthBps float64
+}
+
+// Transmission returns the serialization delay of n bytes at the link's
+// bandwidth.
+func (l Link) Transmission(n int) time.Duration {
+	if l.BandwidthBps <= 0 || n <= 0 {
+		return 0
+	}
+	bits := float64(n) * 8
+	return time.Duration(bits / l.BandwidthBps * float64(time.Second))
+}
+
+// Matrix holds the link profiles of a deployment, keyed by directed node
+// pair (1-based indexes).
+type Matrix struct {
+	links map[[2]int]Link
+	// Default applies to pairs without an explicit entry.
+	Default Link
+}
+
+// NewMatrix returns an empty matrix with an unshaped default link.
+func NewMatrix() *Matrix {
+	return &Matrix{links: make(map[[2]int]Link)}
+}
+
+// Set installs the profile for the directed link from → to.
+func (m *Matrix) Set(from, to int, l Link) {
+	m.links[[2]int{from, to}] = l
+}
+
+// SetSymmetric installs the profile in both directions.
+func (m *Matrix) SetSymmetric(a, b int, l Link) {
+	m.Set(a, b, l)
+	m.Set(b, a, l)
+}
+
+// Get returns the profile for the directed link from → to.
+func (m *Matrix) Get(from, to int) Link {
+	if l, ok := m.links[[2]int{from, to}]; ok {
+		return l
+	}
+	return m.Default
+}
+
+// Scaled returns a copy of the matrix with every latency divided by factor.
+// Bandwidths are left unchanged: scaling time compresses propagation delay
+// while keeping serialization ratios intact, so experiment *shapes* are
+// preserved while wall-clock time shrinks. Use factor 1 for faithful runs.
+func (m *Matrix) Scaled(factor float64) *Matrix {
+	if factor <= 0 {
+		factor = 1
+	}
+	out := NewMatrix()
+	out.Default = Link{
+		OneWayLatency: time.Duration(float64(m.Default.OneWayLatency) / factor),
+		BandwidthBps:  m.Default.BandwidthBps * factor,
+	}
+	for k, l := range m.links {
+		out.links[k] = Link{
+			OneWayLatency: time.Duration(float64(l.OneWayLatency) / factor),
+			BandwidthBps:  l.BandwidthBps * factor,
+		}
+	}
+	return out
+}
+
+// Network is the fabric abstraction the transport layer dials through.
+type Network interface {
+	// Listen opens the accepting endpoint for the given node.
+	Listen(node int) (net.Listener, error)
+	// Dial connects node from to node to, returning a connection shaped
+	// by the matrix profiles of both directions.
+	Dial(from, to int) (net.Conn, error)
+	// Close tears down the fabric and all listeners.
+	Close() error
+}
+
+// Mbps converts megabits per second to bits per second.
+func Mbps(v float64) float64 { return v * 1e6 }
+
+// MemNetwork is an in-process fabric built on synchronous pipes.
+type MemNetwork struct {
+	matrix *Matrix
+
+	mu        sync.Mutex
+	listeners map[int]*memListener
+	closed    bool
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// NewMemNetwork creates an in-memory fabric shaped by matrix. A nil matrix
+// yields unshaped links.
+func NewMemNetwork(matrix *Matrix) *MemNetwork {
+	if matrix == nil {
+		matrix = NewMatrix()
+	}
+	return &MemNetwork{
+		matrix:    matrix,
+		listeners: make(map[int]*memListener),
+	}
+}
+
+// Errors returned by the fabrics.
+var (
+	ErrClosed     = errors.New("emunet: network closed")
+	ErrNoListener = errors.New("emunet: no listener for node")
+	ErrDupListen  = errors.New("emunet: node already listening")
+)
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(node int) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.listeners[node]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDupListen, node)
+	}
+	l := &memListener{
+		node:   node,
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+		onClose: func() {
+			n.mu.Lock()
+			delete(n.listeners, node)
+			n.mu.Unlock()
+		},
+	}
+	n.listeners[node] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(from, to int) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l := n.listeners[to]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoListener, to)
+	}
+	dialSide, acceptSide := net.Pipe()
+	shaped := Shape(dialSide, n.matrix.Get(from, to), n.matrix.Get(to, from))
+	select {
+	case l.accept <- acceptSide:
+		return shaped, nil
+	case <-l.done:
+		_ = shaped.Close()
+		_ = acceptSide.Close()
+		return nil, fmt.Errorf("%w: %d", ErrNoListener, to)
+	}
+}
+
+// Close implements Network.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	ls := make([]*memListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.listeners = make(map[int]*memListener)
+	n.mu.Unlock()
+	for _, l := range ls {
+		l.closeOnce()
+	}
+	return nil
+}
+
+type memListener struct {
+	node    int
+	accept  chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+	onClose func()
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce()
+	return nil
+}
+
+func (l *memListener) closeOnce() {
+	l.once.Do(func() {
+		close(l.done)
+		if l.onClose != nil {
+			l.onClose()
+		}
+	})
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr{node: l.node} }
+
+type memAddr struct{ node int }
+
+func (a memAddr) Network() string { return "emunet" }
+func (a memAddr) String() string  { return fmt.Sprintf("emunet:%d", a.node) }
+
+// TCPNetwork is a loopback-TCP fabric. Each node gets an ephemeral listener
+// on 127.0.0.1; dialed connections are shaped exactly like MemNetwork's.
+type TCPNetwork struct {
+	matrix *Matrix
+
+	mu        sync.Mutex
+	addrs     map[int]string
+	listeners []net.Listener
+	closed    bool
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork creates a loopback TCP fabric shaped by matrix.
+func NewTCPNetwork(matrix *Matrix) *TCPNetwork {
+	if matrix == nil {
+		matrix = NewMatrix()
+	}
+	return &TCPNetwork{matrix: matrix, addrs: make(map[int]string)}
+}
+
+// Listen implements Network.
+func (n *TCPNetwork) Listen(node int) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.addrs[node]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDupListen, node)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("emunet: listen: %w", err)
+	}
+	n.addrs[node] = l.Addr().String()
+	n.listeners = append(n.listeners, l)
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *TCPNetwork) Dial(from, to int) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	addr := n.addrs[to]
+	n.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("%w: %d", ErrNoListener, to)
+	}
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("emunet: dial node %d: %w", to, err)
+	}
+	return Shape(c, n.matrix.Get(from, to), n.matrix.Get(to, from)), nil
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	ls := n.listeners
+	n.listeners = nil
+	n.addrs = make(map[int]string)
+	n.mu.Unlock()
+	var firstErr error
+	for _, l := range ls {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,180 @@
+package filebackup
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/predlib"
+	"stabilizer/internal/wankv"
+)
+
+type env struct {
+	nodes  []*core.Node
+	stores []*wankv.Store
+	svc    *Service
+}
+
+func startBackupCluster(t *testing.T, opts ...Option) *env {
+	t.Helper()
+	topo := config.EC2Topology(1)
+	network := emunet.NewMemNetwork(emunet.EC2Matrix().Scaled(50))
+	e := &env{}
+	for i := 1; i <= topo.N(); i++ {
+		n, err := core.Open(core.Config{Topology: topo.WithSelf(i), Network: network})
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		e.nodes = append(e.nodes, n)
+		e.stores = append(e.stores, wankv.New(n))
+	}
+	e.svc = New(e.stores[0], opts...)
+	if err := e.svc.RegisterTableIII(); err != nil {
+		t.Fatalf("register table III: %v", err)
+	}
+	if err := e.stores[0].RegisterPredicate("alldel", "MIN(($ALLWNODES-$MYWNODE).delivered)"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range e.nodes {
+			_ = n.Close()
+		}
+		_ = network.Close()
+	})
+	return e
+}
+
+func TestBackupAndRestoreRoundTrip(t *testing.T) {
+	e := startBackupCluster(t)
+	data := make([]byte, 100<<10) // 100 KB = 13 chunks
+	rand.New(rand.NewSource(1)).Read(data)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := e.svc.BackupWait(ctx, "report.pdf", data, predlib.AllWNodesKey)
+	if err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+	if res.Chunks != 13 || res.Bytes != len(data) {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.LastSeq-res.FirstSeq != 13 { // 13 chunks + manifest - 1
+		t.Fatalf("seq span = %d..%d", res.FirstSeq, res.LastSeq)
+	}
+	if err := e.svc.Wait(ctx, res, "alldel"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore locally and from a remote mirror.
+	local, err := e.svc.Restore(1, "report.pdf")
+	if err != nil || !bytes.Equal(local, data) {
+		t.Fatalf("local restore: %v (match=%v)", err, bytes.Equal(local, data))
+	}
+	remoteSvc := New(e.stores[7]) // Ohio
+	remote, err := remoteSvc.Restore(1, "report.pdf")
+	if err != nil || !bytes.Equal(remote, data) {
+		t.Fatalf("remote restore: %v (match=%v)", err, bytes.Equal(remote, data))
+	}
+}
+
+func TestBackupEmptyFile(t *testing.T) {
+	e := startBackupCluster(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := e.svc.BackupWait(ctx, "empty", nil, predlib.OneWNodeKey)
+	if err != nil {
+		t.Fatalf("backup empty: %v", err)
+	}
+	if res.Chunks != 1 || res.Bytes != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if err := e.svc.Wait(ctx, res, "alldel"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.svc.Restore(1, "empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("restore empty = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestBackupExactChunkBoundary(t *testing.T) {
+	e := startBackupCluster(t)
+	data := make([]byte, 2*DefaultChunkSize)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := e.svc.BackupWait(ctx, "boundary", data, predlib.OneWNodeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 2 {
+		t.Fatalf("chunks = %d, want 2 (no empty trailing chunk)", res.Chunks)
+	}
+	if err := e.svc.Wait(ctx, res, "alldel"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.svc.Restore(1, "boundary")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+func TestCustomChunkSize(t *testing.T) {
+	e := startBackupCluster(t, WithChunkSize(1024))
+	data := make([]byte, 4096+1)
+	res, err := e.svc.Backup("tiny-chunks", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 5 {
+		t.Fatalf("chunks = %d, want 5", res.Chunks)
+	}
+}
+
+func TestRestoreMissingFile(t *testing.T) {
+	e := startBackupCluster(t)
+	if _, err := e.svc.Restore(1, "never-backed-up"); !errors.Is(err, ErrNotBackedUp) {
+		t.Fatalf("err = %v, want ErrNotBackedUp", err)
+	}
+}
+
+func TestSLAOrderingWeakBeforeStrong(t *testing.T) {
+	e := startBackupCluster(t)
+	data := make([]byte, 64<<10)
+	res, err := e.svc.Backup("sla-test", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// Frontier values must be ordered weak ≥ strong at all times once
+	// AllWNodes is satisfied.
+	if err := e.svc.Wait(ctx, res, predlib.AllWNodesKey); err != nil {
+		t.Fatal(err)
+	}
+	strongest, _ := e.svc.Frontier(predlib.AllWNodesKey)
+	for _, weaker := range []string{predlib.OneWNodeKey, predlib.OneRegionKey, predlib.MajorityRegionsKey, predlib.MajorityWNodesKey} {
+		f, err := e.svc.Frontier(weaker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < strongest {
+			t.Fatalf("%s frontier %d below AllWNodes %d", weaker, f, strongest)
+		}
+	}
+}
+
+func TestChangePredicatePlumbing(t *testing.T) {
+	e := startBackupCluster(t)
+	if err := e.svc.ChangePredicate(predlib.AllWNodesKey, "MIN($ALLWNODES-$MYWNODE-$8)"); err != nil {
+		t.Fatalf("change predicate: %v", err)
+	}
+	if err := e.svc.ChangePredicate("unknown-key", "MIN($1)"); err == nil {
+		t.Fatal("changing unknown predicate succeeded")
+	}
+}

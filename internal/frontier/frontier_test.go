@@ -1,0 +1,420 @@
+package frontier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// testEnv is a minimal dsl.Env over n flat nodes.
+type testEnv struct {
+	n     int
+	self  int
+	types *Types
+}
+
+func (e *testEnv) N() int      { return e.n }
+func (e *testEnv) MyNode() int { return e.self }
+
+func (e *testEnv) AllNodes() []int {
+	out := make([]int, e.n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+func (e *testEnv) MyAZNodes() []int { return []int{e.self} }
+
+func (e *testEnv) AZNodes(name string) ([]int, error) {
+	return nil, fmt.Errorf("no az %q", name)
+}
+
+func (e *testEnv) NodeIndex(name string) (int, error) {
+	return 0, fmt.Errorf("no node %q", name)
+}
+
+func (e *testEnv) StabilityType(name string) (uint16, error) { return e.types.Lookup(name) }
+
+func newTestRegistry(n int) (*Registry, *Table, *Types) {
+	types := NewTypes()
+	table := NewTable(n)
+	env := &testEnv{n: n, self: 1, types: types}
+	return NewRegistry(env, table), table, types
+}
+
+func TestTypesRegistry(t *testing.T) {
+	ty := NewTypes()
+	for _, known := range []string{"received", "persisted", "delivered"} {
+		if _, err := ty.Lookup(known); err != nil {
+			t.Fatalf("well-known type %q missing: %v", known, err)
+		}
+	}
+	id, err := ty.Register("verified")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if id < 16 {
+		t.Fatalf("custom type id %d collides with reserved space", id)
+	}
+	if _, err := ty.Register("verified"); !errors.Is(err, ErrTypeExists) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+	if _, err := ty.Register("9bad"); !errors.Is(err, ErrBadTypeName) {
+		t.Fatalf("bad name err = %v", err)
+	}
+	if _, err := ty.Register(""); !errors.Is(err, ErrBadTypeName) {
+		t.Fatalf("empty name err = %v", err)
+	}
+	if name := ty.Name(id); name != "verified" {
+		t.Fatalf("Name(%d) = %q", id, name)
+	}
+	if name := ty.Name(9999); name != "type(9999)" {
+		t.Fatalf("unknown Name = %q", name)
+	}
+	if !ty.Known(TypeReceived) || ty.Known(9999) {
+		t.Fatal("Known() misreports")
+	}
+	if got := len(ty.IDs()); got != 4 {
+		t.Fatalf("IDs() has %d entries, want 4", got)
+	}
+}
+
+func TestTableMonotonicity(t *testing.T) {
+	tb := NewTable(3)
+	if !tb.Update(2, TypeReceived, 10) {
+		t.Fatal("first update not recorded")
+	}
+	if tb.Update(2, TypeReceived, 5) {
+		t.Fatal("stale update advanced the counter")
+	}
+	if tb.Update(2, TypeReceived, 10) {
+		t.Fatal("duplicate update advanced the counter")
+	}
+	if !tb.Update(2, TypeReceived, 11) {
+		t.Fatal("newer update rejected")
+	}
+	if got := tb.Value(2, TypeReceived); got != 11 {
+		t.Fatalf("Value = %d, want 11", got)
+	}
+	if got := tb.Value(1, TypeReceived); got != 0 {
+		t.Fatalf("untouched cell = %d, want 0", got)
+	}
+	// Out of range is a no-op.
+	if tb.Update(0, TypeReceived, 5) || tb.Update(4, TypeReceived, 5) {
+		t.Fatal("out-of-range update recorded")
+	}
+	if tb.Value(0, TypeReceived) != 0 || tb.Value(4, TypeReceived) != 0 {
+		t.Fatal("out-of-range value nonzero")
+	}
+}
+
+// TestQuickTableMonotonic property-checks that the table value equals the
+// running maximum of all updates, under any interleaving order.
+func TestQuickTableMonotonic(t *testing.T) {
+	f := func(updates []uint16) bool {
+		tb := NewTable(1)
+		var max uint64
+		for _, u := range updates {
+			v := uint64(u)
+			tb.Update(1, TypeReceived, v)
+			if v > max {
+				max = v
+			}
+			if tb.Value(1, TypeReceived) != max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAllAndEnsureType(t *testing.T) {
+	tb := NewTable(2)
+	tb.EnsureType(TypeReceived, 1, 5)
+	tb.EnsureType(TypePersisted, 1, 5)
+	tb.UpdateAll(1, 9)
+	if tb.Value(1, TypeReceived) != 9 || tb.Value(1, TypePersisted) != 9 {
+		t.Fatal("UpdateAll did not advance all rows")
+	}
+	// UpdateAll never regresses.
+	tb.UpdateAll(1, 3)
+	if tb.Value(1, TypeReceived) != 9 {
+		t.Fatal("UpdateAll regressed a counter")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tb := NewTable(3)
+	tb.Update(1, TypeReceived, 7)
+	tb.Update(3, TypePersisted, 2)
+	snap := tb.Snapshot()
+
+	tb2 := NewTable(3)
+	tb2.Restore(snap)
+	if tb2.Value(1, TypeReceived) != 7 || tb2.Value(3, TypePersisted) != 2 {
+		t.Fatal("restore lost data")
+	}
+	// Mutating the snapshot must not affect the table.
+	snap[TypeReceived][0] = 99
+	if tb2.Value(1, TypeReceived) != 7 {
+		t.Fatal("restore aliased the snapshot")
+	}
+	// Mismatched row sizes are ignored.
+	tb3 := NewTable(2)
+	tb3.Restore(map[uint16][]uint64{TypeReceived: {1, 2, 3}})
+	if tb3.Value(1, TypeReceived) != 0 {
+		t.Fatal("mismatched restore applied")
+	}
+}
+
+func TestRegistryRegisterChangeRemove(t *testing.T) {
+	reg, table, _ := newTestRegistry(3)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := reg.Register("p", "MIN($ALLWNODES)"); !errors.Is(err, ErrPredExists) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+	if err := reg.Register("bad", "MIN($99)"); err == nil {
+		t.Fatal("bad predicate registered")
+	}
+	if !reg.Has("p") || reg.Has("q") {
+		t.Fatal("Has misreports")
+	}
+	if src, _ := reg.Source("p"); src != "MIN($ALLWNODES)" {
+		t.Fatalf("Source = %q", src)
+	}
+	deps, _ := reg.DependsOn("p")
+	if len(deps) != 3 {
+		t.Fatalf("DependsOn = %v", deps)
+	}
+
+	table.Update(1, TypeReceived, 5)
+	table.Update(2, TypeReceived, 5)
+	table.Update(3, TypeReceived, 3)
+	reg.Recompute()
+	if f, _ := reg.Frontier("p"); f != 3 {
+		t.Fatalf("frontier = %d, want 3", f)
+	}
+
+	if err := reg.Change("p", "MAX($ALLWNODES)"); err != nil {
+		t.Fatalf("change: %v", err)
+	}
+	if f, _ := reg.Frontier("p"); f != 5 {
+		t.Fatalf("frontier after change = %d, want 5", f)
+	}
+	if err := reg.Change("missing", "MAX($1)"); !errors.Is(err, ErrPredUnknown) {
+		t.Fatalf("change missing err = %v", err)
+	}
+
+	if err := reg.Remove("p"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := reg.Remove("p"); !errors.Is(err, ErrPredUnknown) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if len(reg.Keys()) != 0 {
+		t.Fatalf("keys after remove = %v", reg.Keys())
+	}
+}
+
+func TestWaitForReleasesInOrder(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for _, seq := range []uint64{3, 1, 2} {
+		seq := seq
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := reg.WaitFor(context.Background(), seq, "p"); err != nil {
+				t.Errorf("waitfor %d: %v", seq, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, int(seq))
+			mu.Unlock()
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let waiters park
+	for s := uint64(1); s <= 3; s++ {
+		table.Update(1, TypeReceived, s)
+		table.Update(2, TypeReceived, s)
+		reg.Recompute()
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("waiters released out of order: %v", order)
+		}
+	}
+}
+
+func TestWaitForImmediateWhenSatisfied(t *testing.T) {
+	reg, table, _ := newTestRegistry(1)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	table.Update(1, TypeReceived, 10)
+	reg.Recompute()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := reg.WaitFor(ctx, 10, "p"); err != nil {
+		t.Fatalf("satisfied waitfor blocked: %v", err)
+	}
+	if err := reg.WaitFor(ctx, 99, "p"); !errors.Is(err, ErrWaitCancelled) {
+		t.Fatalf("unsatisfied waitfor err = %v", err)
+	}
+}
+
+func TestWaitForUnknownPredicate(t *testing.T) {
+	reg, _, _ := newTestRegistry(1)
+	if err := reg.WaitFor(context.Background(), 1, "nope"); !errors.Is(err, ErrPredUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveReleasesWaiters(t *testing.T) {
+	reg, _, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- reg.WaitFor(context.Background(), 5, "p") }()
+	time.Sleep(20 * time.Millisecond)
+	if err := reg.Remove("p"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not released by Remove")
+	}
+}
+
+func TestMonitorFiresOnAdvanceOnly(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var calls []uint64
+	cancel, err := reg.Monitor("p", func(f uint64) {
+		mu.Lock()
+		calls = append(calls, f)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table.Update(1, TypeReceived, 5)
+	reg.Recompute() // min still 0: no fire
+	table.Update(2, TypeReceived, 3)
+	reg.Recompute() // min 3: fire
+	reg.Recompute() // unchanged: no fire
+	table.Update(2, TypeReceived, 7)
+	reg.Recompute() // min 5: fire
+	cancel()
+	table.Update(1, TypeReceived, 9)
+	reg.Recompute() // cancelled: no fire
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []uint64{3, 5}
+	if len(calls) != len(want) || calls[0] != want[0] || calls[1] != want[1] {
+		t.Fatalf("monitor calls = %v, want %v", calls, want)
+	}
+}
+
+func TestMonitorUnknownPredicate(t *testing.T) {
+	reg, _, _ := newTestRegistry(1)
+	if _, err := reg.Monitor("nope", func(uint64) {}); !errors.Is(err, ErrPredUnknown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestQuickFrontierMatchesOracle property-checks that after any sequence
+// of random ACK updates, the registry frontier equals a naive re-evaluation
+// of the predicate over a shadow table.
+func TestQuickFrontierMatchesOracle(t *testing.T) {
+	type update struct {
+		Node uint8
+		Seq  uint16
+	}
+	f := func(updates []update, kSeed uint8) bool {
+		const n = 5
+		k := int(kSeed)%n + 1
+		pred := fmt.Sprintf("KTH_MIN(%d, $ALLWNODES)", k)
+		reg, table, _ := newTestRegistry(n)
+		if err := reg.Register("p", pred); err != nil {
+			return false
+		}
+		shadow := make([]uint64, n)
+		for _, u := range updates {
+			node := int(u.Node)%n + 1
+			seq := uint64(u.Seq)
+			table.Update(node, TypeReceived, seq)
+			if seq > shadow[node-1] {
+				shadow[node-1] = seq
+			}
+			reg.Recompute()
+			// Oracle: k-th smallest of shadow.
+			cp := append([]uint64{}, shadow...)
+			for i := 1; i < len(cp); i++ {
+				for j := i; j > 0 && cp[j-1] > cp[j]; j-- {
+					cp[j-1], cp[j] = cp[j], cp[j-1]
+				}
+			}
+			want := cp[k-1]
+			got, _ := reg.Frontier("p")
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUpdatesAndRecompute(t *testing.T) {
+	reg, table, _ := newTestRegistry(4)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for node := 1; node <= 4; node++ {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := uint64(1); s <= 500; s++ {
+				table.Update(node, TypeReceived, s)
+				reg.Recompute()
+			}
+		}()
+	}
+	wg.Wait()
+	reg.Recompute()
+	if f, _ := reg.Frontier("p"); f != 500 {
+		t.Fatalf("final frontier = %d, want 500", f)
+	}
+}

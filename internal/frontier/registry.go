@@ -1,0 +1,303 @@
+package frontier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"stabilizer/internal/dsl"
+)
+
+// MonitorFunc receives the most recent stability frontier of a predicate
+// each time it advances. Because control information is monotonic,
+// intermediate values may be skipped: an upcall with frontier 91 implies
+// the stability of every earlier message (paper §III-A).
+type MonitorFunc func(frontier uint64)
+
+// Registry stores compiled predicates keyed by name and drives their
+// re-evaluation as the ACK recorder advances. It implements the paper's
+// three control-plane interfaces (§III-D): waitfor,
+// monitor_stability_frontier, and register/change_predicate.
+type Registry struct {
+	env   dsl.Env
+	table *Table
+
+	mu    sync.Mutex
+	preds map[string]*predicate
+}
+
+type predicate struct {
+	key      string
+	prog     *dsl.Program
+	frontier uint64
+
+	monitors  map[int]MonitorFunc
+	nextMonID int
+	waiters   []waiter
+}
+
+type waiter struct {
+	seq  uint64
+	done chan struct{}
+}
+
+// NewRegistry creates a predicate registry evaluating against table and
+// resolving predicate sources against env.
+func NewRegistry(env dsl.Env, table *Table) *Registry {
+	return &Registry{env: env, table: table, preds: make(map[string]*predicate)}
+}
+
+// Register compiles source and installs it under key. Registering an
+// existing key fails; use Change to swap a predicate at runtime.
+func (r *Registry) Register(key, source string) error {
+	prog, err := dsl.Compile(source, r.env)
+	if err != nil {
+		return fmt.Errorf("register predicate %q: %w", key, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.preds[key]; dup {
+		return fmt.Errorf("%w: %q", ErrPredExists, key)
+	}
+	r.preds[key] = &predicate{
+		key:      key,
+		prog:     prog,
+		frontier: r.table.EvalLocked(prog),
+		monitors: make(map[int]MonitorFunc),
+	}
+	return nil
+}
+
+// Change swaps the predicate under key for a newly compiled source, at
+// runtime (paper §III-D / §VI-D dynamic reconfiguration). The frontier is
+// re-evaluated immediately; note that switching to a stronger predicate can
+// move the frontier backwards — the paper leaves handling that gap to the
+// application, and so do we. Pending waiters stay queued and are judged
+// against the new predicate.
+func (r *Registry) Change(key, source string) error {
+	prog, err := dsl.Compile(source, r.env)
+	if err != nil {
+		return fmt.Errorf("change predicate %q: %w", key, err)
+	}
+	r.mu.Lock()
+	p, ok := r.preds[key]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	p.prog = prog
+	p.frontier = r.table.EvalLocked(prog)
+	released := p.releaseWaitersLocked()
+	r.mu.Unlock()
+	releaseAll(released)
+	return nil
+}
+
+// Remove deletes the predicate under key. Pending waiters are released
+// with no error — callers that need stricter semantics should not remove
+// predicates with active waiters.
+func (r *Registry) Remove(key string) error {
+	r.mu.Lock()
+	p, ok := r.preds[key]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	delete(r.preds, key)
+	var released []chan struct{}
+	for _, w := range p.waiters {
+		released = append(released, w.done)
+	}
+	p.waiters = nil
+	r.mu.Unlock()
+	releaseAll(released)
+	return nil
+}
+
+// Has reports whether key is registered.
+func (r *Registry) Has(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.preds[key]
+	return ok
+}
+
+// Keys returns the registered predicate keys, sorted.
+func (r *Registry) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.preds))
+	for k := range r.preds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the DSL source of the predicate under key.
+func (r *Registry) Source(key string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	return p.prog.Source(), nil
+}
+
+// DependsOn returns the WAN nodes the predicate under key reads.
+func (r *Registry) DependsOn(key string) ([]int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	return p.prog.DependsOn(), nil
+}
+
+// Frontier returns the last computed stability frontier of key.
+func (r *Registry) Frontier(key string) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	return p.frontier, nil
+}
+
+// WaitFor blocks until the stability frontier of key reaches seq, the
+// context is cancelled, or the predicate is removed.
+func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
+	r.mu.Lock()
+	p, ok := r.preds[key]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	if p.frontier >= seq {
+		r.mu.Unlock()
+		return nil
+	}
+	w := waiter{seq: seq, done: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	r.mu.Unlock()
+
+	select {
+	case <-w.done:
+		return nil
+	case <-ctx.Done():
+		r.detachWaiter(key, w.done)
+		// The frontier may have advanced concurrently with cancellation;
+		// prefer success if the wait actually completed.
+		select {
+		case <-w.done:
+			return nil
+		default:
+		}
+		return fmt.Errorf("%w: predicate %q seq %d: %v", ErrWaitCancelled, key, seq, ctx.Err())
+	}
+}
+
+func (r *Registry) detachWaiter(key string, done chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return
+	}
+	for i, w := range p.waiters {
+		if w.done == done {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Monitor registers fn to run each time key's frontier advances, and
+// returns a cancel function. fn runs on the recompute path; keep it short
+// or hand off to a goroutine.
+func (r *Registry) Monitor(key string, fn MonitorFunc) (cancel func(), err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	id := p.nextMonID
+	p.nextMonID++
+	p.monitors[id] = fn
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if p2, ok := r.preds[key]; ok {
+			delete(p2.monitors, id)
+		}
+	}, nil
+}
+
+// Recompute re-evaluates every predicate against the current ACK recorder
+// state, releases satisfied waiters, and fires monitors for predicates
+// whose frontier advanced. It is called by the node's control-plane loop
+// after each batch of ACK updates.
+func (r *Registry) Recompute() {
+	type firing struct {
+		fns      []MonitorFunc
+		frontier uint64
+	}
+	var (
+		released []chan struct{}
+		firings  []firing
+	)
+	r.mu.Lock()
+	for _, p := range r.preds {
+		f := r.table.EvalLocked(p.prog)
+		if f <= p.frontier {
+			continue
+		}
+		p.frontier = f
+		released = append(released, p.releaseWaitersLocked()...)
+		if len(p.monitors) > 0 {
+			fns := make([]MonitorFunc, 0, len(p.monitors))
+			for _, fn := range p.monitors {
+				fns = append(fns, fn)
+			}
+			firings = append(firings, firing{fns: fns, frontier: f})
+		}
+	}
+	r.mu.Unlock()
+
+	releaseAll(released)
+	for _, f := range firings {
+		for _, fn := range f.fns {
+			fn(f.frontier)
+		}
+	}
+}
+
+// releaseWaitersLocked removes and returns the done channels of waiters
+// satisfied by the current frontier. Caller holds r.mu.
+func (p *predicate) releaseWaitersLocked() []chan struct{} {
+	if len(p.waiters) == 0 {
+		return nil
+	}
+	var released []chan struct{}
+	kept := p.waiters[:0]
+	for _, w := range p.waiters {
+		if w.seq <= p.frontier {
+			released = append(released, w.done)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.waiters = kept
+	return released
+}
+
+func releaseAll(chans []chan struct{}) {
+	for _, c := range chans {
+		close(c)
+	}
+}

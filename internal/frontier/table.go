@@ -1,0 +1,154 @@
+package frontier
+
+import (
+	"sync"
+
+	"stabilizer/internal/dsl"
+)
+
+// Table is the message ACK recorder (paper Fig. 1): for every
+// (WAN node, stability type) it keeps the highest acknowledged sequence
+// number. Control information is monotonic — a newer value overwrites an
+// older one, and stale updates are ignored — which is what lets the data
+// plane coalesce and batch stability reports freely.
+//
+// Table implements dsl.Source.
+type Table struct {
+	n  int
+	mu sync.RWMutex
+	// rows maps a stability-type id to a per-node counter slice
+	// (slot i holds node i+1's counter).
+	rows map[uint16][]uint64
+}
+
+var _ dsl.Source = (*Table)(nil)
+
+// NewTable creates a recorder for n WAN nodes.
+func NewTable(n int) *Table {
+	return &Table{n: n, rows: make(map[uint16][]uint64)}
+}
+
+// N returns the number of WAN nodes tracked.
+func (t *Table) N() int { return t.n }
+
+// Update records that node has acknowledged stability typ up to seq.
+// It returns true when the counter advanced (stale and duplicate reports
+// return false). Out-of-range nodes are ignored.
+func (t *Table) Update(node int, typ uint16, seq uint64) bool {
+	if node < 1 || node > t.n {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.rows[typ]
+	if row == nil {
+		row = make([]uint64, t.n)
+		t.rows[typ] = row
+	}
+	if seq <= row[node-1] {
+		return false
+	}
+	row[node-1] = seq
+	return true
+}
+
+// UpdateAll advances every existing stability-type row for node to at least
+// seq. It implements the paper's completeness rule: all stability
+// properties hold trivially at the node that originated a message, so the
+// origin's own counters advance the moment a sequence number is assigned.
+func (t *Table) UpdateAll(node int, seq uint64) {
+	if node < 1 || node > t.n {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range t.rows {
+		if row[node-1] < seq {
+			row[node-1] = seq
+		}
+	}
+}
+
+// EnsureType materializes the row for typ (zero-initialized) so that
+// UpdateAll covers it, and pre-sets node's own counter to seq.
+func (t *Table) EnsureType(typ uint16, node int, seq uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := t.rows[typ]
+	if row == nil {
+		row = make([]uint64, t.n)
+		t.rows[typ] = row
+	}
+	if node >= 1 && node <= t.n && row[node-1] < seq {
+		row[node-1] = seq
+	}
+}
+
+// Value implements dsl.Source: the highest sequence node has acknowledged
+// for typ, or zero if nothing was recorded.
+func (t *Table) Value(node int, typ uint16) uint64 {
+	if node < 1 || node > t.n {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row := t.rows[typ]
+	if row == nil {
+		return 0
+	}
+	return row[node-1]
+}
+
+// Snapshot returns a deep copy of the table, keyed by type id.
+func (t *Table) Snapshot() map[uint16][]uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[uint16][]uint64, len(t.rows))
+	for typ, row := range t.rows {
+		cp := make([]uint64, len(row))
+		copy(cp, row)
+		out[typ] = cp
+	}
+	return out
+}
+
+// Restore overwrites the table from a snapshot (primary restart, §III-E).
+// Rows sized differently from the table are ignored.
+func (t *Table) Restore(snap map[uint16][]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for typ, row := range snap {
+		if len(row) != t.n {
+			continue
+		}
+		cp := make([]uint64, len(row))
+		copy(cp, row)
+		t.rows[typ] = cp
+	}
+}
+
+// EvalLocked evaluates prog under a single read lock, avoiding per-load
+// locking on the critical path.
+func (t *Table) EvalLocked(prog *dsl.Program) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return prog.Eval(unlockedView{t})
+}
+
+// unlockedView reads the table without taking locks; only valid while the
+// caller holds t.mu.
+type unlockedView struct{ t *Table }
+
+var _ dsl.Source = unlockedView{}
+
+// Value implements dsl.Source.
+func (v unlockedView) Value(node int, typ uint16) uint64 {
+	if node < 1 || node > v.t.n {
+		return 0
+	}
+	row := v.t.rows[typ]
+	if row == nil {
+		return 0
+	}
+	return row[node-1]
+}

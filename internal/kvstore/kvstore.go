@@ -1,0 +1,207 @@
+// Package kvstore is a single-data-center versioned object store — this
+// reproduction's substitute for the Derecho object store the paper
+// integrates with (§V-A). It keeps the full version history of every
+// object (supporting get, put and get_by_time, the APIs the paper lists)
+// and can persist updates to an append-only log so the "persisted"
+// stability level has real meaning.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound   = errors.New("kvstore: key not found")
+	ErrNoVersion  = errors.New("kvstore: no version at requested point")
+	ErrStoreDirty = errors.New("kvstore: load requires an empty store")
+)
+
+// Version is one immutable revision of an object.
+type Version struct {
+	// Value is the object contents at this revision.
+	Value []byte
+	// Num is the store-wide version number (monotonic across keys).
+	Num uint64
+	// Time is the commit timestamp.
+	Time time.Time
+}
+
+// Store is an in-memory versioned K/V object store. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]Version // ascending Num
+	nextVer uint64
+	wal     *WAL
+	now     func() time.Time
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithWAL attaches an append-only log; every Put is recorded before it is
+// applied.
+func WithWAL(w *WAL) Option { return func(s *Store) { s.wal = w } }
+
+// WithClock overrides the commit timestamp source (tests).
+func WithClock(now func() time.Time) Option { return func(s *Store) { s.now = now } }
+
+// New creates an empty store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		objects: make(map[string][]Version),
+		nextVer: 1,
+		now:     time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Put commits a new version of key and returns its version number.
+// The value is copied.
+func (s *Store) Put(key string, value []byte) (uint64, error) {
+	buf := make([]byte, len(value))
+	copy(buf, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ver := s.nextVer
+	ts := s.now()
+	if s.wal != nil {
+		if err := s.wal.appendPut(key, buf, ver, ts); err != nil {
+			return 0, fmt.Errorf("kvstore: wal append: %w", err)
+		}
+	}
+	s.nextVer++
+	s.objects[key] = append(s.objects[key], Version{Value: buf, Num: ver, Time: ts})
+	return ver, nil
+}
+
+// Get returns the latest version of key.
+func (s *Store) Get(key string) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.objects[key]
+	if len(vs) == 0 {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// GetVersion returns the version of key with the exact number num.
+func (s *Store) GetVersion(key string, num uint64) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.objects[key]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Num >= num })
+	if i == len(vs) || vs[i].Num != num {
+		return Version{}, fmt.Errorf("%w: %q@%d", ErrNoVersion, key, num)
+	}
+	return vs[i], nil
+}
+
+// GetByTime returns the newest version of key committed at or before t
+// (the paper's get_by_time).
+func (s *Store) GetByTime(key string, t time.Time) (Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.objects[key]
+	if len(vs) == 0 {
+		return Version{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	// First version strictly after t.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].Time.After(t) })
+	if i == 0 {
+		return Version{}, fmt.Errorf("%w: %q before %v", ErrNoVersion, key, t)
+	}
+	return vs[i-1], nil
+}
+
+// History returns all versions of key, ascending.
+func (s *Store) History(key string) []Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.objects[key]
+	out := make([]Version, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// LatestVersion returns the highest committed version number (0 if empty).
+func (s *Store) LatestVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextVer - 1
+}
+
+// ErrStaleVersion is returned by Apply for out-of-order replicated updates.
+var ErrStaleVersion = errors.New("kvstore: stale replicated version")
+
+// Apply installs a replicated version with the origin-assigned version
+// number and timestamp, preserving the origin's ordering. It is the mirror
+// side of geo-replication: mirrors never assign version numbers of their
+// own. Versions must arrive in increasing order per key.
+func (s *Store) Apply(key string, value []byte, ver uint64, ts time.Time) error {
+	buf := make([]byte, len(value))
+	copy(buf, value)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := s.objects[key]
+	if len(vs) > 0 && vs[len(vs)-1].Num >= ver {
+		return fmt.Errorf("%w: %q@%d after %d", ErrStaleVersion, key, ver, vs[len(vs)-1].Num)
+	}
+	if s.wal != nil {
+		if err := s.wal.appendPut(key, buf, ver, ts); err != nil {
+			return fmt.Errorf("kvstore: wal append: %w", err)
+		}
+	}
+	s.objects[key] = append(vs, Version{Value: buf, Num: ver, Time: ts})
+	if ver >= s.nextVer {
+		s.nextVer = ver + 1
+	}
+	return nil
+}
+
+// Load replays WAL records into an empty store (crash recovery).
+func (s *Store) Load(records []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.objects) != 0 {
+		return ErrStoreDirty
+	}
+	for _, r := range records {
+		s.objects[r.Key] = append(s.objects[r.Key], Version{Value: r.Value, Num: r.Ver, Time: r.Time})
+		if r.Ver >= s.nextVer {
+			s.nextVer = r.Ver + 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// WAL is a minimal append-only write-ahead log. Records are CRC-protected
+// and length-prefixed; recovery stops cleanly at the first torn record.
+//
+// Record layout:
+//
+//	uint32  crc32 (IEEE) of everything after this field
+//	uint32  body length
+//	uint16  key length, key bytes
+//	uint64  version
+//	int64   unix-nano timestamp
+//	[]byte  value (rest of body)
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	sync bool
+}
+
+// Record is one recovered WAL entry.
+type Record struct {
+	Key   string
+	Value []byte
+	Ver   uint64
+	Time  time.Time
+}
+
+// OpenWAL opens (creating if needed) the log at path. If syncEveryWrite is
+// set, each record is fsynced — the durable flavor of "persisted".
+func OpenWAL(path string, syncEveryWrite bool) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	return &WAL{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEveryWrite}, nil
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		_ = w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func (w *WAL) appendPut(key string, value []byte, ver uint64, ts time.Time) error {
+	body := make([]byte, 0, 2+len(key)+8+8+len(value))
+	body = binary.BigEndian.AppendUint16(body, uint16(len(key)))
+	body = append(body, key...)
+	body = binary.BigEndian.AppendUint64(body, ver)
+	body = binary.BigEndian.AppendUint64(body, uint64(ts.UnixNano()))
+	body = append(body, value...)
+
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(body)))
+	crc := crc32.NewIEEE()
+	_, _ = crc.Write(hdr[4:])
+	_, _ = crc.Write(body)
+	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return err
+	}
+	if w.sync {
+		if err := w.bw.Flush(); err != nil {
+			return err
+		}
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Flush forces buffered records to the OS.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// ReadWAL recovers all intact records from the log at path. A torn tail
+// (partial final record or CRC mismatch) terminates recovery without error,
+// mirroring standard WAL semantics.
+func ReadWAL(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("kvstore: open wal for read: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 64<<10)
+	var out []Record
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return out, nil // clean EOF or torn header: stop
+		}
+		want := binary.BigEndian.Uint32(hdr[:4])
+		n := binary.BigEndian.Uint32(hdr[4:])
+		if n < 2+8+8 || n > 1<<30 {
+			return out, nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return out, nil // torn record
+		}
+		crc := crc32.NewIEEE()
+		_, _ = crc.Write(hdr[4:])
+		_, _ = crc.Write(body)
+		if crc.Sum32() != want {
+			return out, nil // corrupt tail
+		}
+		klen := int(binary.BigEndian.Uint16(body[:2]))
+		if 2+klen+16 > len(body) {
+			return out, nil
+		}
+		key := string(body[2 : 2+klen])
+		ver := binary.BigEndian.Uint64(body[2+klen:])
+		ts := int64(binary.BigEndian.Uint64(body[2+klen+8:]))
+		val := body[2+klen+16:]
+		out = append(out, Record{Key: key, Value: val, Ver: ver, Time: time.Unix(0, ts)})
+	}
+}

@@ -1,0 +1,205 @@
+// Package paxos implements a pipelined Multi-Paxos replicated log — the
+// reproduction's baseline for the paper's PhxPaxos comparison (§VI-B).
+//
+// The protocol is classic: a proposer campaigns with Prepare/Promise to own
+// a ballot, then streams Accept messages for consecutive log slots.
+// Acceptors maintain a contiguous accepted watermark and acknowledge
+// cumulatively (FIFO links make per-slot acks redundant); a slot commits
+// once a majority's watermarks cover it — the topology-indifferent majority
+// rule whose cost Fig. 6 compares against Stabilizer's MajorityRegions
+// predicate. Commit watermarks piggyback on Accepts.
+package paxos
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// message kinds.
+const (
+	kindPrepare uint8 = iota + 1
+	kindPromise
+	kindAccept
+	kindAccepted
+	kindNack
+)
+
+// pxMagic marks paxos payloads on a shared bus.
+const pxMagic uint16 = 0x5058 // "PX"
+
+var errBadMsg = errors.New("paxos: malformed message")
+
+// prepareMsg opens a ballot.
+type prepareMsg struct {
+	Ballot uint64
+	// CommitThrough lets acceptors prune their promise payloads.
+	CommitThrough uint64
+}
+
+// promiseMsg answers a prepare with the acceptor's accepted suffix.
+type promiseMsg struct {
+	Ballot   uint64
+	From     int
+	Accepted []slotValue // entries above the prepare's CommitThrough
+}
+
+// slotValue is one accepted (slot, ballot, value) triple.
+type slotValue struct {
+	Slot   uint64
+	Ballot uint64
+	Value  []byte
+}
+
+// acceptMsg proposes a value for one slot and piggybacks the leader's
+// commit watermark.
+type acceptMsg struct {
+	Ballot        uint64
+	Slot          uint64
+	CommitThrough uint64
+	Value         []byte
+}
+
+// acceptedMsg is an acceptor's cumulative acknowledgment.
+type acceptedMsg struct {
+	Ballot  uint64
+	From    int
+	Through uint64 // contiguous accepted watermark at Ballot
+}
+
+// nackMsg rejects a stale ballot.
+type nackMsg struct {
+	Promised uint64
+	From     int
+}
+
+func encodePrepare(m *prepareMsg) []byte {
+	b := header(kindPrepare, 16)
+	b = binary.BigEndian.AppendUint64(b, m.Ballot)
+	return binary.BigEndian.AppendUint64(b, m.CommitThrough)
+}
+
+func encodePromise(m *promiseMsg) []byte {
+	size := 8 + 2 + 4
+	for _, sv := range m.Accepted {
+		size += 8 + 8 + 4 + len(sv.Value)
+	}
+	b := header(kindPromise, size)
+	b = binary.BigEndian.AppendUint64(b, m.Ballot)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.From))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Accepted)))
+	for _, sv := range m.Accepted {
+		b = binary.BigEndian.AppendUint64(b, sv.Slot)
+		b = binary.BigEndian.AppendUint64(b, sv.Ballot)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(sv.Value)))
+		b = append(b, sv.Value...)
+	}
+	return b
+}
+
+func encodeAccept(m *acceptMsg) []byte {
+	b := header(kindAccept, 24+len(m.Value))
+	b = binary.BigEndian.AppendUint64(b, m.Ballot)
+	b = binary.BigEndian.AppendUint64(b, m.Slot)
+	b = binary.BigEndian.AppendUint64(b, m.CommitThrough)
+	return append(b, m.Value...)
+}
+
+func encodeAccepted(m *acceptedMsg) []byte {
+	b := header(kindAccepted, 8+2+8)
+	b = binary.BigEndian.AppendUint64(b, m.Ballot)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.From))
+	return binary.BigEndian.AppendUint64(b, m.Through)
+}
+
+func encodeNack(m *nackMsg) []byte {
+	b := header(kindNack, 8+2)
+	b = binary.BigEndian.AppendUint64(b, m.Promised)
+	return binary.BigEndian.AppendUint16(b, uint16(m.From))
+}
+
+func header(kind uint8, hint int) []byte {
+	b := make([]byte, 0, 3+hint)
+	b = binary.BigEndian.AppendUint16(b, pxMagic)
+	return append(b, kind)
+}
+
+// decode parses a paxos payload into one of the message structs.
+// It returns errBadMsg for foreign payloads sharing the bus.
+func decode(p []byte) (any, error) {
+	if len(p) < 3 || binary.BigEndian.Uint16(p) != pxMagic {
+		return nil, errBadMsg
+	}
+	kind := p[2]
+	d := p[3:]
+	switch kind {
+	case kindPrepare:
+		if len(d) != 16 {
+			return nil, errBadMsg
+		}
+		return &prepareMsg{
+			Ballot:        binary.BigEndian.Uint64(d),
+			CommitThrough: binary.BigEndian.Uint64(d[8:]),
+		}, nil
+	case kindPromise:
+		if len(d) < 14 {
+			return nil, errBadMsg
+		}
+		m := &promiseMsg{
+			Ballot: binary.BigEndian.Uint64(d),
+			From:   int(binary.BigEndian.Uint16(d[8:])),
+		}
+		n := int(binary.BigEndian.Uint32(d[10:]))
+		d = d[14:]
+		for i := 0; i < n; i++ {
+			if len(d) < 20 {
+				return nil, errBadMsg
+			}
+			sv := slotValue{
+				Slot:   binary.BigEndian.Uint64(d),
+				Ballot: binary.BigEndian.Uint64(d[8:]),
+			}
+			vlen := int(binary.BigEndian.Uint32(d[16:]))
+			d = d[20:]
+			if len(d) < vlen {
+				return nil, errBadMsg
+			}
+			sv.Value = append([]byte{}, d[:vlen]...)
+			d = d[vlen:]
+			m.Accepted = append(m.Accepted, sv)
+		}
+		if len(d) != 0 {
+			return nil, errBadMsg
+		}
+		return m, nil
+	case kindAccept:
+		if len(d) < 24 {
+			return nil, errBadMsg
+		}
+		return &acceptMsg{
+			Ballot:        binary.BigEndian.Uint64(d),
+			Slot:          binary.BigEndian.Uint64(d[8:]),
+			CommitThrough: binary.BigEndian.Uint64(d[16:]),
+			Value:         append([]byte{}, d[24:]...),
+		}, nil
+	case kindAccepted:
+		if len(d) != 18 {
+			return nil, errBadMsg
+		}
+		return &acceptedMsg{
+			Ballot:  binary.BigEndian.Uint64(d),
+			From:    int(binary.BigEndian.Uint16(d[8:])),
+			Through: binary.BigEndian.Uint64(d[10:]),
+		}, nil
+	case kindNack:
+		if len(d) != 10 {
+			return nil, errBadMsg
+		}
+		return &nackMsg{
+			Promised: binary.BigEndian.Uint64(d),
+			From:     int(binary.BigEndian.Uint16(d[8:])),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: kind %d", errBadMsg, kind)
+	}
+}

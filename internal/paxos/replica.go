@@ -1,0 +1,525 @@
+package paxos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by Replica.
+var (
+	ErrNotLeader    = errors.New("paxos: not the leader")
+	ErrPreempted    = errors.New("paxos: ballot preempted by a higher one")
+	ErrCampaignLost = errors.New("paxos: campaign did not reach a majority")
+	ErrClosedBus    = errors.New("paxos: replica closed")
+)
+
+// ApplyFunc learns committed log entries, invoked in slot order.
+type ApplyFunc func(slot uint64, value []byte)
+
+// Replica is one Multi-Paxos node: acceptor + learner always, proposer
+// after a successful Campaign.
+type Replica struct {
+	bus Bus
+	n   int
+
+	// discardApplied, when set, drops entry payloads once they have been
+	// applied locally, bounding memory for bulk streams. The replica can
+	// then no longer serve Value() for old slots or teach them to a
+	// lagging new leader — enable it only when the application snapshots
+	// its own state (as real PhxPaxos deployments do).
+	discardApplied bool
+
+	mu sync.Mutex
+
+	// Acceptor state.
+	promised       uint64
+	log            map[uint64]slotValue // accepted entries by slot
+	acceptedThru   uint64               // contiguous accepted watermark
+	acceptedBallot uint64               // ballot of the watermark run
+	committedThru  uint64
+	appliedThru    uint64
+	applyFns       []ApplyFunc
+
+	// Proposer state.
+	leader       bool
+	ballot       uint64
+	nextSlot     uint64
+	acceptorThru map[int]uint64 // per-acceptor watermark at our ballot
+	waiters      []pxWaiter
+	campaign     *campaignState
+
+	closed bool
+}
+
+type pxWaiter struct {
+	slot uint64
+	done chan error
+}
+
+type campaignState struct {
+	ballot   uint64
+	promises map[int]*promiseMsg
+	done     chan error
+	adopted  map[uint64]slotValue
+	finished bool
+}
+
+// Option configures a Replica.
+type Option func(*Replica)
+
+// WithDiscardApplied drops entry payloads after local application (see the
+// field comment for the recovery caveat).
+func WithDiscardApplied() Option {
+	return func(r *Replica) { r.discardApplied = true }
+}
+
+// NewReplica attaches a replica to the bus. The replica is a pure acceptor
+// and learner until Campaign succeeds.
+func NewReplica(bus Bus, opts ...Option) *Replica {
+	r := &Replica{
+		bus:          bus,
+		n:            bus.N(),
+		log:          make(map[uint64]slotValue),
+		nextSlot:     1,
+		acceptorThru: make(map[int]uint64),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	bus.SetHandler(r.handle)
+	return r
+}
+
+// OnApply registers a learner callback, invoked in slot order as entries
+// commit.
+func (r *Replica) OnApply(fn ApplyFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applyFns = append(r.applyFns, fn)
+}
+
+// majority returns the quorum size: ⌈(n+1)/2⌉.
+func (r *Replica) majority() int { return r.n/2 + 1 }
+
+// ballotFor builds a globally unique ballot for round owned by this node.
+func (r *Replica) ballotFor(round uint64) uint64 {
+	return round*1024 + uint64(r.bus.Self())
+}
+
+// Campaign runs phase 1: it proposes a fresh ballot, collects a majority of
+// promises, adopts the highest-ballot accepted values it learns, and
+// re-proposes them. On success the replica is the leader.
+func (r *Replica) Campaign(ctx context.Context) error {
+	r.mu.Lock()
+	round := r.promised/1024 + 1
+	b := r.ballotFor(round)
+	st := &campaignState{
+		ballot:   b,
+		promises: make(map[int]*promiseMsg),
+		done:     make(chan error, 1),
+		adopted:  make(map[uint64]slotValue),
+	}
+	r.campaign = st
+	// Self-promise.
+	if b > r.promised {
+		r.promised = b
+	}
+	st.promises[r.bus.Self()] = &promiseMsg{Ballot: b, From: r.bus.Self(), Accepted: r.acceptedAboveLocked(r.committedThru)}
+	commit := r.committedThru
+	var (
+		reproposals []*acceptMsg
+		finished    bool
+	)
+	if len(st.promises) >= r.majority() {
+		reproposals = r.finishCampaignLocked(st)
+		finished = st.finished
+	}
+	r.mu.Unlock()
+	if finished {
+		r.broadcastReproposals(reproposals, st)
+	}
+
+	if err := r.bus.Broadcast(encodePrepare(&prepareMsg{Ballot: b, CommitThrough: commit})); err != nil {
+		return fmt.Errorf("paxos: broadcast prepare: %w", err)
+	}
+	select {
+	case err := <-st.done:
+		return err
+	case <-ctx.Done():
+		r.mu.Lock()
+		if r.campaign == st {
+			r.campaign = nil
+		}
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrCampaignLost, ctx.Err())
+	}
+}
+
+// IsLeader reports whether this replica currently owns a ballot.
+func (r *Replica) IsLeader() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// CommittedThrough returns the local commit watermark.
+func (r *Replica) CommittedThrough() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.committedThru
+}
+
+// Propose replicates value in the next log slot and blocks until it
+// commits (a majority of acceptors hold it).
+func (r *Replica) Propose(ctx context.Context, value []byte) (uint64, error) {
+	slot, done, err := r.ProposeAsync(value)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case err := <-done:
+		return slot, err
+	case <-ctx.Done():
+		return slot, ctx.Err()
+	}
+}
+
+// ProposeAsync starts replication of value and returns its slot plus a
+// completion channel — the pipelined mode PhxPaxos-style systems use for
+// bulk streams.
+func (r *Replica) ProposeAsync(value []byte) (uint64, <-chan error, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0, nil, ErrClosedBus
+	}
+	if !r.leader {
+		r.mu.Unlock()
+		return 0, nil, ErrNotLeader
+	}
+	b := r.ballot
+	slot := r.nextSlot
+	r.nextSlot++
+	// Self-accept.
+	r.log[slot] = slotValue{Slot: slot, Ballot: b, Value: value}
+	r.advanceAcceptedLocked(b)
+	done := make(chan error, 1)
+	r.waiters = append(r.waiters, pxWaiter{slot: slot, done: done})
+	r.recomputeCommitLocked()
+	commit := r.committedThru
+	r.mu.Unlock()
+
+	msg := encodeAccept(&acceptMsg{Ballot: b, Slot: slot, CommitThrough: commit, Value: value})
+	if err := r.bus.Broadcast(msg); err != nil {
+		return slot, nil, fmt.Errorf("paxos: broadcast accept: %w", err)
+	}
+	return slot, done, nil
+}
+
+// Value returns the committed value in slot, if any.
+func (r *Replica) Value(slot uint64) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot > r.committedThru {
+		return nil, false
+	}
+	sv, ok := r.log[slot]
+	return sv.Value, ok
+}
+
+// Close releases waiters; the replica stops initiating traffic.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, w := range r.waiters {
+		w.done <- ErrClosedBus
+	}
+	r.waiters = nil
+}
+
+// --- message handling ---
+
+func (r *Replica) handle(from int, payload []byte) {
+	msg, err := decode(payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *prepareMsg:
+		r.onPrepare(from, m)
+	case *promiseMsg:
+		r.onPromise(m)
+	case *acceptMsg:
+		r.onAccept(from, m)
+	case *acceptedMsg:
+		r.onAccepted(m)
+	case *nackMsg:
+		r.onNack(m)
+	}
+}
+
+func (r *Replica) onPrepare(from int, m *prepareMsg) {
+	r.mu.Lock()
+	if m.Ballot <= r.promised {
+		promised := r.promised
+		r.mu.Unlock()
+		_ = r.bus.Send(from, encodeNack(&nackMsg{Promised: promised, From: r.bus.Self()}))
+		return
+	}
+	r.promised = m.Ballot
+	if r.leader && m.Ballot > r.ballot {
+		r.stepDownLocked()
+	}
+	// Promising a higher ballot preempts our own in-flight campaign: its
+	// ballot can no longer win a quorum through this acceptor, and
+	// finishing it anyway could seat a leader below the promised ballot.
+	if st := r.campaign; st != nil && m.Ballot > st.ballot {
+		r.campaign = nil
+		st.done <- fmt.Errorf("%w: promised %d during campaign", ErrCampaignLost, m.Ballot)
+	}
+	reply := &promiseMsg{
+		Ballot:   m.Ballot,
+		From:     r.bus.Self(),
+		Accepted: r.acceptedAboveLocked(m.CommitThrough),
+	}
+	r.mu.Unlock()
+	_ = r.bus.Send(from, encodePromise(reply))
+}
+
+func (r *Replica) onPromise(m *promiseMsg) {
+	r.mu.Lock()
+	st := r.campaign
+	if st == nil || m.Ballot != st.ballot {
+		r.mu.Unlock()
+		return
+	}
+	st.promises[m.From] = m
+	var (
+		reproposals []*acceptMsg
+		finished    bool
+	)
+	if len(st.promises) >= r.majority() {
+		reproposals = r.finishCampaignLocked(st)
+		finished = st.finished
+	}
+	r.mu.Unlock()
+	if finished {
+		r.broadcastReproposals(reproposals, st)
+	}
+}
+
+// broadcastReproposals streams adopted values under the new ballot and only
+// then completes the campaign, so later proposals follow them on the FIFO
+// links. Callers invoke it exactly once, after finishCampaignLocked
+// reported success.
+func (r *Replica) broadcastReproposals(reproposals []*acceptMsg, st *campaignState) {
+	for _, a := range reproposals {
+		_ = r.bus.Broadcast(encodeAccept(a))
+	}
+	st.done <- nil
+}
+
+// finishCampaignLocked adopts the highest-ballot value per slot among the
+// promises and prepares their re-proposal under the new ballot, returning
+// the accepts the caller must broadcast. Caller holds r.mu.
+func (r *Replica) finishCampaignLocked(st *campaignState) []*acceptMsg {
+	if r.promised > st.ballot {
+		// Preempted between quorum completion and this call.
+		r.campaign = nil
+		st.done <- fmt.Errorf("%w: promised %d during campaign", ErrCampaignLost, r.promised)
+		return nil
+	}
+	r.campaign = nil
+	r.leader = true
+	r.ballot = st.ballot
+	st.finished = true
+	r.acceptorThru = make(map[int]uint64, r.n)
+
+	maxSlot := r.committedThru
+	for _, p := range st.promises {
+		for _, sv := range p.Accepted {
+			cur, ok := st.adopted[sv.Slot]
+			if !ok || sv.Ballot > cur.Ballot {
+				st.adopted[sv.Slot] = sv
+			}
+			if sv.Slot > maxSlot {
+				maxSlot = sv.Slot
+			}
+		}
+	}
+	if r.nextSlot <= maxSlot {
+		r.nextSlot = maxSlot + 1
+	}
+
+	// Re-propose adopted values under the new ballot (and fill gaps with
+	// no-ops so the log stays contiguous).
+	var reproposals []*acceptMsg
+	for slot := r.committedThru + 1; slot <= maxSlot; slot++ {
+		sv, ok := st.adopted[slot]
+		if !ok {
+			if own, have := r.log[slot]; have {
+				sv = own
+			} else {
+				sv = slotValue{Slot: slot, Value: nil} // no-op filler
+			}
+		}
+		entry := slotValue{Slot: slot, Ballot: st.ballot, Value: sv.Value}
+		r.log[slot] = entry
+		reproposals = append(reproposals, &acceptMsg{
+			Ballot: st.ballot,
+			Slot:   slot,
+			Value:  entry.Value,
+		})
+	}
+	r.advanceAcceptedLocked(st.ballot)
+	r.recomputeCommitLocked()
+	for _, a := range reproposals {
+		a.CommitThrough = r.committedThru
+	}
+	return reproposals
+}
+
+func (r *Replica) onAccept(from int, m *acceptMsg) {
+	r.mu.Lock()
+	if m.Ballot < r.promised {
+		promised := r.promised
+		r.mu.Unlock()
+		_ = r.bus.Send(from, encodeNack(&nackMsg{Promised: promised, From: r.bus.Self()}))
+		return
+	}
+	r.promised = m.Ballot
+	if r.leader && m.Ballot > r.ballot {
+		r.stepDownLocked()
+	}
+	cur, have := r.log[m.Slot]
+	if !have || m.Ballot >= cur.Ballot {
+		r.log[m.Slot] = slotValue{Slot: m.Slot, Ballot: m.Ballot, Value: m.Value}
+	}
+	r.advanceAcceptedLocked(m.Ballot)
+	r.learnCommitLocked(m.CommitThrough)
+	reply := &acceptedMsg{Ballot: m.Ballot, From: r.bus.Self(), Through: r.acceptedThru}
+	r.mu.Unlock()
+	_ = r.bus.Send(from, encodeAccepted(reply))
+}
+
+func (r *Replica) onAccepted(m *acceptedMsg) {
+	r.mu.Lock()
+	if !r.leader || m.Ballot != r.ballot {
+		r.mu.Unlock()
+		return
+	}
+	if m.Through > r.acceptorThru[m.From] {
+		r.acceptorThru[m.From] = m.Through
+		r.recomputeCommitLocked()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) onNack(m *nackMsg) {
+	r.mu.Lock()
+	if m.Promised > r.promised {
+		r.promised = m.Promised
+	}
+	if r.leader && m.Promised > r.ballot {
+		r.stepDownLocked()
+	}
+	if st := r.campaign; st != nil && m.Promised > st.ballot {
+		r.campaign = nil
+		st.done <- fmt.Errorf("%w: promised %d", ErrCampaignLost, m.Promised)
+	}
+	r.mu.Unlock()
+}
+
+// --- state machinery (all *Locked helpers assume r.mu held) ---
+
+// acceptedAboveLocked lists accepted entries with slot > floor.
+func (r *Replica) acceptedAboveLocked(floor uint64) []slotValue {
+	var out []slotValue
+	for slot, sv := range r.log {
+		if slot > floor {
+			out = append(out, sv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// advanceAcceptedLocked extends the contiguous accepted watermark.
+func (r *Replica) advanceAcceptedLocked(ballot uint64) {
+	for {
+		if _, ok := r.log[r.acceptedThru+1]; !ok {
+			break
+		}
+		r.acceptedThru++
+	}
+	r.acceptedBallot = ballot
+}
+
+// recomputeCommitLocked derives the commit watermark from the majority of
+// acceptor watermarks (leader only) and releases satisfied waiters.
+func (r *Replica) recomputeCommitLocked() {
+	if !r.leader {
+		return
+	}
+	thru := make([]uint64, 0, r.n)
+	thru = append(thru, r.acceptedThru) // self
+	for node, t := range r.acceptorThru {
+		if node == r.bus.Self() {
+			continue
+		}
+		thru = append(thru, t)
+	}
+	for len(thru) < r.n {
+		thru = append(thru, 0)
+	}
+	sort.Slice(thru, func(i, j int) bool { return thru[i] > thru[j] })
+	commit := thru[r.majority()-1]
+	r.learnCommitLocked(commit)
+	if r.committedThru == 0 {
+		return
+	}
+	kept := r.waiters[:0]
+	for _, w := range r.waiters {
+		if w.slot <= r.committedThru {
+			w.done <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	r.waiters = kept
+}
+
+// learnCommitLocked advances the commit watermark (bounded by what is
+// locally accepted) and applies newly committed entries in order.
+func (r *Replica) learnCommitLocked(commit uint64) {
+	if commit > r.acceptedThru {
+		commit = r.acceptedThru
+	}
+	if commit <= r.committedThru {
+		return
+	}
+	r.committedThru = commit
+	for r.appliedThru < r.committedThru {
+		r.appliedThru++
+		sv := r.log[r.appliedThru]
+		for _, fn := range r.applyFns {
+			fn(sv.Slot, sv.Value)
+		}
+		if r.discardApplied {
+			sv.Value = nil
+			r.log[r.appliedThru] = sv
+		}
+	}
+}
+
+func (r *Replica) stepDownLocked() {
+	r.leader = false
+	for _, w := range r.waiters {
+		w.done <- ErrPreempted
+	}
+	r.waiters = nil
+}

@@ -1,0 +1,136 @@
+// Package predlib builds commonly used stability-frontier predicate sources
+// from a topology: the six consistency models of the paper's Table III
+// (OneRegion, MajorityRegions, AllRegions, OneWNode, MajorityWNodes,
+// AllWNodes) plus quorum read/write predicates (§IV-B).
+//
+// All builders return plain DSL source strings, so applications can inspect
+// them, tweak them, or feed them straight to RegisterPredicate.
+package predlib
+
+import (
+	"fmt"
+	"strings"
+
+	"stabilizer/internal/config"
+)
+
+// Table III predicate names.
+const (
+	OneRegionKey       = "OneRegion"
+	MajorityRegionsKey = "MajorityRegions"
+	AllRegionsKey      = "AllRegions"
+	OneWNodeKey        = "OneWNode"
+	MajorityWNodesKey  = "MajorityWNodes"
+	AllWNodesKey       = "AllWNodes"
+)
+
+// remoteRegionMaxTerms returns one MAX($AZ_<region>) term per region other
+// than the local node's, in topology order.
+func remoteRegionMaxTerms(topo *config.Topology) []string {
+	self := topo.SelfNode()
+	selfRegion := self.Region
+	if selfRegion == "" {
+		selfRegion = self.AZ
+	}
+	var terms []string
+	for _, r := range topo.Regions() {
+		if r == selfRegion {
+			continue
+		}
+		terms = append(terms, fmt.Sprintf("MAX($AZ_%s)", r))
+	}
+	return terms
+}
+
+// OneRegion claims a message stable once any WAN node in any remote region
+// acknowledges it (Table III row 1).
+func OneRegion(topo *config.Topology) string {
+	return "MAX(" + strings.Join(remoteRegionMaxTerms(topo), ", ") + ")"
+}
+
+// MajorityRegions claims a message stable once a majority of the remote
+// regions acknowledge it (Table III row 2).
+func MajorityRegions(topo *config.Topology) string {
+	terms := remoteRegionMaxTerms(topo)
+	k := len(terms)/2 + 1
+	return fmt.Sprintf("KTH_MAX(%d, %s)", k, strings.Join(terms, ", "))
+}
+
+// AllRegions claims a message stable once every remote region acknowledges
+// it (Table III row 3).
+func AllRegions(topo *config.Topology) string {
+	return "MIN(" + strings.Join(remoteRegionMaxTerms(topo), ", ") + ")"
+}
+
+// OneWNode claims a message stable once any remote WAN node acknowledges it
+// (Table III row 4).
+func OneWNode() string { return "MAX($ALLWNODES-$MYWNODE)" }
+
+// MajorityWNodes claims a message stable once a majority of all WAN nodes
+// (excluding the sender from the counted set, as in Table III) acknowledge
+// it (Table III row 5).
+func MajorityWNodes() string {
+	return "KTH_MAX(SIZEOF($ALLWNODES)/2+1, ($ALLWNODES-$MYWNODE))"
+}
+
+// AllWNodes claims a message stable once every remote WAN node acknowledges
+// it (Table III row 6).
+func AllWNodes() string { return "MIN($ALLWNODES-$MYWNODE)" }
+
+// TableIII returns all six predicates of the paper's Table III for topo,
+// keyed by their paper names.
+func TableIII(topo *config.Topology) map[string]string {
+	return map[string]string{
+		OneRegionKey:       OneRegion(topo),
+		MajorityRegionsKey: MajorityRegions(topo),
+		AllRegionsKey:      AllRegions(topo),
+		OneWNodeKey:        OneWNode(),
+		MajorityWNodesKey:  MajorityWNodes(),
+		AllWNodesKey:       AllWNodes(),
+	}
+}
+
+// TableIIIOrder lists the Table III predicate keys in the paper's order.
+func TableIIIOrder() []string {
+	return []string{
+		OneRegionKey, MajorityRegionsKey, AllRegionsKey,
+		OneWNodeKey, MajorityWNodesKey, AllWNodesKey,
+	}
+}
+
+// nodeTerms renders member node indexes as $i operands.
+func nodeTerms(members []int) []string {
+	terms := make([]string, len(members))
+	for i, m := range members {
+		terms[i] = fmt.Sprintf("$%d", m)
+	}
+	return terms
+}
+
+// QuorumWrite builds the write predicate of the quorum protocol (§IV-B): a
+// write completes once nw of the member replicas acknowledge it.
+func QuorumWrite(members []int, nw int) string {
+	return fmt.Sprintf("KTH_MIN(%d, %s)", nw, strings.Join(nodeTerms(members), ", "))
+}
+
+// QuorumRead builds the read-progress predicate of the quorum protocol: the
+// frontier up to which nr member replicas have the data.
+func QuorumRead(members []int, nr int) string {
+	return fmt.Sprintf("KTH_MIN(%d, %s)", nr, strings.Join(nodeTerms(members), ", "))
+}
+
+// ExcludeNodes rewrites a "wait for all remote sites" predicate to exclude
+// the listed nodes — the paper's dynamic reconfiguration idiom (§VI-D).
+func ExcludeNodes(excluded []int) string {
+	expr := "$ALLWNODES-$MYWNODE"
+	for _, n := range excluded {
+		expr += fmt.Sprintf("-$%d", n)
+	}
+	return "MIN(" + expr + ")"
+}
+
+// KOfRemote waits until at least k remote sites acknowledge (the "three
+// sites" style predicate of §VI-D).
+func KOfRemote(k int) string {
+	return fmt.Sprintf("KTH_MAX(%d, $ALLWNODES-$MYWNODE)", k)
+}

@@ -1,0 +1,123 @@
+package predlib
+
+import (
+	"strings"
+	"testing"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/dsl"
+	"stabilizer/internal/frontier"
+)
+
+func env(t *testing.T, topo *config.Topology) dsl.Env {
+	t.Helper()
+	return core.NewDSLEnv(topo, frontier.NewTypes())
+}
+
+func TestTableIIICompilesOnEC2(t *testing.T) {
+	topo := config.EC2Topology(1)
+	e := env(t, topo)
+	preds := TableIII(topo)
+	if len(preds) != 6 {
+		t.Fatalf("TableIII returned %d predicates, want 6", len(preds))
+	}
+	for name, src := range preds {
+		if _, err := dsl.Compile(src, e); err != nil {
+			t.Errorf("%s (%s): %v", name, src, err)
+		}
+	}
+}
+
+func TestTableIIIMatchesPaperForms(t *testing.T) {
+	topo := config.EC2Topology(1)
+	if got := OneWNode(); got != "MAX($ALLWNODES-$MYWNODE)" {
+		t.Fatalf("OneWNode = %q", got)
+	}
+	if got := AllWNodes(); got != "MIN($ALLWNODES-$MYWNODE)" {
+		t.Fatalf("AllWNodes = %q", got)
+	}
+	if got := MajorityWNodes(); got != "KTH_MAX(SIZEOF($ALLWNODES)/2+1, ($ALLWNODES-$MYWNODE))" {
+		t.Fatalf("MajorityWNodes = %q", got)
+	}
+	// Region predicates must reference every remote region exactly once.
+	for _, src := range []string{OneRegion(topo), MajorityRegions(topo), AllRegions(topo)} {
+		for _, region := range []string{"North_Virginia", "Oregon", "Ohio"} {
+			if !strings.Contains(src, "$AZ_"+region) {
+				t.Errorf("%q missing region %s", src, region)
+			}
+		}
+		if strings.Contains(src, "North_California") {
+			t.Errorf("%q includes the sender's own region", src)
+		}
+	}
+	// MajorityRegions needs 2 of the 3 remote regions.
+	if src := MajorityRegions(topo); !strings.HasPrefix(src, "KTH_MAX(2,") {
+		t.Fatalf("MajorityRegions = %q, want KTH_MAX(2, ...)", src)
+	}
+}
+
+func TestTableIIIOrderCoversAllKeys(t *testing.T) {
+	topo := config.EC2Topology(1)
+	preds := TableIII(topo)
+	order := TableIIIOrder()
+	if len(order) != len(preds) {
+		t.Fatalf("order has %d entries, map has %d", len(order), len(preds))
+	}
+	for _, k := range order {
+		if _, ok := preds[k]; !ok {
+			t.Fatalf("ordered key %q missing from TableIII", k)
+		}
+	}
+}
+
+func TestQuorumPredicates(t *testing.T) {
+	topo := config.CloudLabTopology(2)
+	e := env(t, topo)
+	w := QuorumWrite([]int{1, 3, 4}, 2)
+	if w != "KTH_MIN(2, $1, $3, $4)" {
+		t.Fatalf("QuorumWrite = %q", w)
+	}
+	r := QuorumRead([]int{1, 3, 4}, 2)
+	for _, src := range []string{w, r} {
+		if _, err := dsl.Compile(src, e); err != nil {
+			t.Errorf("compile %q: %v", src, err)
+		}
+	}
+}
+
+func TestReconfigurationBuilders(t *testing.T) {
+	topo := config.CloudLabTopology(1)
+	e := env(t, topo)
+	if got := ExcludeNodes([]int{4}); got != "MIN($ALLWNODES-$MYWNODE-$4)" {
+		t.Fatalf("ExcludeNodes = %q", got)
+	}
+	if got := KOfRemote(3); got != "KTH_MAX(3, $ALLWNODES-$MYWNODE)" {
+		t.Fatalf("KOfRemote = %q", got)
+	}
+	for _, src := range []string{ExcludeNodes([]int{3, 4}), KOfRemote(2)} {
+		if _, err := dsl.Compile(src, e); err != nil {
+			t.Errorf("compile %q: %v", src, err)
+		}
+	}
+}
+
+func TestRegionFallbackToAZ(t *testing.T) {
+	// Topology without regions: region builders group by AZ instead.
+	topo := &config.Topology{
+		Self: 1,
+		Nodes: []config.Node{
+			{Name: "A", AZ: "z1"},
+			{Name: "B", AZ: "z2"},
+			{Name: "C", AZ: "z3"},
+		},
+	}
+	e := env(t, topo)
+	src := AllRegions(topo)
+	if strings.Contains(src, "z1") {
+		t.Fatalf("AllRegions includes local AZ: %q", src)
+	}
+	if _, err := dsl.Compile(src, e); err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+}

@@ -1,0 +1,207 @@
+package pulsarlike
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+)
+
+func startMesh(t *testing.T, n int, matrix *emunet.Matrix, cfg func(*Config)) []*Broker {
+	t.Helper()
+	network := emunet.NewMemNetwork(matrix)
+	brokers := make([]*Broker, n)
+	for i := 1; i <= n; i++ {
+		c := Config{Self: i, N: n, Network: network}
+		if cfg != nil {
+			cfg(&c)
+		}
+		b, err := New(c)
+		if err != nil {
+			t.Fatalf("new broker %d: %v", i, err)
+		}
+		if err := b.Start(); err != nil {
+			t.Fatalf("start broker %d: %v", i, err)
+		}
+		brokers[i-1] = b
+	}
+	t.Cleanup(func() {
+		for _, b := range brokers {
+			_ = b.Close()
+		}
+		_ = network.Close()
+	})
+	return brokers
+}
+
+func TestPublishDeliversInOrder(t *testing.T) {
+	brokers := startMesh(t, 3, nil, nil)
+	var mu sync.Mutex
+	got := make(map[int][]uint64)
+	for i := 2; i <= 3; i++ {
+		idx := i
+		brokers[i-1].Subscribe(func(m Message) {
+			mu.Lock()
+			got[idx] = append(got[idx], m.Seq)
+			mu.Unlock()
+		})
+	}
+	const count = 100
+	for i := 0; i < count; i++ {
+		if _, err := brokers[0].Publish([]byte{byte(i)}); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(got[2]) == count && len(got[3]) == count
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for idx := 2; idx <= 3; idx++ {
+		if len(got[idx]) != count {
+			t.Fatalf("broker %d got %d/%d", idx, len(got[idx]), count)
+		}
+		for i, s := range got[idx] {
+			if s != uint64(i+1) {
+				t.Fatalf("broker %d out of order at %d: %d", idx, i, s)
+			}
+		}
+	}
+}
+
+func TestAckLatencyCallback(t *testing.T) {
+	matrix := emunet.NewMatrix()
+	matrix.SetSymmetric(1, 2, emunet.Link{OneWayLatency: 20 * time.Millisecond})
+	brokers := startMesh(t, 2, matrix, nil)
+	brokers[1].Subscribe(func(Message) {})
+
+	acks := make(chan time.Duration, 1)
+	brokers[0].OnAck(func(by int, seq uint64, lat time.Duration) {
+		if by == 2 && seq == 1 {
+			select {
+			case acks <- lat:
+			default:
+			}
+		}
+	})
+	if _, err := brokers[0].Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case lat := <-acks:
+		if lat < 40*time.Millisecond {
+			t.Fatalf("ack RTT %v below injected 40ms", lat)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never arrived")
+	}
+}
+
+func TestRecvStats(t *testing.T) {
+	brokers := startMesh(t, 2, nil, nil)
+	brokers[1].Subscribe(func(Message) {})
+	const count = 50
+	payload := make([]byte, 1024)
+	for i := 0; i < count; i++ {
+		if _, err := brokers[0].Publish(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if brokers[1].RecvStatsFor(1).Messages == count {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := brokers[1].RecvStatsFor(1)
+	if st.Messages != count || st.Bytes != count*1024 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Throughput() <= 0 {
+		t.Fatalf("throughput = %v", st.Throughput())
+	}
+	if empty := brokers[1].RecvStatsFor(9); empty.Messages != 0 {
+		t.Fatalf("stats for unknown origin = %+v", empty)
+	}
+}
+
+func TestGCPausesAddLatency(t *testing.T) {
+	// Aggressive GC model: pause after every ~4KB for 30ms. Average
+	// delivery latency must be visibly above the no-GC baseline.
+	run := func(gcEvery int64) time.Duration {
+		network := emunet.NewMemNetwork(nil)
+		defer network.Close()
+		var brokers []*Broker
+		for i := 1; i <= 2; i++ {
+			b, err := New(Config{
+				Self: i, N: 2, Network: network,
+				GCEveryBytes: gcEvery, GCPause: 30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Start(); err != nil {
+				t.Fatal(err)
+			}
+			brokers = append(brokers, b)
+		}
+		defer func() {
+			for _, b := range brokers {
+				_ = b.Close()
+			}
+		}()
+		var mu sync.Mutex
+		var total time.Duration
+		var n int
+		done := make(chan struct{})
+		brokers[1].Subscribe(func(m Message) {
+			mu.Lock()
+			total += m.ReceivedAt.Sub(m.SentAt)
+			n++
+			if n == 50 {
+				close(done)
+			}
+			mu.Unlock()
+		})
+		payload := make([]byte, 1024)
+		for i := 0; i < 50; i++ {
+			if _, err := brokers[0].Publish(payload); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatal("messages not delivered")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return total / time.Duration(n)
+	}
+	noGC := run(-1)
+	withGC := run(4 << 10)
+	if withGC < noGC+2*time.Millisecond {
+		t.Fatalf("GC model added no latency: %v vs %v", withGC, noGC)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	network := emunet.NewMemNetwork(nil)
+	defer network.Close()
+	if _, err := New(Config{Self: 0, N: 2, Network: network}); err == nil {
+		t.Fatal("self 0 accepted")
+	}
+	if _, err := New(Config{Self: 1, N: 2}); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}

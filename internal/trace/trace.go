@@ -1,0 +1,213 @@
+// Package trace generates the synthetic Dropbox sync workload used by the
+// Fig. 4/5/6 experiments. The real trace (Li et al., IMC'14 — user sync
+// activity from 16:40:45 to 16:57:08 on 2012-09-20, 3.87 GB total) is not
+// redistributable, so this generator reproduces its published
+// characteristics deterministically from a seed:
+//
+//   - a ~17-minute window,
+//   - ~3.87 GB of data overall,
+//   - three huge files (~100-150 MB) that produce the three latency spikes
+//     the paper observes in Fig. 5,
+//   - a heavy-tailed mass of small files (log-normal sizes), with arrivals
+//     concentrated in bursts ("most of the sync requests in each day are
+//     concentrated within one hour or several minutes").
+//
+// All sizes and times scale down uniformly via Spec.Scale so experiments
+// can run at laptop speed while preserving the workload's shape.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Request is one file sync request.
+type Request struct {
+	// At is the request's offset from the start of the trace.
+	At time.Duration
+	// Name identifies the file.
+	Name string
+	// Size is the file size in bytes.
+	Size int64
+}
+
+// Spec parameterizes the generator.
+type Spec struct {
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Duration is the trace window (paper: 16m23s).
+	Duration time.Duration
+	// TotalBytes is the target volume (paper: 3.87 GB).
+	TotalBytes int64
+	// HugeSizes are the outlier file sizes; HugeAtFrac their positions
+	// as fractions of the window.
+	HugeSizes  []int64
+	HugeAtFrac []float64
+	// MedianSize and SigmaLog shape the log-normal size distribution of
+	// ordinary files.
+	MedianSize int64
+	SigmaLog   float64
+	// BurstFrac is the fraction of ordinary files that arrive inside
+	// bursts; Bursts the number of burst centers; BurstWidth their
+	// standard deviation.
+	BurstFrac  float64
+	Bursts     int
+	BurstWidth time.Duration
+	// MaxFileSize caps ordinary file sizes.
+	MaxFileSize int64
+}
+
+// DefaultSpec reproduces the paper-scale workload.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:        20120920,
+		Duration:    16*time.Minute + 23*time.Second,
+		TotalBytes:  3_870_000_000,
+		HugeSizes:   []int64{118_000_000, 152_000_000, 97_000_000},
+		HugeAtFrac:  []float64{0.22, 0.52, 0.78},
+		MedianSize:  60 << 10,
+		SigmaLog:    1.9,
+		BurstFrac:   0.6,
+		Bursts:      4,
+		BurstWidth:  40 * time.Second,
+		MaxFileSize: 32 << 20,
+	}
+}
+
+// Scale returns a copy of the spec with every size and time multiplied by
+// factor (0 < factor ≤ 1 shrinks the workload while keeping its shape).
+func (s Spec) Scale(factor float64) Spec {
+	out := s
+	out.Duration = time.Duration(float64(s.Duration) * factor)
+	out.TotalBytes = int64(float64(s.TotalBytes) * factor)
+	out.HugeSizes = make([]int64, len(s.HugeSizes))
+	for i, h := range s.HugeSizes {
+		out.HugeSizes[i] = int64(float64(h) * factor)
+	}
+	out.MedianSize = int64(float64(s.MedianSize) * factor)
+	if out.MedianSize < 1024 {
+		out.MedianSize = 1024
+	}
+	out.MaxFileSize = int64(float64(s.MaxFileSize) * factor)
+	out.BurstWidth = time.Duration(float64(s.BurstWidth) * factor)
+	return out
+}
+
+// Generate produces the request sequence, sorted by arrival time.
+func Generate(spec Spec) []Request {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var reqs []Request
+
+	var hugeTotal int64
+	for i, size := range spec.HugeSizes {
+		frac := 0.5
+		if i < len(spec.HugeAtFrac) {
+			frac = spec.HugeAtFrac[i]
+		}
+		reqs = append(reqs, Request{
+			At:   time.Duration(float64(spec.Duration) * frac),
+			Name: fmt.Sprintf("huge-%02d", i),
+			Size: size,
+		})
+		hugeTotal += size
+	}
+
+	// Burst centers for ordinary traffic.
+	centers := make([]time.Duration, spec.Bursts)
+	for i := range centers {
+		centers[i] = time.Duration(rng.Float64() * float64(spec.Duration))
+	}
+
+	mu := math.Log(float64(spec.MedianSize))
+	var sum int64
+	for i := 0; sum < spec.TotalBytes-hugeTotal; i++ {
+		size := int64(math.Exp(mu + spec.SigmaLog*rng.NormFloat64()))
+		if size < 128 {
+			size = 128
+		}
+		if spec.MaxFileSize > 0 && size > spec.MaxFileSize {
+			size = spec.MaxFileSize
+		}
+		var at time.Duration
+		if rng.Float64() < spec.BurstFrac && len(centers) > 0 {
+			c := centers[rng.Intn(len(centers))]
+			at = c + time.Duration(rng.NormFloat64()*float64(spec.BurstWidth))
+		} else {
+			at = time.Duration(rng.Float64() * float64(spec.Duration))
+		}
+		if at < 0 {
+			at = 0
+		}
+		if at > spec.Duration {
+			at = spec.Duration
+		}
+		reqs = append(reqs, Request{
+			At:   at,
+			Name: fmt.Sprintf("file-%06d", i),
+			Size: size,
+		})
+		sum += size
+	}
+
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At })
+	return reqs
+}
+
+// TotalBytes sums the request sizes.
+func TotalBytes(reqs []Request) int64 {
+	var sum int64
+	for _, r := range reqs {
+		sum += r.Size
+	}
+	return sum
+}
+
+// Messages returns the number of ≤chunkSize packets the trace expands to
+// (the paper reports 517,294 for 8 KB packets). Each file contributes at
+// least one packet.
+func Messages(reqs []Request, chunkSize int) int64 {
+	var n int64
+	for _, r := range reqs {
+		c := (r.Size + int64(chunkSize) - 1) / int64(chunkSize)
+		if c == 0 {
+			c = 1
+		}
+		n += c
+	}
+	return n
+}
+
+// Bucket is one Fig. 4 histogram bin.
+type Bucket struct {
+	Start time.Duration
+	Bytes int64
+	Files int
+	// MaxFile is the largest single file in the bin (the Fig. 4 y-axis
+	// plots per-request sizes; the max exposes the huge-file spikes).
+	MaxFile int64
+}
+
+// Histogram bins the trace by arrival time (Fig. 4's shape).
+func Histogram(reqs []Request, width time.Duration) []Bucket {
+	if width <= 0 || len(reqs) == 0 {
+		return nil
+	}
+	last := reqs[len(reqs)-1].At
+	n := int(last/width) + 1
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Start = time.Duration(i) * width
+	}
+	for _, r := range reqs {
+		b := &out[int(r.At/width)]
+		b.Bytes += r.Size
+		b.Files++
+		if r.Size > b.MaxFile {
+			b.MaxFile = r.Size
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(DefaultSpec())
+	b := Generate(DefaultSpec())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestGenerateMatchesPaperScale(t *testing.T) {
+	spec := DefaultSpec()
+	reqs := Generate(spec)
+	total := TotalBytes(reqs)
+	// Within 2% of the paper's 3.87 GB.
+	if math.Abs(float64(total)-float64(spec.TotalBytes)) > 0.02*float64(spec.TotalBytes) {
+		t.Fatalf("total bytes = %d, want ≈ %d", total, spec.TotalBytes)
+	}
+	// Paper: 517,294 packets at 8 KB. The synthetic workload should land
+	// in the same ballpark (±25%: packet count depends on the size mix).
+	msgs := Messages(reqs, 8<<10)
+	if msgs < 380_000 || msgs > 650_000 {
+		t.Fatalf("8KB packets = %d, want ≈ 517,294", msgs)
+	}
+}
+
+func TestGenerateSortedAndInWindow(t *testing.T) {
+	spec := DefaultSpec()
+	reqs := Generate(spec)
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At }) {
+		t.Fatal("requests not sorted by arrival time")
+	}
+	for _, r := range reqs {
+		if r.At < 0 || r.At > spec.Duration {
+			t.Fatalf("request %q at %v outside window %v", r.Name, r.At, spec.Duration)
+		}
+		if r.Size <= 0 {
+			t.Fatalf("request %q has size %d", r.Name, r.Size)
+		}
+	}
+}
+
+func TestHugeFilesPresent(t *testing.T) {
+	spec := DefaultSpec()
+	reqs := Generate(spec)
+	var huge []int64
+	for _, r := range reqs {
+		if r.Size > spec.MaxFileSize {
+			huge = append(huge, r.Size)
+		}
+	}
+	if len(huge) != len(spec.HugeSizes) {
+		t.Fatalf("found %d huge files, want %d", len(huge), len(spec.HugeSizes))
+	}
+}
+
+func TestHistogramShowsThreeSpikes(t *testing.T) {
+	spec := DefaultSpec()
+	reqs := Generate(spec)
+	buckets := Histogram(reqs, 30*time.Second)
+	spikes := 0
+	for _, b := range buckets {
+		if b.MaxFile > spec.MaxFileSize {
+			spikes++
+		}
+	}
+	// The three huge files can land in at most three distinct buckets.
+	if spikes == 0 || spikes > 3 {
+		t.Fatalf("found %d spike buckets, want 1..3 (distinct huge files)", spikes)
+	}
+	var total int64
+	var files int
+	for _, b := range buckets {
+		total += b.Bytes
+		files += b.Files
+	}
+	if total != TotalBytes(reqs) || files != len(reqs) {
+		t.Fatalf("histogram conservation violated: %d/%d bytes, %d/%d files",
+			total, TotalBytes(reqs), files, len(reqs))
+	}
+}
+
+func TestScalePreservesShape(t *testing.T) {
+	spec := DefaultSpec()
+	small := spec.Scale(0.1)
+	if small.Duration >= spec.Duration || small.TotalBytes >= spec.TotalBytes {
+		t.Fatal("Scale(0.1) did not shrink the workload")
+	}
+	// Rate (bytes/sec) must be preserved so queueing dynamics match.
+	origRate := float64(spec.TotalBytes) / spec.Duration.Seconds()
+	newRate := float64(small.TotalBytes) / small.Duration.Seconds()
+	if math.Abs(origRate-newRate)/origRate > 0.01 {
+		t.Fatalf("scaling changed the data rate: %.0f vs %.0f B/s", origRate, newRate)
+	}
+	reqs := Generate(small)
+	if got := TotalBytes(reqs); math.Abs(float64(got)-float64(small.TotalBytes)) > 0.05*float64(small.TotalBytes) {
+		t.Fatalf("scaled trace bytes = %d, want ≈ %d", got, small.TotalBytes)
+	}
+}
+
+func TestMessagesCountsEmptyFilesAsOnePacket(t *testing.T) {
+	reqs := []Request{{Size: 0}, {Size: 1}, {Size: 8 << 10}, {Size: 8<<10 + 1}}
+	if got := Messages(reqs, 8<<10); got != 1+1+1+2 {
+		t.Fatalf("Messages = %d, want 5", got)
+	}
+}
+
+func TestHistogramEmptyAndZeroWidth(t *testing.T) {
+	if got := Histogram(nil, time.Second); got != nil {
+		t.Fatalf("Histogram(nil) = %v", got)
+	}
+	if got := Histogram([]Request{{At: 1}}, 0); got != nil {
+		t.Fatalf("Histogram(width=0) = %v", got)
+	}
+}

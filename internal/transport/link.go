@@ -1,0 +1,339 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"stabilizer/internal/wire"
+)
+
+// maxAppQueue bounds pending application messages per link.
+const maxAppQueue = 4096
+
+// ErrAppQueueFull is returned when a link's application-message queue is
+// saturated.
+var ErrAppQueueFull = errors.New("transport: app queue full")
+
+// ackKey identifies one coalescing slot in a link's ACK outbox.
+type ackKey struct {
+	origin uint16
+	by     uint16
+	typ    uint16
+}
+
+// link is one outgoing connection toward a peer: it dials, handshakes,
+// then multiplexes coalesced ACKs, app messages and the shared data stream
+// over the connection, reconnecting with backoff on failure.
+type link struct {
+	t    *Transport
+	peer int
+
+	mu   sync.Mutex
+	cond sync.Cond
+	// acks holds the latest known value per slot and is never cleared;
+	// sent holds what has been written on the *current* connection. On
+	// reconnect sent is reset, so the full control state is resynced —
+	// monotonicity makes the resend harmless (SST-style control plane).
+	acks     map[ackKey]uint64
+	sent     map[ackKey]uint64
+	dirty    []ackKey
+	apps     []*wire.App
+	hbDue    bool
+	hbClock  uint64
+	dataTick uint64 // bumped by signal(); lets waiters notice new log entries
+	closed   bool
+
+	connMu sync.Mutex
+	conn   net.Conn
+}
+
+func newLink(t *Transport, peer int) *link {
+	l := &link{
+		t:    t,
+		peer: peer,
+		acks: make(map[ackKey]uint64),
+		sent: make(map[ackKey]uint64),
+	}
+	l.cond.L = &l.mu
+	return l
+}
+
+// signal wakes the writer after new data was appended to the send log.
+func (l *link) signal() {
+	l.mu.Lock()
+	l.dataTick++
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *link) queueAck(a wire.Ack) {
+	k := ackKey{origin: a.Origin, by: a.By, typ: a.Type}
+	l.mu.Lock()
+	if prev, ok := l.acks[k]; !ok || a.Seq > prev {
+		l.acks[k] = a.Seq
+		if !l.isDirty(k) {
+			l.dirty = append(l.dirty, k)
+		}
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// isDirty reports whether k is already queued for emission. Caller holds mu.
+func (l *link) isDirty(k ackKey) bool {
+	for _, d := range l.dirty {
+		if d == k {
+			return true
+		}
+	}
+	return false
+}
+
+// resetSent forgets per-connection send state so the next stream resyncs
+// the full control state.
+func (l *link) resetSent() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sent = make(map[ackKey]uint64, len(l.acks))
+	l.dirty = l.dirty[:0]
+	for k := range l.acks {
+		l.dirty = append(l.dirty, k)
+	}
+}
+
+func (l *link) queueApp(a *wire.App) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return net.ErrClosed
+	}
+	if len(l.apps) >= maxAppQueue {
+		l.mu.Unlock()
+		return ErrAppQueueFull
+	}
+	l.apps = append(l.apps, a)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return nil
+}
+
+func (l *link) queueHeartbeat(clock uint64) {
+	l.mu.Lock()
+	l.hbDue = true
+	l.hbClock = clock
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	l.connMu.Lock()
+	if l.conn != nil {
+		_ = l.conn.Close()
+	}
+	l.connMu.Unlock()
+}
+
+// run is the link's lifetime loop: dial, handshake, stream, reconnect.
+func (l *link) run() {
+	defer l.t.wg.Done()
+	backoff := 50 * time.Millisecond
+	for {
+		if l.isClosed() {
+			return
+		}
+		conn, lastSeq, err := l.dial()
+		if err != nil {
+			if !l.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		l.resetSent()
+		l.stream(conn, lastSeq+1)
+		_ = conn.Close()
+	}
+}
+
+func (l *link) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// sleep waits d unless the transport shuts down first.
+func (l *link) sleep(d time.Duration) bool {
+	select {
+	case <-l.t.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// dial connects and handshakes, returning the peer's last received
+// contiguous data sequence.
+func (l *link) dial() (net.Conn, uint64, error) {
+	conn, err := l.t.cfg.Network.Dial(l.t.cfg.Self, l.peer)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := wire.WriteFrame(conn, &wire.Hello{From: uint16(l.t.cfg.Self), Epoch: l.t.cfg.Epoch}); err != nil {
+		_ = conn.Close()
+		return nil, 0, err
+	}
+	r := wire.NewReader(conn)
+	msg, err := r.Next()
+	if err != nil {
+		_ = conn.Close()
+		return nil, 0, err
+	}
+	ack, ok := msg.(*wire.HelloAck)
+	if !ok {
+		_ = conn.Close()
+		return nil, 0, errors.New("transport: handshake: unexpected frame")
+	}
+	l.connMu.Lock()
+	l.conn = conn
+	l.connMu.Unlock()
+	l.t.heard(l.peer)
+
+	// Drain the reverse direction so connection teardown is noticed even
+	// while the writer is idle; peers do not send frames here.
+	go func() {
+		for {
+			if _, err := r.Next(); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+	return conn, ack.LastSeq, nil
+}
+
+// batchLimit caps how many data frames are written before re-checking the
+// control outbox, so ACKs interleave with bulk data.
+const batchLimit = 32
+
+// stream multiplexes outbox + send log over an established connection until
+// it fails or the link closes.
+func (l *link) stream(conn net.Conn, cursor uint64) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var frame []byte
+	for {
+		acks, apps, hb, hbClock, ok := l.takeControl()
+		if !ok {
+			return
+		}
+		wrote := false
+		for i := range acks {
+			frame = wire.AppendFrame(frame[:0], &acks[i])
+			if _, err := bw.Write(frame); err != nil {
+				return // resetSent on reconnect resyncs everything
+			}
+			l.t.bytesSent.Add(int64(len(frame)))
+			wrote = true
+		}
+		for _, a := range apps {
+			frame = wire.AppendFrame(frame[:0], a)
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			l.t.bytesSent.Add(int64(len(frame)))
+			wrote = true
+		}
+		if hb {
+			frame = wire.AppendFrame(frame[:0], &wire.Heartbeat{Clock: hbClock})
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			l.t.bytesSent.Add(int64(len(frame)))
+			wrote = true
+		}
+		for i := 0; i < batchLimit; i++ {
+			entry, ready := l.t.cfg.Log.TryNext(cursor)
+			if !ready {
+				break
+			}
+			cursor = entry.Seq + 1
+			frame = wire.AppendFrame(frame[:0], &wire.Data{
+				Seq:          entry.Seq,
+				SentUnixNano: entry.SentUnixNano,
+				Payload:      entry.Payload,
+			})
+			if _, err := bw.Write(frame); err != nil {
+				return
+			}
+			l.t.bytesSent.Add(int64(len(frame)))
+			l.t.dataSent.Add(1)
+			wrote = true
+		}
+		if wrote {
+			continue
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if !l.waitWork(cursor) {
+			return
+		}
+	}
+}
+
+// takeControl atomically drains the control outbox. ok is false once the
+// link is closed.
+func (l *link) takeControl() (acks []wire.Ack, apps []*wire.App, hb bool, hbClock uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, false, 0, false
+	}
+	if len(l.dirty) > 0 {
+		acks = make([]wire.Ack, 0, len(l.dirty))
+		for _, k := range l.dirty {
+			v := l.acks[k]
+			if v <= l.sent[k] {
+				continue // already on the wire for this connection
+			}
+			l.sent[k] = v
+			acks = append(acks, wire.Ack{Origin: k.origin, By: k.by, Type: k.typ, Seq: v})
+		}
+		l.dirty = l.dirty[:0]
+	}
+	if len(l.apps) > 0 {
+		apps = l.apps
+		l.apps = nil
+	}
+	hb, hbClock = l.hbDue, l.hbClock
+	l.hbDue = false
+	return acks, apps, hb, hbClock, true
+}
+
+// waitWork blocks until there is something to send: control traffic, a
+// heartbeat, or a log entry at or beyond cursor. Returns false on close.
+func (l *link) waitWork(cursor uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return false
+		}
+		if len(l.dirty) > 0 || len(l.apps) > 0 || l.hbDue {
+			return true
+		}
+		if _, ready := l.t.cfg.Log.TryNext(cursor); ready {
+			return true
+		}
+		l.cond.Wait()
+	}
+}

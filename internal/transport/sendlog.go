@@ -1,0 +1,163 @@
+// Package transport implements Stabilizer's data-plane networking: one
+// lossless FIFO link per peer, fed aggressively from a shared send log
+// (paper §III-B). Each link has its own cursor into the log, so a slow WAN
+// link never blocks a fast one; on reconnect the peer reports the last
+// contiguous sequence it received and the link resumes from there. Control
+// information (ACKs) is coalesced per link — only the newest value per
+// (origin, stability type) is kept, exploiting monotonicity — and is
+// streamed alongside data without disrupting it.
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrLogClosed is returned by send-log operations after Close.
+var ErrLogClosed = errors.New("transport: send log closed")
+
+// LogEntry is one sequenced data message buffered for (re)transmission.
+type LogEntry struct {
+	Seq          uint64
+	SentUnixNano int64
+	Payload      []byte
+}
+
+// SendLog is the shared retransmission buffer: an append-only, in-memory
+// log of the local node's sequenced messages. Entries are retained until
+// TruncateThrough reclaims them (the core does so once a message has been
+// delivered everywhere).
+type SendLog struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	base    uint64 // sequence of entries[0]; 0 when empty and nothing truncated
+	next    uint64 // next sequence to assign (first is 1)
+	entries []LogEntry
+	bytes   int64
+	closed  bool
+}
+
+// NewSendLog returns an empty log whose first assigned sequence is
+// firstSeq (1 on a fresh start; a checkpointed value on primary restart).
+func NewSendLog(firstSeq uint64) *SendLog {
+	if firstSeq == 0 {
+		firstSeq = 1
+	}
+	l := &SendLog{base: firstSeq, next: firstSeq}
+	l.cond.L = &l.mu
+	return l
+}
+
+// Append assigns the next sequence number to payload and buffers it.
+// The payload is retained by reference; callers must not mutate it.
+func (l *SendLog) Append(payload []byte, sentUnixNano int64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrLogClosed
+	}
+	seq := l.next
+	l.next++
+	l.entries = append(l.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
+	l.bytes += int64(len(payload))
+	l.cond.Broadcast()
+	return seq, nil
+}
+
+// Next blocks until the entry with sequence seq is available, then returns
+// it. If seq has been truncated, the oldest retained entry is returned
+// instead (its Seq tells the caller where it landed). Returns ErrLogClosed
+// once the log is closed and drained past seq.
+func (l *SendLog) Next(seq uint64) (LogEntry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if seq < l.base {
+			seq = l.base
+		}
+		if seq < l.next {
+			return l.entries[seq-l.base], nil
+		}
+		if l.closed {
+			return LogEntry{}, ErrLogClosed
+		}
+		l.cond.Wait()
+	}
+}
+
+// TryNext is Next without blocking; ok is false when no entry is ready.
+func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.base {
+		seq = l.base
+	}
+	if seq < l.next {
+		return l.entries[seq-l.base], true
+	}
+	return LogEntry{}, false
+}
+
+// TruncateThrough reclaims every entry with sequence ≤ seq.
+func (l *SendLog) TruncateThrough(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.base {
+		return
+	}
+	drop := seq - l.base + 1
+	if drop > uint64(len(l.entries)) {
+		drop = uint64(len(l.entries))
+	}
+	for _, e := range l.entries[:drop] {
+		l.bytes -= int64(len(e.Payload))
+	}
+	// Copy the tail so the dropped prefix can be collected.
+	tail := make([]LogEntry, len(l.entries)-int(drop))
+	copy(tail, l.entries[drop:])
+	l.entries = tail
+	l.base += drop
+}
+
+// Head returns the highest assigned sequence (0 if none).
+func (l *SendLog) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// NextSeq returns the sequence the next Append will assign.
+func (l *SendLog) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Base returns the oldest retained sequence.
+func (l *SendLog) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Bytes returns the payload bytes currently buffered.
+func (l *SendLog) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Len returns the number of buffered entries.
+func (l *SendLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close wakes all blocked readers with ErrLogClosed.
+func (l *SendLog) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}

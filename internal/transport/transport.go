@@ -1,0 +1,366 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/wire"
+)
+
+// Handler receives transport events. Callbacks run on transport goroutines:
+// data and app callbacks are invoked in FIFO order per peer; implementations
+// must be safe for concurrent calls from different peers.
+type Handler interface {
+	// HandleData delivers one sequenced data message originated by peer
+	// from. Duplicates are filtered by the transport; sequence numbers
+	// are strictly increasing per peer.
+	HandleData(from int, d *wire.Data)
+	// HandleAck delivers one monotonic stability report.
+	HandleAck(a *wire.Ack)
+	// HandleApp delivers an application request/response message.
+	HandleApp(from int, a *wire.App)
+	// PeerUp fires when a peer is first heard from, or heard again after
+	// a failure.
+	PeerUp(peer int)
+	// PeerDown fires when a peer has been silent past the failure
+	// timeout.
+	PeerDown(peer int)
+}
+
+// Config parameterizes a Transport.
+type Config struct {
+	// Self is the local node's 1-based index.
+	Self int
+	// N is the number of WAN nodes.
+	N int
+	// Network is the fabric to dial and listen through.
+	Network emunet.Network
+	// Handler receives events. Required.
+	Handler Handler
+	// Log is the shared send log feeding every outgoing link. Required.
+	Log *SendLog
+	// HeartbeatEvery is the idle heartbeat period (default 500ms).
+	HeartbeatEvery time.Duration
+	// PeerTimeout is the silence threshold for failure detection
+	// (default 4×HeartbeatEvery).
+	PeerTimeout time.Duration
+	// Epoch identifies this process incarnation.
+	Epoch uint64
+}
+
+// Transport connects the local node to every peer: it owns one outgoing
+// link per peer (our data, ACKs and app messages flow there) and accepts
+// one incoming link per peer (their traffic toward us).
+type Transport struct {
+	cfg      Config
+	listener net.Listener
+
+	links map[int]*link // keyed by peer index
+
+	recvMu   sync.Mutex
+	recvLast map[int]uint64    // highest contiguous data seq received per peer
+	incoming map[int]net.Conn  // current accepted conn per peer
+	accepted map[net.Conn]bool // every live accepted conn, incl. pre-handshake
+
+	liveMu    sync.Mutex
+	lastHeard map[int]time.Time
+	peerUp    map[int]bool
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	started atomic.Bool
+
+	bytesSent atomic.Int64
+	dataSent  atomic.Int64
+}
+
+// New creates a transport. Call Start to begin dialing and accepting.
+func New(cfg Config) (*Transport, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("transport: Config.Handler is required")
+	}
+	if cfg.Log == nil {
+		return nil, errors.New("transport: Config.Log is required")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("transport: Config.Network is required")
+	}
+	if cfg.Self < 1 || cfg.Self > cfg.N {
+		return nil, fmt.Errorf("transport: self index %d out of range [1,%d]", cfg.Self, cfg.N)
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 4 * cfg.HeartbeatEvery
+	}
+	t := &Transport{
+		cfg:       cfg,
+		links:     make(map[int]*link, cfg.N-1),
+		recvLast:  make(map[int]uint64, cfg.N-1),
+		incoming:  make(map[int]net.Conn, cfg.N-1),
+		accepted:  make(map[net.Conn]bool, cfg.N-1),
+		lastHeard: make(map[int]time.Time, cfg.N-1),
+		peerUp:    make(map[int]bool, cfg.N-1),
+		stop:      make(chan struct{}),
+	}
+	for p := 1; p <= cfg.N; p++ {
+		if p == cfg.Self {
+			continue
+		}
+		t.links[p] = newLink(t, p)
+	}
+	return t, nil
+}
+
+// Start opens the listener, the accept loop, the per-peer dial loops, the
+// heartbeat ticker and the failure detector.
+func (t *Transport) Start() error {
+	if t.started.Swap(true) {
+		return errors.New("transport: already started")
+	}
+	l, err := t.cfg.Network.Listen(t.cfg.Self)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	t.listener = l
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, lk := range t.links {
+		t.wg.Add(1)
+		go lk.run()
+	}
+	t.wg.Add(2)
+	go t.heartbeatLoop()
+	go t.failureDetector()
+	return nil
+}
+
+// Close shuts the transport down and waits for its goroutines.
+func (t *Transport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	close(t.stop)
+	if t.listener != nil {
+		_ = t.listener.Close()
+	}
+	for _, lk := range t.links {
+		lk.close()
+	}
+	t.recvMu.Lock()
+	for c := range t.accepted {
+		_ = c.Close()
+	}
+	t.recvMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// NotifyData wakes every outgoing link after new entries were appended to
+// the send log.
+func (t *Transport) NotifyData() {
+	for _, lk := range t.links {
+		lk.signal()
+	}
+}
+
+// QueueAck coalesces a stability report onto every outgoing link. Only the
+// newest sequence per (origin, by, type) is retained — monotonicity makes
+// older reports redundant.
+func (t *Transport) QueueAck(a wire.Ack) {
+	for _, lk := range t.links {
+		lk.queueAck(a)
+	}
+}
+
+// QueueAckTo coalesces a stability report onto a single peer's link.
+func (t *Transport) QueueAckTo(peer int, a wire.Ack) {
+	if lk, ok := t.links[peer]; ok {
+		lk.queueAck(a)
+	}
+}
+
+// SendApp enqueues an application message toward peer.
+func (t *Transport) SendApp(peer int, a *wire.App) error {
+	lk, ok := t.links[peer]
+	if !ok {
+		return fmt.Errorf("transport: no link to peer %d", peer)
+	}
+	return lk.queueApp(a)
+}
+
+// BytesSent reports the total frame bytes written on outgoing links.
+func (t *Transport) BytesSent() int64 { return t.bytesSent.Load() }
+
+// DataSent reports the number of data frames written (retransmissions
+// included).
+func (t *Transport) DataSent() int64 { return t.dataSent.Load() }
+
+// RecvLast returns the highest contiguous data sequence received from peer.
+func (t *Transport) RecvLast(peer int) uint64 {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	return t.recvLast[peer]
+}
+
+// --- accept path ---
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.recvMu.Lock()
+		if t.closed.Load() {
+			t.recvMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.recvMu.Unlock()
+		t.wg.Add(1)
+		go t.serveIncoming(conn)
+	}
+}
+
+func (t *Transport) serveIncoming(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.recvMu.Lock()
+		delete(t.accepted, conn)
+		t.recvMu.Unlock()
+		_ = conn.Close()
+	}()
+	r := wire.NewReader(conn)
+	msg, err := r.Next()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok || int(hello.From) < 1 || int(hello.From) > t.cfg.N || int(hello.From) == t.cfg.Self {
+		_ = conn.Close()
+		return
+	}
+	from := int(hello.From)
+
+	t.recvMu.Lock()
+	if old := t.incoming[from]; old != nil {
+		_ = old.Close()
+	}
+	t.incoming[from] = conn
+	last := t.recvLast[from]
+	t.recvMu.Unlock()
+
+	if err := wire.WriteFrame(conn, &wire.HelloAck{From: uint16(t.cfg.Self), LastSeq: last}); err != nil {
+		_ = conn.Close()
+		return
+	}
+	t.heard(from)
+
+	for {
+		msg, err := r.Next()
+		if err != nil {
+			t.recvMu.Lock()
+			if t.incoming[from] == conn {
+				delete(t.incoming, from)
+			}
+			t.recvMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.heard(from)
+		switch m := msg.(type) {
+		case *wire.Data:
+			if t.acceptData(from, m.Seq) {
+				t.cfg.Handler.HandleData(from, m)
+			}
+		case *wire.Ack:
+			t.cfg.Handler.HandleAck(m)
+		case *wire.App:
+			t.cfg.Handler.HandleApp(from, m)
+		case *wire.Heartbeat:
+			// Liveness only.
+		case *wire.Hello, *wire.HelloAck:
+			// Unexpected mid-stream; ignore.
+		}
+	}
+}
+
+// acceptData advances the per-peer contiguous receive counter, filtering
+// duplicates caused by resend-after-reconnect. The transport guarantees
+// FIFO, so sequences only move forward.
+func (t *Transport) acceptData(from int, seq uint64) bool {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if seq <= t.recvLast[from] {
+		return false
+	}
+	t.recvLast[from] = seq
+	return true
+}
+
+// --- liveness ---
+
+func (t *Transport) heard(peer int) {
+	t.liveMu.Lock()
+	t.lastHeard[peer] = time.Now()
+	wasUp := t.peerUp[peer]
+	t.peerUp[peer] = true
+	t.liveMu.Unlock()
+	if !wasUp {
+		t.cfg.Handler.PeerUp(peer)
+	}
+}
+
+func (t *Transport) failureDetector() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.PeerTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-tick.C:
+			var downs []int
+			t.liveMu.Lock()
+			for peer, up := range t.peerUp {
+				if up && now.Sub(t.lastHeard[peer]) > t.cfg.PeerTimeout {
+					t.peerUp[peer] = false
+					downs = append(downs, peer)
+				}
+			}
+			t.liveMu.Unlock()
+			for _, p := range downs {
+				t.cfg.Handler.PeerDown(p)
+			}
+		}
+	}
+}
+
+func (t *Transport) heartbeatLoop() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	var clock uint64
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			clock++
+			for _, lk := range t.links {
+				lk.queueHeartbeat(clock)
+			}
+		}
+	}
+}

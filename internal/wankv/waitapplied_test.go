@@ -1,0 +1,111 @@
+package wankv
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaitAppliedReadYourWrites(t *testing.T) {
+	c := startKVCluster(t, 3)
+	owner, mirror := c.stores[0], c.stores[1]
+
+	// Write at the owner, then read your own write at a mirror node.
+	res, err := owner.Put("profile", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := mirror.WaitApplied(ctx, 1, res.Seq); err != nil {
+		t.Fatalf("wait applied: %v", err)
+	}
+	v, err := mirror.GetFrom(1, "profile")
+	if err != nil || string(v.Value) != "v1" {
+		t.Fatalf("mirror read after WaitApplied = %q, %v", v.Value, err)
+	}
+	thru, err := mirror.AppliedThrough(1)
+	if err != nil || thru < res.Seq {
+		t.Fatalf("AppliedThrough = %d, %v; want ≥ %d", thru, err, res.Seq)
+	}
+}
+
+func TestWaitAppliedOwnerIsImmediate(t *testing.T) {
+	c := startKVCluster(t, 2)
+	owner := c.stores[0]
+	res, err := owner.Put("k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := owner.WaitApplied(ctx, 1, res.Seq); err != nil {
+		t.Fatalf("owner wait should be immediate: %v", err)
+	}
+}
+
+func TestWaitAppliedContextCancel(t *testing.T) {
+	c := startKVCluster(t, 2)
+	mirror := c.stores[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// Sequence far beyond anything sent: must time out, not hang.
+	if err := mirror.WaitApplied(ctx, 1, 999999); err == nil {
+		t.Fatal("wait for unreachable sequence succeeded")
+	}
+}
+
+func TestWaitAppliedBadOrigin(t *testing.T) {
+	c := startKVCluster(t, 2)
+	ctx := context.Background()
+	if err := c.stores[0].WaitApplied(ctx, 0, 1); err == nil {
+		t.Fatal("origin 0 accepted")
+	}
+	if err := c.stores[0].WaitApplied(ctx, 9, 1); err == nil {
+		t.Fatal("origin 9 accepted")
+	}
+	if _, err := c.stores[0].AppliedThrough(0); err == nil {
+		t.Fatal("AppliedThrough origin 0 accepted")
+	}
+}
+
+func TestWaitAppliedManyConcurrentWaiters(t *testing.T) {
+	c := startKVCluster(t, 2)
+	owner, mirror := c.stores[0], c.stores[1]
+
+	const writes = 50
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writes)
+	seqs := make([]uint64, writes)
+	for i := 0; i < writes; i++ {
+		res, err := owner.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs[i] = res.Seq
+	}
+	for i := 0; i < writes; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := mirror.WaitApplied(ctx, 1, seqs[i]); err != nil {
+				errs <- fmt.Errorf("waiter %d: %w", i, err)
+				return
+			}
+			if _, err := mirror.GetFrom(1, fmt.Sprintf("k%d", i)); err != nil {
+				errs <- fmt.Errorf("read %d after wait: %w", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

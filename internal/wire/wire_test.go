@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg Message, fresh func() Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatalf("write %T: %v", msg, err)
+	}
+	r := NewReader(&buf)
+	got, err := r.Next()
+	if err != nil {
+		t.Fatalf("read %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	msgs := []Message{
+		&Hello{From: 3, Epoch: 42},
+		&HelloAck{From: 7, LastSeq: 1 << 40},
+		&Data{Seq: 99, SentUnixNano: 123456789, Payload: []byte("payload")},
+		&Data{Seq: 1, Payload: nil},
+		&Ack{Origin: 1, By: 5, Type: 16, Seq: 77},
+		&Heartbeat{Clock: 8},
+		&App{ID: 12, Method: 0x5152, IsResponse: true, From: 2, Payload: []byte{0, 1, 2}},
+		&App{ID: 0, Method: 1, IsResponse: false, From: 8, Payload: []byte{}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m, nil)
+		if got.Kind() != m.Kind() {
+			t.Fatalf("kind mismatch: sent %v got %v", m.Kind(), got.Kind())
+		}
+		// Normalize empty-vs-nil payloads before deep comparison.
+		normalize := func(msg Message) {
+			switch v := msg.(type) {
+			case *Data:
+				if len(v.Payload) == 0 {
+					v.Payload = nil
+				}
+			case *App:
+				if len(v.Payload) == 0 {
+					v.Payload = nil
+				}
+			}
+		}
+		normalize(m)
+		normalize(got)
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip mismatch:\nsent %#v\ngot  %#v", m, got)
+		}
+	}
+}
+
+func TestStreamOfFrames(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := WriteFrame(&buf, &Data{Seq: uint64(i + 1), Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := 0; i < n; i++ {
+		msg, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		d, ok := msg.(*Data)
+		if !ok || d.Seq != uint64(i+1) {
+			t.Fatalf("frame %d: got %#v", i, msg)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream: err = %v, want EOF", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	full := AppendFrame(nil, &Data{Seq: 5, Payload: bytes.Repeat([]byte{7}, 100)})
+	for cut := 1; cut < len(full); cut += 17 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.Next(); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	frame := []byte{0, 0, 0, 2, 0xEE, 0x01}
+	r := NewReader(bytes.NewReader(frame))
+	if _, err := r.Next(); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	r := NewReader(bytes.NewReader(hdr))
+	if _, err := r.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestZeroLengthFrameRejected(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0, 0, 0, 0}))
+	if _, err := r.Next(); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	// A Heartbeat body is exactly 8 bytes; add one extra.
+	body := append([]byte{byte(KindHeartbeat)}, make([]byte, 9)...)
+	frame := append([]byte{0, 0, 0, byte(len(body))}, body...)
+	r := NewReader(bytes.NewReader(frame))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+// TestQuickDataRoundTrip property-checks the Data codec.
+func TestQuickDataRoundTrip(t *testing.T) {
+	f := func(seq uint64, nano int64, payload []byte) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &Data{Seq: seq, SentUnixNano: nano, Payload: payload}); err != nil {
+			return false
+		}
+		msg, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		d, ok := msg.(*Data)
+		return ok && d.Seq == seq && d.SentUnixNano == nano && bytes.Equal(d.Payload, payload)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAckRoundTrip property-checks the Ack codec.
+func TestQuickAckRoundTrip(t *testing.T) {
+	f := func(origin, by, typ uint16, seq uint64) bool {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &Ack{Origin: origin, By: by, Type: typ, Seq: seq}); err != nil {
+			return false
+		}
+		msg, err := NewReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		a, ok := msg.(*Ack)
+		return ok && a.Origin == origin && a.By == by && a.Type == typ && a.Seq == seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics feeds random bytes to the frame decoder.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		r := NewReader(bytes.NewReader(junk))
+		for {
+			if _, err := r.Next(); err != nil {
+				return true // any error is fine; panics are not
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindHello; k <= KindApp; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Fatalf("kind %d has bad name %q", k, s)
+		}
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+}

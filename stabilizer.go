@@ -1,0 +1,106 @@
+// Package stabilizer is a flexible geo-replication library with
+// user-defined consistency models, reproducing "Stabilizer: Geo-Replication
+// with User-defined Consistency" (ICDCS 2022).
+//
+// A Stabilizer deployment is a set of WAN nodes (data centers), each owning
+// a pool of data it alone updates (primary-site model) and mirroring every
+// other node's stream. The data plane streams messages aggressively to
+// saturate WAN bandwidth; the control plane streams monotonic stability
+// reports (ACKs) separately, and every node independently re-evaluates its
+// registered stability frontier predicates as reports arrive.
+//
+// Consistency models are expressions in a small DSL over per-node
+// acknowledgment counters:
+//
+//	MIN($ALLWNODES)                                   // received everywhere
+//	KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)       // majority quorum
+//	MIN(MIN($MYAZWNODES-$MYWNODE),
+//	    MAX($ALLWNODES-$MYAZWNODES))                  // AZ-replicated + ≥1 remote
+//	MIN(($ALLWNODES-$MYWNODE).verified)               // app-defined level
+//
+// Quick start:
+//
+//	node, err := stabilizer.Open(stabilizer.Config{
+//	    Topology: topo,          // *stabilizer.Topology
+//	    Network:  network,       // emulated or loopback fabric
+//	})
+//	node.RegisterPredicate("maj", "KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)")
+//	seq, _ := node.Send(payload)
+//	node.WaitFor(ctx, seq, "maj") // block until majority-stable
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package stabilizer
+
+import (
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/emunet"
+)
+
+// Re-exported core types: the root package is a thin facade over
+// internal/core so downstream users never import internal paths.
+type (
+	// Node is one Stabilizer WAN node. See core.Node for method docs.
+	Node = core.Node
+	// Config parameterizes Open.
+	Config = core.Config
+	// Checkpoint captures restartable control-plane state (§III-E).
+	Checkpoint = core.Checkpoint
+	// Message is a delivered data-plane message.
+	Message = core.Message
+	// AppMessage is an out-of-band application message.
+	AppMessage = core.AppMessage
+	// DeliverFunc consumes delivered messages.
+	DeliverFunc = core.DeliverFunc
+	// Persister persists delivered messages for the "persisted" level.
+	Persister = core.Persister
+	// Stats is a point-in-time node state snapshot.
+	Stats = core.Stats
+
+	// Topology describes the WAN deployment.
+	Topology = config.Topology
+	// TopologyNode is one WAN node entry.
+	TopologyNode = config.Node
+
+	// Network is the fabric abstraction nodes dial through.
+	Network = emunet.Network
+	// Link is one directed link's latency/bandwidth profile.
+	Link = emunet.Link
+	// Matrix holds a deployment's link profiles.
+	Matrix = emunet.Matrix
+)
+
+// Open starts a Stabilizer node and connects it to its peers.
+func Open(cfg Config) (*Node, error) { return core.Open(cfg) }
+
+// LoadTopology reads and validates a topology JSON file.
+func LoadTopology(path string) (*Topology, error) { return config.Load(path) }
+
+// ParseTopology decodes and validates topology JSON.
+func ParseTopology(raw []byte) (*Topology, error) { return config.Parse(raw) }
+
+// NewMatrix returns an empty link-profile matrix.
+func NewMatrix() *Matrix { return emunet.NewMatrix() }
+
+// NewMemNetwork builds an in-process fabric shaped by matrix (nil for
+// unshaped links) — ideal for tests and single-machine experiments.
+func NewMemNetwork(matrix *Matrix) Network { return emunet.NewMemNetwork(matrix) }
+
+// NewTCPNetwork builds a loopback-TCP fabric shaped by matrix.
+func NewTCPNetwork(matrix *Matrix) Network { return emunet.NewTCPNetwork(matrix) }
+
+// Mbps converts megabits per second to the bits-per-second unit Link uses.
+func Mbps(v float64) float64 { return emunet.Mbps(v) }
+
+// EC2Topology returns the paper's Fig. 2 8-node/4-region AWS topology.
+func EC2Topology(self int) *Topology { return config.EC2Topology(self) }
+
+// EC2Matrix returns the paper's Table I link profiles for EC2Topology.
+func EC2Matrix() *Matrix { return emunet.EC2Matrix() }
+
+// CloudLabTopology returns the paper's Table II 5-node CloudLab topology.
+func CloudLabTopology(self int) *Topology { return config.CloudLabTopology(self) }
+
+// CloudLabMatrix returns the paper's Table II link profiles.
+func CloudLabMatrix() *Matrix { return emunet.CloudLabMatrix() }

@@ -1,0 +1,247 @@
+// Public-API tests: everything here uses only the root stabilizer package
+// and the apps/ facades, exactly as a downstream user would.
+package stabilizer_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"stabilizer"
+	"stabilizer/apps/backup"
+	"stabilizer/apps/pubsub"
+	"stabilizer/apps/quorum"
+	"stabilizer/apps/wankv"
+)
+
+func threeNodeTopo() *stabilizer.Topology {
+	return &stabilizer.Topology{
+		Self: 1,
+		Nodes: []stabilizer.TopologyNode{
+			{Name: "A", AZ: "az1", Region: "west"},
+			{Name: "B", AZ: "az2", Region: "west"},
+			{Name: "C", AZ: "az3", Region: "east"},
+		},
+	}
+}
+
+func openCluster(t *testing.T, topo *stabilizer.Topology, network stabilizer.Network) []*stabilizer.Node {
+	t.Helper()
+	var nodes []*stabilizer.Node
+	for i := 1; i <= topo.N(); i++ {
+		n, err := stabilizer.Open(stabilizer.Config{Topology: topo.WithSelf(i), Network: network})
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		nodes = append(nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		_ = network.Close()
+	})
+	return nodes
+}
+
+func TestPublicAPISendWaitMonitor(t *testing.T) {
+	nodes := openCluster(t, threeNodeTopo(), stabilizer.NewMemNetwork(nil))
+	sender := nodes[0]
+
+	if err := sender.RegisterPredicate("maj", "KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var fired sync.WaitGroup
+	fired.Add(1)
+	var once sync.Once
+	cancel, err := sender.MonitorStabilityFrontier("maj", func(uint64) {
+		once.Do(fired.Done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	seq, err := sender.Send([]byte("public api"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := sender.WaitFor(ctx, seq, "maj"); err != nil {
+		t.Fatal(err)
+	}
+	fired.Wait()
+}
+
+func TestPublicAPIPredicateBuilders(t *testing.T) {
+	topo := stabilizer.EC2Topology(1)
+	all := stabilizer.TableIII(topo)
+	if len(all) != 6 || len(stabilizer.TableIIIOrder()) != 6 {
+		t.Fatalf("TableIII = %v", all)
+	}
+	nodes := openCluster(t, topo, stabilizer.NewMemNetwork(stabilizer.EC2Matrix().Scaled(100)))
+	for name, src := range all {
+		if err := nodes[0].RegisterPredicate(name, src); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	for i, src := range []string{
+		stabilizer.QuorumWrite([]int{1, 2, 3}, 2),
+		stabilizer.QuorumRead([]int{1, 2, 3}, 2),
+		stabilizer.ExcludeNodes([]int{8}),
+		stabilizer.KOfRemote(2),
+	} {
+		if err := nodes[0].RegisterPredicate(fmt.Sprintf("x%d", i), src); err != nil {
+			t.Fatalf("register %q: %v", src, err)
+		}
+	}
+}
+
+func TestPublicAPIBackupQuickPath(t *testing.T) {
+	topo := threeNodeTopo()
+	nodes := openCluster(t, topo, stabilizer.NewMemNetwork(nil))
+	stores := make([]*wankv.Store, len(nodes))
+	for i, n := range nodes {
+		stores[i] = wankv.New(n)
+	}
+	svc := backup.New(stores[0])
+	if err := nodes[0].RegisterPredicate("alldel", "MIN(($ALLWNODES-$MYWNODE).delivered)"); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("stabilizer"), 5000)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := svc.BackupWait(ctx, "f", data, "alldel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != len(data) {
+		t.Fatalf("result = %+v", res)
+	}
+	got, err := backup.New(stores[2]).Restore(1, "f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+func TestPublicAPIPubSub(t *testing.T) {
+	nodes := openCluster(t, threeNodeTopo(), stabilizer.NewMemNetwork(nil))
+	var brokers []*pubsub.Broker
+	for _, n := range nodes {
+		b, err := pubsub.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brokers = append(brokers, b)
+	}
+	got := make(chan pubsub.Message, 1)
+	brokers[1].Subscribe(func(m pubsub.Message) {
+		select {
+		case got <- m:
+		default:
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(brokers[0].ActiveBrokers()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := brokers[0].PublishWait(ctx, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "hello" {
+			t.Fatalf("payload = %q", m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestPublicAPIQuorum(t *testing.T) {
+	nodes := openCluster(t, threeNodeTopo(), stabilizer.NewMemNetwork(nil))
+	kvs := make([]*quorum.KV, len(nodes))
+	for i, n := range nodes {
+		kv, err := quorum.New(quorum.Config{Node: n, Members: []int{1, 2, 3}, Nw: 2, Nr: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs[i] = kv
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := kvs[0].Write(ctx, "k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := kvs[2].Read(ctx, "k")
+	if err != nil || string(got) != "value" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestPublicAPIStats(t *testing.T) {
+	nodes := openCluster(t, threeNodeTopo(), stabilizer.NewMemNetwork(nil))
+	sender := nodes[0]
+	if err := sender.RegisterPredicate("maj", stabilizer.MajorityWNodes()); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sender.Send([]byte("tracked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sender.WaitFor(ctx, seq, "maj"); err != nil {
+		t.Fatal(err)
+	}
+	var s stabilizer.Stats = sender.Stats()
+	if s.Self != 1 || s.N != 3 {
+		t.Fatalf("identity = %d/%d", s.Self, s.N)
+	}
+	if s.NextSeq != seq+1 {
+		t.Fatalf("NextSeq = %d, want %d", s.NextSeq, seq+1)
+	}
+	if s.BytesSent == 0 || s.DataFramesSent < 2 {
+		t.Fatalf("traffic counters empty: %+v", s)
+	}
+	if f, ok := s.Predicates["maj"]; !ok || f < seq {
+		t.Fatalf("predicate frontier = %d (ok=%v)", f, ok)
+	}
+}
+
+func TestPublicAPIWaitApplied(t *testing.T) {
+	nodes := openCluster(t, threeNodeTopo(), stabilizer.NewMemNetwork(nil))
+	owner := wankv.New(nodes[0])
+	mirror := wankv.New(nodes[1])
+	res, err := owner.Put("rw", []byte("mine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := mirror.WaitApplied(ctx, 1, res.Seq); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mirror.GetFrom(1, "rw")
+	if err != nil || string(v.Value) != "mine" {
+		t.Fatalf("read-your-writes failed: %q, %v", v.Value, err)
+	}
+}
+
+func TestPublicAPITopologyRoundTrip(t *testing.T) {
+	topo := stabilizer.CloudLabTopology(2)
+	raw := fmt.Sprintf(`{"self":%d,"nodes":[{"name":"X","az":"z1"},{"name":"Y","az":"z2"}]}`, 1)
+	parsed, err := stabilizer.ParseTopology([]byte(raw))
+	if err != nil || parsed.N() != 2 {
+		t.Fatalf("parse: %v", err)
+	}
+	if topo.SelfNode().Name != "Utah2" {
+		t.Fatalf("CloudLab self = %s", topo.SelfNode().Name)
+	}
+}
