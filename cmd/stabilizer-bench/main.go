@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"stabilizer/internal/bench"
+	"stabilizer/internal/metrics"
 )
 
 func main() {
@@ -29,10 +30,11 @@ func main() {
 
 func run() error {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8 ablation all)")
-		timescale  = flag.Float64("timescale", 1, "divide emulated latencies by this factor (1 = faithful wall-clock)")
-		fabric     = flag.String("fabric", "mem", "network fabric: mem or tcp")
-		short      = flag.Bool("short", false, "shrink workloads for a quick pass")
+		experiment  = flag.String("experiment", "all", "which experiment to run (table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8 ablation all)")
+		timescale   = flag.Float64("timescale", 1, "divide emulated latencies by this factor (1 = faithful wall-clock)")
+		fabric      = flag.String("fabric", "mem", "network fabric: mem or tcp")
+		short       = flag.Bool("short", false, "shrink workloads for a quick pass")
+		metricsAddr = flag.String("metrics-addr", "", "serve each experiment's node-1 /metrics on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -41,6 +43,16 @@ func run() error {
 		TimeScale: *timescale,
 		Fabric:    *fabric,
 		Short:     *short,
+	}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		opts.Metrics = reg
+		srv, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving /metrics on %s\n", srv.Addr)
 	}
 
 	type exp struct {

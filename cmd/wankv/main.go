@@ -8,6 +8,7 @@
 //	wankv                       # Fig. 2 EC2 topology, Table I links
 //	wankv -topology topo.json   # custom deployment
 //	wankv -timescale 5          # compress WAN latencies 5x
+//	wankv -metrics-addr :9090   # node 1's /metrics + /debug/stabilizer
 //
 // Commands:
 //
@@ -26,8 +27,10 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -46,8 +49,9 @@ func main() {
 
 func run() error {
 	var (
-		topoPath  = flag.String("topology", "", "topology JSON file (default: built-in EC2 Fig. 2)")
-		timescale = flag.Float64("timescale", 10, "divide emulated WAN latencies by this factor")
+		topoPath    = flag.String("topology", "", "topology JSON file (default: built-in EC2 Fig. 2)")
+		timescale   = flag.Float64("timescale", 10, "divide emulated WAN latencies by this factor")
+		metricsAddr = flag.String("metrics-addr", "", "serve node 1's /metrics and /debug/stabilizer on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -64,10 +68,17 @@ func run() error {
 	network := stabilizer.NewMemNetwork(matrix.Scaled(*timescale))
 	defer network.Close()
 
+	// Metrics families are node-scoped, so the registry is attached to
+	// node 1 only — the node the interactive commands drive.
+	reg := stabilizer.NewMetricsRegistry()
 	nodes := make([]*stabilizer.Node, topo.N())
 	stores := make([]*wankv.Store, topo.N())
 	for i := 1; i <= topo.N(); i++ {
-		n, err := stabilizer.Open(stabilizer.Config{Topology: topo.WithSelf(i), Network: network})
+		cfg := stabilizer.Config{Topology: topo.WithSelf(i), Network: network}
+		if i == 1 {
+			cfg.Metrics = reg
+		}
+		n, err := stabilizer.Open(cfg)
 		if err != nil {
 			return err
 		}
@@ -81,6 +92,16 @@ func run() error {
 		if err := primary.RegisterPredicate(name, src); err != nil {
 			return err
 		}
+	}
+	if *metricsAddr != "" {
+		srv, err := stabilizer.ServeMetrics(*metricsAddr, reg, map[string]http.Handler{
+			"/debug/stabilizer": debugHandler(primary),
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("wankv: serving /metrics and /debug/stabilizer on %s\n", srv.Addr)
 	}
 
 	fmt.Printf("wankv: %d WAN nodes up; node 1 (%s) is yours. Type 'help'.\n",
@@ -105,6 +126,16 @@ func run() error {
 }
 
 var errQuit = fmt.Errorf("quit")
+
+// debugHandler serves a node's DebugSnapshot as indented JSON.
+func debugHandler(n *stabilizer.Node) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.DebugSnapshot())
+	})
+}
 
 func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.Node, kv *wankv.Store, stores []*wankv.Store) error {
 	switch fields[0] {

@@ -20,6 +20,7 @@ import (
 	"stabilizer/internal/config"
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
 )
 
 // Options configure an experiment run.
@@ -35,6 +36,11 @@ type Options struct {
 	// Short shrinks workloads for use under `go test -short` and
 	// testing.B iteration.
 	Short bool
+	// Metrics, when set, is attached to node 1 of every cluster an
+	// experiment starts, so a live /metrics endpoint can watch the run.
+	// Families are get-or-create, so successive clusters accumulate into
+	// the same counters.
+	Metrics *metrics.Registry
 }
 
 func (o Options) normalized() Options {
@@ -74,12 +80,16 @@ type cluster struct {
 func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*cluster, error) {
 	c := &cluster{net: opts.network(matrix)}
 	for i := 1; i <= topo.N(); i++ {
-		n, err := core.Open(core.Config{
+		cfg := core.Config{
 			Topology:       topo.WithSelf(i),
 			Network:        c.net,
 			HeartbeatEvery: 100 * time.Millisecond,
 			PeerTimeout:    5 * time.Second,
-		})
+		}
+		if i == 1 {
+			cfg.Metrics = opts.Metrics
+		}
+		n, err := core.Open(cfg)
 		if err != nil {
 			c.close()
 			return nil, fmt.Errorf("bench: open node %d: %w", i, err)

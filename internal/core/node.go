@@ -27,6 +27,7 @@ import (
 	"stabilizer/internal/dsl"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/frontier"
+	"stabilizer/internal/metrics"
 	"stabilizer/internal/transport"
 	"stabilizer/internal/wire"
 )
@@ -97,6 +98,12 @@ type Config struct {
 	DisableAutoReclaim bool
 	// Epoch identifies this process incarnation for reconnect handling.
 	Epoch uint64
+	// Metrics receives the node's instrumentation (stabilizer_core_*,
+	// stabilizer_stability_latency_seconds, and the transport and
+	// frontier families). Nil creates a private registry, so metrics are
+	// always collected; pass one registry per node — families are
+	// node-scoped and would collide if shared.
+	Metrics *metrics.Registry
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -121,6 +128,9 @@ type Node struct {
 	env      *topoEnv
 
 	persister Persister
+
+	metrics   *coreMetrics
+	sendTimes sendTimes
 
 	mu            sync.Mutex
 	deliverFns    []DeliverFunc
@@ -164,6 +174,11 @@ func Open(cfg Config) (*Node, error) {
 	}
 	log := transport.NewSendLog(firstSeq)
 
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = metrics.NewRegistry()
+	}
+
 	node := &Node{
 		topo:         topo,
 		types:        types,
@@ -172,9 +187,22 @@ func Open(cfg Config) (*Node, error) {
 		log:          log,
 		env:          env,
 		persister:    cfg.Persister,
+		metrics:      newCoreMetrics(mreg, log),
 		customByName: make(map[string]uint16),
 		nowFn:        time.Now,
 	}
+	registry.EnableMetrics(mreg)
+	// Turn frontier advances into the headline stability-latency samples:
+	// each sequence crossing a predicate's frontier is timed from its Send.
+	registry.OnAdvance(func(key string, old, new uint64) {
+		if key == ReclaimPredicateKey {
+			node.metrics.reclaimSeq.Set(int64(new))
+			return
+		}
+		h := node.metrics.stabLatency.With(key)
+		now := node.nowFn().UnixNano()
+		node.sendTimes.observeRange(old, new, now, func(lat int64) { h.Observe(lat) })
+	})
 	// Materialize the well-known stability rows so the completeness rule
 	// (UpdateAll on Send) covers them from the first message.
 	head := log.Head()
@@ -191,6 +219,7 @@ func Open(cfg Config) (*Node, error) {
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		PeerTimeout:    cfg.PeerTimeout,
 		Epoch:          cfg.Epoch,
+		Metrics:        mreg,
 	})
 	if err != nil {
 		return nil, err
@@ -262,10 +291,14 @@ func (n *Node) SendNoCopy(payload []byte) (uint64, error) {
 }
 
 func (n *Node) sendOwned(payload []byte) (uint64, error) {
-	seq, err := n.log.Append(payload, n.nowFn().UnixNano())
+	sentAt := n.nowFn().UnixNano()
+	seq, err := n.log.Append(payload, sentAt)
 	if err != nil {
 		return 0, ErrClosed
 	}
+	n.sendTimes.record(seq, sentAt)
+	n.metrics.sends.Inc()
+	n.metrics.sendBytes.Add(int64(len(payload)))
 	// Completeness rule (§III-C): every stability property holds at the
 	// originating node the moment the message exists.
 	n.selfTable().UpdateAll(n.topo.Self, seq)
@@ -491,7 +524,8 @@ func (n *Node) BufferedBytes() int64 { return n.log.Bytes() }
 func (n *Node) BytesSent() int64 { return n.tr.BytesSent() }
 
 // Stats is a point-in-time snapshot of a node's data- and control-plane
-// state, for dashboards and debugging.
+// state, for dashboards and debugging. It is a cheap view over the same
+// counters the metrics registry exposes.
 type Stats struct {
 	// Self is the local node index; N the cluster size.
 	Self, N int
@@ -500,10 +534,27 @@ type Stats struct {
 	// BufferedBytes/BufferedMessages describe the retransmission buffer.
 	BufferedBytes    int64
 	BufferedMessages int
-	// BytesSent counts all frame bytes written to peers; DataFramesSent
-	// counts data frames (retransmissions included).
+	// Sends counts messages sequenced locally; Deliveries counts
+	// remote-origin messages handed to the application.
+	Sends      int64
+	Deliveries int64
+	// BytesSent/BytesRecv count all frame bytes written to / read from
+	// peers; DataFramesSent/DataFramesRecv count data frames
+	// (retransmissions and duplicates included).
 	BytesSent      int64
+	BytesRecv      int64
 	DataFramesSent int64
+	DataFramesRecv int64
+	// ResentFrames counts data frames rewritten after reconnects;
+	// Reconnects counts successful re-dials; FailureDetectorTrips counts
+	// peers declared suspect.
+	ResentFrames         int64
+	Reconnects           int64
+	FailureDetectorTrips int64
+	// RecvLast is the highest contiguous data sequence received per peer.
+	RecvLast map[int]uint64
+	// Waiters is the number of WaitFor callers currently blocked.
+	Waiters int
 	// Predicates maps each registered predicate to its current frontier.
 	Predicates map[string]uint64
 }
@@ -511,14 +562,23 @@ type Stats struct {
 // Stats captures a snapshot of the node's state.
 func (n *Node) Stats() Stats {
 	s := Stats{
-		Self:             n.topo.Self,
-		N:                n.topo.N(),
-		NextSeq:          n.log.NextSeq(),
-		BufferedBytes:    n.log.Bytes(),
-		BufferedMessages: n.log.Len(),
-		BytesSent:        n.tr.BytesSent(),
-		DataFramesSent:   n.tr.DataSent(),
-		Predicates:       make(map[string]uint64),
+		Self:                 n.topo.Self,
+		N:                    n.topo.N(),
+		NextSeq:              n.log.NextSeq(),
+		BufferedBytes:        n.log.Bytes(),
+		BufferedMessages:     n.log.Len(),
+		Sends:                n.metrics.sends.Value(),
+		Deliveries:           n.metrics.deliveries.Value(),
+		BytesSent:            n.tr.BytesSent(),
+		BytesRecv:            n.tr.BytesRecv(),
+		DataFramesSent:       n.tr.DataSent(),
+		DataFramesRecv:       n.tr.DataRecv(),
+		ResentFrames:         n.tr.Resent(),
+		Reconnects:           n.tr.Reconnects(),
+		FailureDetectorTrips: n.tr.FailureDetectorTrips(),
+		RecvLast:             n.tr.RecvLastAll(),
+		Waiters:              n.registry.WaiterCount(),
+		Predicates:           make(map[string]uint64),
 	}
 	for _, key := range n.Predicates() {
 		if f, err := n.registry.Frontier(key); err == nil {
@@ -547,6 +607,8 @@ func (h *trHandler) HandleData(from int, d *wire.Data) {
 		Payload: d.Payload,
 		SentAt:  time.Unix(0, d.SentUnixNano),
 	}
+	n.metrics.deliveries.Inc()
+	n.metrics.deliveryLag.Observe(n.nowFn().UnixNano() - d.SentUnixNano)
 	// Completeness rule (§III-C), applied remotely: learning of message
 	// d.Seq implies the ORIGIN trivially holds every stability property
 	// for it, so the origin's own row advances in our recorder too —

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/metrics"
+)
+
+// coreMetrics are the node-level metric instances, resolved once at Open.
+type coreMetrics struct {
+	reg         *metrics.Registry
+	sends       *metrics.Counter
+	sendBytes   *metrics.Counter
+	deliveries  *metrics.Counter
+	deliveryLag *metrics.Histogram
+	stabLatency *metrics.HistogramVec
+	reclaimSeq  *metrics.Gauge
+}
+
+func newCoreMetrics(reg *metrics.Registry, log interface {
+	Bytes() int64
+	Len() int
+	NextSeq() uint64
+}) *coreMetrics {
+	m := &coreMetrics{
+		reg: reg,
+		sends: reg.Counter("stabilizer_core_sends_total",
+			"Messages sequenced by Send on this node."),
+		sendBytes: reg.Counter("stabilizer_core_send_bytes_total",
+			"Payload bytes sequenced by Send on this node."),
+		deliveries: reg.Counter("stabilizer_core_deliveries_total",
+			"Remote-origin messages delivered to the application."),
+		deliveryLag: reg.Histogram("stabilizer_core_delivery_lag_seconds",
+			"Origin send timestamp to local delivery.", metrics.LatencyOpts),
+		stabLatency: reg.HistogramVec("stabilizer_stability_latency_seconds",
+			"Send to predicate-frontier crossing, per predicate key.",
+			metrics.LatencyOpts, "predicate"),
+		reclaimSeq: reg.Gauge("stabilizer_core_reclaim_seq",
+			"Highest sequence reclaimed from the send buffer."),
+	}
+	reg.GaugeFunc("stabilizer_core_buffered_bytes",
+		"Payload bytes held in the retransmission buffer.",
+		func() float64 { return float64(log.Bytes()) })
+	reg.GaugeFunc("stabilizer_core_buffered_messages",
+		"Messages held in the retransmission buffer.",
+		func() float64 { return float64(log.Len()) })
+	reg.GaugeFunc("stabilizer_core_next_seq",
+		"Sequence number the next Send will be assigned.",
+		func() float64 { return float64(log.NextSeq()) })
+	return m
+}
+
+// sendTimeRingBits sizes the send-timestamp ring: the node remembers the
+// send time of the most recent 2^sendTimeRingBits sequences to turn
+// frontier advances into stability-latency samples. Messages that stabilize
+// only after the ring wraps are dropped from the histogram, never blocked.
+const sendTimeRingBits = 13
+
+// sendTimes maps recent sequence numbers to their send timestamps. Writes
+// come from Send callers, reads from the frontier-advance hook; both are
+// short critical sections over fixed arrays (no allocation).
+type sendTimes struct {
+	mu  sync.Mutex
+	seq [1 << sendTimeRingBits]uint64
+	ts  [1 << sendTimeRingBits]int64
+}
+
+// record stores seq's send timestamp (UnixNano).
+func (s *sendTimes) record(seq uint64, ts int64) {
+	slot := seq & (1<<sendTimeRingBits - 1)
+	s.mu.Lock()
+	s.seq[slot] = seq
+	s.ts[slot] = ts
+	s.mu.Unlock()
+}
+
+// observeRange invokes obs with now-sendTime for every sequence in
+// (old, new] still present in the ring.
+func (s *sendTimes) observeRange(old, new uint64, now int64, obs func(latNanos int64)) {
+	const size = 1 << sendTimeRingBits
+	if new-old > size {
+		old = new - size
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seq := old + 1; seq <= new; seq++ {
+		slot := seq & (size - 1)
+		if s.seq[slot] == seq {
+			obs(now - s.ts[slot])
+		}
+	}
+}
+
+// --- debug snapshot (served at /debug/stabilizer) ---
+
+// PredicateDebug describes one registered predicate in a DebugSnapshot.
+type PredicateDebug struct {
+	Key       string `json:"key"`
+	Source    string `json:"source"`
+	Frontier  uint64 `json:"frontier"`
+	DependsOn []int  `json:"dependsOn,omitempty"`
+}
+
+// DebugSnapshot is a JSON-friendly dump of a node's control-plane state:
+// topology, predicate sources, the local origin's frontier table, and the
+// traffic snapshot. Served by the cmds' -metrics-addr HTTP endpoint.
+type DebugSnapshot struct {
+	Self           int                 `json:"self"`
+	Nodes          []config.Node       `json:"nodes"`
+	StabilityTypes []string            `json:"stabilityTypes"`
+	Predicates     []PredicateDebug    `json:"predicates"`
+	Acks           map[string][]uint64 `json:"acks"`
+	RecvLast       map[int]uint64      `json:"recvLast"`
+	LogBase        uint64              `json:"logBase"`
+	Stats          Stats               `json:"stats"`
+}
+
+// DebugSnapshot captures the node's control-plane state for inspection.
+// The reserved reclaim predicate is included so buffer reclamation is
+// observable.
+func (n *Node) DebugSnapshot() DebugSnapshot {
+	d := DebugSnapshot{
+		Self:     n.topo.Self,
+		Nodes:    append([]config.Node(nil), n.topo.Nodes...),
+		RecvLast: n.tr.RecvLastAll(),
+		LogBase:  n.log.Base(),
+		Stats:    n.Stats(),
+		Acks:     make(map[string][]uint64),
+	}
+	for _, id := range n.types.IDs() {
+		d.StabilityTypes = append(d.StabilityTypes, n.types.Name(id))
+	}
+	for typ, row := range n.selfTable().Snapshot() {
+		d.Acks[n.types.Name(typ)] = row
+	}
+	for _, key := range n.registry.Keys() {
+		pd := PredicateDebug{Key: key}
+		pd.Source, _ = n.registry.Source(key)
+		pd.Frontier, _ = n.registry.Frontier(key)
+		pd.DependsOn, _ = n.registry.DependsOn(key)
+		d.Predicates = append(d.Predicates, pd)
+	}
+	return d
+}
+
+// Metrics returns the node's metrics registry (the one from Config.Metrics,
+// or the private registry created at Open).
+func (n *Node) Metrics() *metrics.Registry { return n.metrics.reg }

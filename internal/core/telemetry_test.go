@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
+)
+
+// TestStabilityLatencyHistogram drives a KTH_MIN predicate on a 3-node
+// in-memory cluster and asserts the headline stability-latency histogram
+// records one sane sample per stabilized message.
+func TestStabilityLatencyHistogram(t *testing.T) {
+	reg := metrics.NewRegistry()
+	topo := flatTopology(3)
+	c := &cluster{net: emunet.NewMemNetwork(nil)}
+	for i := 1; i <= topo.N(); i++ {
+		cfg := Config{
+			Topology:       topo.WithSelf(i),
+			Network:        c.net,
+			HeartbeatEvery: 20 * time.Millisecond,
+		}
+		if i == 1 {
+			cfg.Metrics = reg
+		}
+		n, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			_ = n.Close()
+		}
+		_ = c.net.Close()
+	})
+
+	sender := c.nodes[0]
+	if err := sender.RegisterPredicate("maj", "KTH_MIN(2, $ALLWNODES)"); err != nil {
+		t.Fatalf("register predicate: %v", err)
+	}
+
+	const msgs = 5
+	var lastSeq uint64
+	for i := 0; i < msgs; i++ {
+		seq, err := sender.Send([]byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		lastSeq = seq
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sender.WaitFor(ctx, lastSeq, "maj"); err != nil {
+		t.Fatalf("waitfor: %v", err)
+	}
+
+	fam := reg.Find("stabilizer_stability_latency_seconds")
+	if fam == nil {
+		t.Fatal("stabilizer_stability_latency_seconds family not registered")
+	}
+	var found bool
+	for _, m := range fam.Metrics {
+		if m.Labels["predicate"] != "maj" {
+			continue
+		}
+		found = true
+		h := m.Histogram
+		if h == nil {
+			t.Fatal("maj metric is not a histogram")
+		}
+		if h.Count != msgs {
+			t.Errorf("latency samples = %d, want %d", h.Count, msgs)
+		}
+		// Sane: strictly positive and below the 10s test deadline.
+		if h.Sum <= 0 || h.Sum > 10*msgs {
+			t.Errorf("latency sum = %v s, out of sane range", h.Sum)
+		}
+	}
+	if !found {
+		t.Fatal("no stability-latency histogram for predicate \"maj\"")
+	}
+
+	// The rewritten Stats must reflect the new counters and stay a view
+	// over the same state the registry exposes.
+	s := sender.Stats()
+	if s.Sends != msgs {
+		t.Errorf("Stats.Sends = %d, want %d", s.Sends, msgs)
+	}
+	if s.BytesSent == 0 || s.BytesRecv == 0 {
+		t.Errorf("Stats bandwidth accounting asymmetric: sent=%d recv=%d", s.BytesSent, s.BytesRecv)
+	}
+	if s.Waiters != 0 {
+		t.Errorf("Stats.Waiters = %d, want 0", s.Waiters)
+	}
+	// A receiver's stats must show symmetric accounting: data frames in,
+	// recv cursor advanced for the sender.
+	r := c.nodes[1].Stats()
+	if r.DataFramesRecv < msgs {
+		t.Errorf("receiver DataFramesRecv = %d, want >= %d", r.DataFramesRecv, msgs)
+	}
+	if r.RecvLast[1] != lastSeq {
+		t.Errorf("receiver RecvLast[1] = %d, want %d", r.RecvLast[1], lastSeq)
+	}
+	if r.Deliveries != msgs {
+		t.Errorf("receiver Deliveries = %d, want %d", r.Deliveries, msgs)
+	}
+
+	// Prometheus exposition includes the histogram with its label.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("write prometheus: %v", err)
+	}
+	if !strings.Contains(sb.String(), `stabilizer_stability_latency_seconds_count{predicate="maj"} 5`) {
+		t.Errorf("prometheus output missing labeled stability-latency count:\n%s", sb.String())
+	}
+}

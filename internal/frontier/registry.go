@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"stabilizer/internal/dsl"
+	"stabilizer/internal/metrics"
 )
 
 // MonitorFunc receives the most recent stability frontier of a predicate
@@ -25,6 +26,13 @@ type Registry struct {
 
 	mu    sync.Mutex
 	preds map[string]*predicate
+
+	// Instrumentation (optional; see EnableMetrics / OnAdvance).
+	recomputes   *metrics.Counter
+	monitorFires *metrics.Counter
+	waiters      *metrics.Gauge
+	frontiers    *metrics.GaugeVec
+	onAdvance    func(key string, old, new uint64)
 }
 
 type predicate struct {
@@ -48,6 +56,53 @@ func NewRegistry(env dsl.Env, table *Table) *Registry {
 	return &Registry{env: env, table: table, preds: make(map[string]*predicate)}
 }
 
+// EnableMetrics publishes the registry's control-plane instrumentation into
+// m: recompute count, monitor fires, pending waiters and a per-predicate
+// frontier gauge. Call before Register; not safe to call concurrently with
+// use.
+func (r *Registry) EnableMetrics(m *metrics.Registry) {
+	r.recomputes = m.Counter("stabilizer_frontier_recomputes_total",
+		"Predicate re-evaluation passes over the ACK recorder.")
+	r.monitorFires = m.Counter("stabilizer_frontier_monitor_fires_total",
+		"Stability-frontier monitor callbacks invoked.")
+	r.waiters = m.Gauge("stabilizer_frontier_waiters",
+		"WaitFor callers currently blocked on a predicate.")
+	r.frontiers = m.GaugeVec("stabilizer_frontier_seq",
+		"Last computed stability frontier per predicate.", "predicate")
+}
+
+// OnAdvance installs a hook invoked with (key, old, new) after a predicate's
+// frontier moves forward — outside the registry lock, before waiters are
+// released, so latency samples exist by the time WaitFor returns. The core
+// uses it to record stability latency. Call before Register; not safe to
+// call concurrently with use.
+func (r *Registry) OnAdvance(fn func(key string, old, new uint64)) { r.onAdvance = fn }
+
+// setFrontierGauge mirrors a predicate's frontier into its gauge.
+func (r *Registry) setFrontierGauge(key string, f uint64) {
+	if r.frontiers != nil {
+		r.frontiers.With(key).Set(int64(f))
+	}
+}
+
+// addWaiters shifts the pending-waiter gauge by delta.
+func (r *Registry) addWaiters(delta int) {
+	if r.waiters != nil && delta != 0 {
+		r.waiters.Add(int64(delta))
+	}
+}
+
+// WaiterCount returns the number of WaitFor callers currently blocked.
+func (r *Registry) WaiterCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.preds {
+		n += len(p.waiters)
+	}
+	return n
+}
+
 // Register compiles source and installs it under key. Registering an
 // existing key fails; use Change to swap a predicate at runtime.
 func (r *Registry) Register(key, source string) error {
@@ -60,12 +115,14 @@ func (r *Registry) Register(key, source string) error {
 	if _, dup := r.preds[key]; dup {
 		return fmt.Errorf("%w: %q", ErrPredExists, key)
 	}
-	r.preds[key] = &predicate{
+	p := &predicate{
 		key:      key,
 		prog:     prog,
 		frontier: r.table.EvalLocked(prog),
 		monitors: make(map[int]MonitorFunc),
 	}
+	r.preds[key] = p
+	r.setFrontierGauge(key, p.frontier)
 	return nil
 }
 
@@ -86,10 +143,17 @@ func (r *Registry) Change(key, source string) error {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
 	}
+	old := p.frontier
 	p.prog = prog
 	p.frontier = r.table.EvalLocked(prog)
+	newF := p.frontier
 	released := p.releaseWaitersLocked()
 	r.mu.Unlock()
+	r.setFrontierGauge(key, newF)
+	if r.onAdvance != nil && newF > old {
+		r.onAdvance(key, old, newF)
+	}
+	r.addWaiters(-len(released))
 	releaseAll(released)
 	return nil
 }
@@ -111,6 +175,10 @@ func (r *Registry) Remove(key string) error {
 	}
 	p.waiters = nil
 	r.mu.Unlock()
+	if r.frontiers != nil {
+		r.frontiers.Delete(key)
+	}
+	r.addWaiters(-len(released))
 	releaseAll(released)
 	return nil
 }
@@ -184,6 +252,7 @@ func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
 	w := waiter{seq: seq, done: make(chan struct{})}
 	p.waiters = append(p.waiters, w)
 	r.mu.Unlock()
+	r.addWaiters(1)
 
 	select {
 	case <-w.done:
@@ -203,17 +272,18 @@ func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
 
 func (r *Registry) detachWaiter(key string, done chan struct{}) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	p, ok := r.preds[key]
-	if !ok {
-		return
-	}
-	for i, w := range p.waiters {
-		if w.done == done {
-			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
-			return
+	if ok {
+		for i, w := range p.waiters {
+			if w.done == done {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				r.mu.Unlock()
+				r.addWaiters(-1)
+				return
+			}
 		}
 	}
+	r.mu.Unlock()
 }
 
 // Monitor registers fn to run each time key's frontier advances, and
@@ -247,9 +317,14 @@ func (r *Registry) Recompute() {
 		fns      []MonitorFunc
 		frontier uint64
 	}
+	type advance struct {
+		key      string
+		old, new uint64
+	}
 	var (
 		released []chan struct{}
 		firings  []firing
+		advances []advance
 	)
 	r.mu.Lock()
 	for _, p := range r.preds {
@@ -257,6 +332,7 @@ func (r *Registry) Recompute() {
 		if f <= p.frontier {
 			continue
 		}
+		advances = append(advances, advance{key: p.key, old: p.frontier, new: f})
 		p.frontier = f
 		released = append(released, p.releaseWaitersLocked()...)
 		if len(p.monitors) > 0 {
@@ -269,10 +345,26 @@ func (r *Registry) Recompute() {
 	}
 	r.mu.Unlock()
 
+	if r.recomputes != nil {
+		r.recomputes.Inc()
+	}
+	// The advance hook runs before waiters are released so observers (the
+	// core's stability-latency samples) are recorded by the time a WaitFor
+	// caller resumes.
+	for _, a := range advances {
+		r.setFrontierGauge(a.key, a.new)
+		if r.onAdvance != nil {
+			r.onAdvance(a.key, a.old, a.new)
+		}
+	}
+	r.addWaiters(-len(released))
 	releaseAll(released)
 	for _, f := range firings {
 		for _, fn := range f.fns {
 			fn(f.frontier)
+		}
+		if r.monitorFires != nil {
+			r.monitorFires.Add(int64(len(f.fns)))
 		}
 	}
 }

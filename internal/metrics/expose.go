@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// --- structured snapshot (shared by JSON exposition and tests) ---
+
+// MetricSnapshot is one metric instance inside a FamilySnapshot.
+type MetricSnapshot struct {
+	// Labels maps label names to values; empty for unlabeled metrics.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value holds counter and gauge readings.
+	Value float64 `json:"value"`
+	// Histogram holds histogram readings (nil otherwise).
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+	// P50/P99 are estimated quantiles, only set for histograms.
+	P50 float64 `json:"p50,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// FamilySnapshot is a point-in-time copy of one family.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Type    string           `json:"type"`
+	Help    string           `json:"help,omitempty"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot copies every family in the registry, sorted by name.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	fams := r.families()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Type: f.typ.String(), Help: f.help}
+		for _, ch := range f.sortedChildren() {
+			m := MetricSnapshot{}
+			if len(f.labelNames) > 0 {
+				m.Labels = make(map[string]string, len(f.labelNames))
+				for i, ln := range f.labelNames {
+					m.Labels[ln] = ch.labels[i]
+				}
+			}
+			switch {
+			case ch.c != nil:
+				m.Value = float64(ch.c.Value())
+			case ch.g != nil:
+				m.Value = float64(ch.g.Value())
+			case ch.fn != nil:
+				m.Value = ch.fn()
+			case ch.h != nil:
+				snap := ch.h.Snapshot()
+				m.Histogram = &snap
+				m.P50 = ch.h.Quantile(0.50)
+				m.P99 = ch.h.Quantile(0.99)
+			}
+			fs.Metrics = append(fs.Metrics, m)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// Find returns the snapshot of the named family, or nil if absent.
+func (r *Registry) Find(name string) *FamilySnapshot {
+	for _, fs := range r.Snapshot() {
+		if fs.Name == name {
+			return &fs
+		}
+	}
+	return nil
+}
+
+// sortedChildren returns the family's children ordered by label values.
+func (f *Family) sortedChildren() []*child {
+	f.mu.RLock()
+	keys := append([]string(nil), f.order...)
+	out := make([]*child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.children[k])
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+// --- Prometheus text exposition ---
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ch := range children {
+			switch {
+			case ch.c != nil:
+				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", float64(ch.c.Value()))
+			case ch.g != nil:
+				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", float64(ch.g.Value()))
+			case ch.fn != nil:
+				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", ch.fn())
+			case ch.h != nil:
+				writeHistogram(bw, f.name, f.labelNames, ch.labels, ch.h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram child: cumulative buckets, sum, count.
+func writeHistogram(w io.Writer, name string, labelNames, labelValues []string, h *Histogram) {
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		cum += n
+		if n == 0 && i != len(h.counts)-1 {
+			continue // skip interior empty buckets; +Inf always emitted
+		}
+		le := formatLe(h.upperBound(i))
+		writeSample(w, name+"_bucket", labelNames, labelValues, "le", le, float64(cum))
+	}
+	writeSample(w, name+"_sum", labelNames, labelValues, "", "", float64(h.sum.Load())*h.opts.Unit)
+	writeSample(w, name+"_count", labelNames, labelValues, "", "", float64(h.count.Load()))
+}
+
+// writeSample renders one sample line, appending an optional extra label
+// (used for histogram le).
+func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue string, v float64) {
+	io.WriteString(w, name)
+	if len(labelNames) > 0 || extraName != "" {
+		io.WriteString(w, "{")
+		first := true
+		for i, ln := range labelNames {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "%s=%q", ln, labelValues[i])
+		}
+		if extraName != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", extraName, extraValue)
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatValue(v))
+	io.WriteString(w, "\n")
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// --- HTTP exposition ---
+
+// Handler serves the registry: Prometheus text format by default, JSON with
+// ?format=json or an Accept header preferring application/json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Families []FamilySnapshot `json:"families"`
+			}{r.Snapshot()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve binds addr and serves reg at /metrics in the background, plus any
+// extra handlers (path → handler). It returns once the listener is bound;
+// callers Close the returned server on shutdown.
+func Serve(addr string, reg *Registry, extra map[string]http.Handler) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, Addr: ln.Addr().String()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

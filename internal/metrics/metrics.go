@@ -1,0 +1,311 @@
+// Package metrics is Stabilizer's instrumentation substrate: a stdlib-only,
+// allocation-free-on-hot-path metrics library. It offers atomic Counter and
+// Gauge primitives, a fixed-bucket log-scale Histogram (suited to latencies
+// in nanoseconds and sizes in bytes), and a Registry of named families with
+// optional labels. Exposition (Prometheus text format, JSON, HTTP) lives in
+// expose.go.
+//
+// Hot-path rule: resolve labeled children once (Vec.With) and keep the
+// returned pointer; Inc/Add/Set/Observe on a resolved child is a single
+// atomic operation with no allocation and no map lookup.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; negative deltas are ignored to preserve
+// monotonicity.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that may go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// MetricType discriminates family kinds.
+type MetricType uint8
+
+// Family kinds.
+const (
+	TypeCounter MetricType = iota + 1
+	TypeGauge
+	TypeGaugeFunc
+	TypeHistogram
+)
+
+// String returns the Prometheus TYPE keyword for t.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge, TypeGaugeFunc:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// child is one metric instance inside a family (one per label-value tuple).
+type child struct {
+	labels []string // label values, parallel to family.labelNames
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// Family is a named group of metric instances sharing a type, help string
+// and label schema.
+type Family struct {
+	name       string
+	help       string
+	typ        MetricType
+	labelNames []string
+	hopts      HistogramOpts
+
+	mu       sync.RWMutex
+	children map[string]*child
+	order    []string // insertion-ordered child keys, sorted at exposition
+}
+
+// Name returns the family name.
+func (f *Family) Name() string { return f.name }
+
+// Type returns the family's metric type.
+func (f *Family) Type() MetricType { return f.typ }
+
+// labelKey joins label values into a map key. 0xff cannot appear in UTF-8
+// text, making the join unambiguous.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// get returns the child for values, creating it with mk on first use.
+func (f *Family) get(values []string, mk func() *child) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: family %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	k := labelKey(values)
+	f.mu.RLock()
+	ch := f.children[k]
+	f.mu.RUnlock()
+	if ch != nil {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch = f.children[k]; ch != nil {
+		return ch
+	}
+	ch = mk()
+	ch.labels = append([]string(nil), values...)
+	f.children[k] = ch
+	f.order = append(f.order, k)
+	return ch
+}
+
+// delete removes the child for values (no-op when absent).
+func (f *Family) delete(values []string) {
+	k := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[k]; !ok {
+		return
+	}
+	delete(f.children, k)
+	for i, o := range f.order {
+		if o == k {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *Family }
+
+// With returns the counter for the given label values, creating it on first
+// use. Hot paths should call With once and retain the result.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() *child { return &child{c: &Counter{}} }).c
+}
+
+// Delete drops the child for the given label values.
+func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *Family }
+
+// With returns the gauge for the given label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() *child { return &child{g: &Gauge{}} }).g
+}
+
+// Delete drops the child for the given label values.
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *Family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() *child { return &child{h: newHistogram(v.f.hopts)} }).h
+}
+
+// Delete drops the child for the given label values.
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }
+
+// Registry holds metric families keyed by name. Lookups are get-or-create:
+// fetching an existing family with a compatible schema returns it, letting
+// independent components share families; an incompatible re-registration
+// panics (it is a programming error).
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*Family)}
+}
+
+// family gets or creates a family, validating schema compatibility.
+func (r *Registry) family(name, help string, typ MetricType, labels []string, hopts HistogramOpts) *Family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid family name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q in family %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labelNames) != len(labels) {
+			panic(fmt.Sprintf("metrics: family %q re-registered with a different schema", name))
+		}
+		for i := range labels {
+			if f.labelNames[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: family %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &Family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: append([]string(nil), labels...),
+		hopts:      hopts.normalized(),
+		children:   make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter named name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec returns the labeled counter family named name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, TypeCounter, labels, HistogramOpts{})}
+}
+
+// Gauge returns the unlabeled gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec returns the labeled gauge family named name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, TypeGauge, labels, HistogramOpts{})}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time (for cheap reads of externally owned state, e.g. buffer sizes).
+// Re-registering the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, TypeGaugeFunc, nil, HistogramOpts{})
+	ch := f.get(nil, func() *child { return &child{} })
+	f.mu.Lock()
+	ch.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns the unlabeled histogram named name.
+func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
+	return r.HistogramVec(name, help, opts).With()
+}
+
+// HistogramVec returns the labeled histogram family named name.
+func (r *Registry) HistogramVec(name, help string, opts HistogramOpts, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, TypeHistogram, labels, opts)}
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*Family {
+	r.mu.RLock()
+	out := make([]*Family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// validName reports whether s is a legal Prometheus metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

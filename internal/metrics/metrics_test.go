@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestVecWithReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "peer")
+	a := v.With("2")
+	b := v.With("2")
+	if a != b {
+		t.Fatal("With with equal labels returned distinct counters")
+	}
+	if v.With("3") == a {
+		t.Fatal("With with different labels returned the same counter")
+	}
+	// Get-or-create: re-fetching the family yields the same children.
+	if r.CounterVec("test_total", "help", "peer").With("2") != a {
+		t.Fatal("re-fetched family lost its children")
+	}
+}
+
+func TestRegistrySchemaMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram(HistogramOpts{Unit: 1, MinPow: 2, MaxPow: 6})
+	// Buckets (inclusive upper bounds): 4, 8, 16, 32, 64, +Inf.
+	for _, v := range []int64{0, 3, 4, 5, 9, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	s := h.Snapshot()
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 7 {
+		t.Fatalf("bucket counts sum to %d, want 7", total)
+	}
+	// 0 and 3 land in the first bucket (le=4); 4 and 5 in le=8; 9 in le=16;
+	// 100 and 2^40 overflow into +Inf.
+	want := map[float64]int64{4: 2, 8: 2, 16: 1, math.Inf(1): 2}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%v count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 16 {
+		t.Fatalf("p50 = %v out of sane range", q)
+	}
+	if q := h.Quantile(1); q != 64 {
+		t.Fatalf("p100 = %v, want overflow lower bound 64", q)
+	}
+}
+
+// TestHistogramConcurrency hammers one histogram from parallel observers
+// while a reader snapshots, quantiles and renders it. Run under -race.
+func TestHistogramConcurrency(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "help", LatencyOpts, "key")
+	h := hv.With("k")
+
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() { // reader
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot()
+			_ = h.Quantile(0.99)
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(seed int64) {
+			defer writerWg.Done()
+			v := seed
+			for i := 0; i < perWriter; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				hv.With("k").Observe(v % (1 << 30)) // resolve + observe concurrently
+			}
+		}(int64(w + 1))
+	}
+	writerWg.Wait()
+	close(stop)
+	readerWg.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+	s := h.Snapshot()
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != writers*perWriter {
+		t.Fatalf("buckets sum to %d, want %d", total, writers*perWriter)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("stab_bytes_total", "bytes moved", "peer").With("2").Add(17)
+	r.Gauge("stab_up", "liveness").Set(1)
+	r.GaugeFunc("stab_buffered_bytes", "buffer", func() float64 { return 3.5 })
+	r.Histogram("stab_lat_seconds", "latency", HistogramOpts{Unit: 1e-9, MinPow: 10, MaxPow: 20}).Observe(2048)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stab_bytes_total counter",
+		`stab_bytes_total{peer="2"} 17`,
+		"# TYPE stab_up gauge",
+		"stab_up 1",
+		"stab_buffered_bytes 3.5",
+		"# TYPE stab_lat_seconds histogram",
+		`stab_lat_seconds_bucket{le="+Inf"} 1`,
+		"stab_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"stabilizer/internal/metrics"
 	"stabilizer/internal/wire"
 )
 
@@ -30,6 +31,7 @@ type ackKey struct {
 type link struct {
 	t    *Transport
 	peer int
+	ins  *peerInstruments
 
 	mu   sync.Mutex
 	cond sync.Cond
@@ -45,6 +47,16 @@ type link struct {
 	hbClock  uint64
 	dataTick uint64 // bumped by signal(); lets waiters notice new log entries
 	closed   bool
+	// hbSentClock/hbSentAt record the newest heartbeat written on the
+	// current connection; the peer echoes it back and the drain goroutine
+	// turns the match into an RTT sample.
+	hbSentClock uint64
+	hbSentAt    time.Time
+
+	// maxDataSeq is the highest data sequence ever written on any
+	// connection of this link; entries at or below it are resends.
+	// Touched only by the run/stream goroutine.
+	maxDataSeq uint64
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -54,6 +66,7 @@ func newLink(t *Transport, peer int) *link {
 	l := &link{
 		t:    t,
 		peer: peer,
+		ins:  t.peers[peer],
 		acks: make(map[ackKey]uint64),
 		sent: make(map[ackKey]uint64),
 	}
@@ -144,6 +157,7 @@ func (l *link) close() {
 func (l *link) run() {
 	defer l.t.wg.Done()
 	backoff := 50 * time.Millisecond
+	connected := false
 	for {
 		if l.isClosed() {
 			return
@@ -158,6 +172,11 @@ func (l *link) run() {
 			}
 			continue
 		}
+		if connected {
+			l.t.reconnects.Add(1)
+			l.ins.reconn.Inc()
+		}
+		connected = true
 		backoff = 50 * time.Millisecond
 		l.resetSent()
 		l.stream(conn, lastSeq+1)
@@ -209,16 +228,34 @@ func (l *link) dial() (net.Conn, uint64, error) {
 	l.t.heard(l.peer)
 
 	// Drain the reverse direction so connection teardown is noticed even
-	// while the writer is idle; peers do not send frames here.
+	// while the writer is idle. The only frames peers send here are
+	// heartbeat echoes, which double as RTT probes and liveness evidence.
 	go func() {
 		for {
-			if _, err := r.Next(); err != nil {
+			msg, err := r.Next()
+			if err != nil {
 				_ = conn.Close()
 				return
+			}
+			if hb, ok := msg.(*wire.Heartbeat); ok {
+				l.observeEcho(hb.Clock)
 			}
 		}
 	}()
 	return conn, ack.LastSeq, nil
+}
+
+// observeEcho matches a heartbeat echo against the newest heartbeat written
+// and records the round trip.
+func (l *link) observeEcho(clock uint64) {
+	l.mu.Lock()
+	match := clock == l.hbSentClock && !l.hbSentAt.IsZero()
+	sentAt := l.hbSentAt
+	l.mu.Unlock()
+	if match {
+		l.ins.hbRTT.Observe(time.Since(sentAt).Nanoseconds())
+	}
+	l.t.heard(l.peer)
 }
 
 // batchLimit caps how many data frames are written before re-checking the
@@ -241,7 +278,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return // resetSent on reconnect resyncs everything
 			}
-			l.t.bytesSent.Add(int64(len(frame)))
+			l.countSent(len(frame), l.ins.ackSent)
 			wrote = true
 		}
 		for _, a := range apps {
@@ -249,7 +286,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.t.bytesSent.Add(int64(len(frame)))
+			l.countSent(len(frame), l.ins.appSent)
 			wrote = true
 		}
 		if hb {
@@ -257,7 +294,10 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.t.bytesSent.Add(int64(len(frame)))
+			l.countSent(len(frame), l.ins.hbSent)
+			l.mu.Lock()
+			l.hbSentClock, l.hbSentAt = hbClock, time.Now()
+			l.mu.Unlock()
 			wrote = true
 		}
 		for i := 0; i < batchLimit; i++ {
@@ -274,8 +314,14 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.t.bytesSent.Add(int64(len(frame)))
+			l.countSent(len(frame), l.ins.dataSent)
 			l.t.dataSent.Add(1)
+			if entry.Seq <= l.maxDataSeq {
+				l.t.resent.Add(1)
+				l.ins.resent.Inc()
+			} else {
+				l.maxDataSeq = entry.Seq
+			}
 			wrote = true
 		}
 		if wrote {
@@ -288,6 +334,14 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			return
 		}
 	}
+}
+
+// countSent records one written frame in the transport total and the
+// per-peer byte and frame-kind counters.
+func (l *link) countSent(n int, kind *metrics.Counter) {
+	l.t.bytesSent.Add(int64(n))
+	l.ins.bytesSent.Add(int64(n))
+	kind.Inc()
 }
 
 // takeControl atomically drains the control outbox. ok is false once the

@@ -3,12 +3,15 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
 	"stabilizer/internal/wire"
 )
 
@@ -51,6 +54,30 @@ type Config struct {
 	PeerTimeout time.Duration
 	// Epoch identifies this process incarnation.
 	Epoch uint64
+	// Metrics receives the transport's instrumentation families
+	// (stabilizer_transport_*). Nil uses a private registry so the
+	// counters still exist for Stats-style snapshots.
+	Metrics *metrics.Registry
+}
+
+// peerInstruments are the per-peer metric instances, resolved once at
+// startup so hot paths touch only atomics.
+type peerInstruments struct {
+	bytesSent *metrics.Counter
+	bytesRecv *metrics.Counter
+	dataSent  *metrics.Counter
+	ackSent   *metrics.Counter
+	appSent   *metrics.Counter
+	hbSent    *metrics.Counter
+	dataRecv  *metrics.Counter
+	ackRecv   *metrics.Counter
+	appRecv   *metrics.Counter
+	hbRecv    *metrics.Counter
+	resent    *metrics.Counter
+	reconn    *metrics.Counter
+	fdTrips   *metrics.Counter
+	hbRTT     *metrics.Histogram
+	up        *metrics.Gauge
 }
 
 // Transport connects the local node to every peer: it owns one outgoing
@@ -60,7 +87,8 @@ type Transport struct {
 	cfg      Config
 	listener net.Listener
 
-	links map[int]*link // keyed by peer index
+	links map[int]*link            // keyed by peer index
+	peers map[int]*peerInstruments // keyed by peer index
 
 	recvMu   sync.Mutex
 	recvLast map[int]uint64    // highest contiguous data seq received per peer
@@ -76,8 +104,15 @@ type Transport struct {
 	closed  atomic.Bool
 	started atomic.Bool
 
-	bytesSent atomic.Int64
-	dataSent  atomic.Int64
+	// Process-wide totals, independent of the per-peer metric families so
+	// snapshot getters stay exact and O(1).
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	dataSent   atomic.Int64
+	dataRecv   atomic.Int64
+	resent     atomic.Int64
+	reconnects atomic.Int64
+	fdTrips    atomic.Int64
 }
 
 // New creates a transport. Call Start to begin dialing and accepting.
@@ -100,9 +135,13 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.PeerTimeout <= 0 {
 		cfg.PeerTimeout = 4 * cfg.HeartbeatEvery
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	t := &Transport{
 		cfg:       cfg,
 		links:     make(map[int]*link, cfg.N-1),
+		peers:     make(map[int]*peerInstruments, cfg.N-1),
 		recvLast:  make(map[int]uint64, cfg.N-1),
 		incoming:  make(map[int]net.Conn, cfg.N-1),
 		accepted:  make(map[net.Conn]bool, cfg.N-1),
@@ -110,9 +149,37 @@ func New(cfg Config) (*Transport, error) {
 		peerUp:    make(map[int]bool, cfg.N-1),
 		stop:      make(chan struct{}),
 	}
+	m := cfg.Metrics
+	bytesSent := m.CounterVec("stabilizer_transport_bytes_sent_total", "Frame bytes written per peer.", "peer")
+	bytesRecv := m.CounterVec("stabilizer_transport_bytes_recv_total", "Frame bytes read per peer (post-handshake).", "peer")
+	framesSent := m.CounterVec("stabilizer_transport_frames_sent_total", "Frames written per peer and kind.", "peer", "kind")
+	framesRecv := m.CounterVec("stabilizer_transport_frames_recv_total", "Frames read per peer and kind.", "peer", "kind")
+	resent := m.CounterVec("stabilizer_transport_data_resent_total", "Data frames retransmitted after reconnect, per peer.", "peer")
+	reconn := m.CounterVec("stabilizer_transport_reconnects_total", "Successful re-dials after the first connection, per peer.", "peer")
+	fdTrips := m.CounterVec("stabilizer_transport_failure_detector_trips_total", "Failure detector suspicions raised per peer.", "peer")
+	hbRTT := m.HistogramVec("stabilizer_transport_heartbeat_rtt_seconds", "Heartbeat echo round-trip time per peer.", metrics.LatencyOpts, "peer")
+	up := m.GaugeVec("stabilizer_transport_peer_up", "1 while the peer is considered alive.", "peer")
 	for p := 1; p <= cfg.N; p++ {
 		if p == cfg.Self {
 			continue
+		}
+		ps := strconv.Itoa(p)
+		t.peers[p] = &peerInstruments{
+			bytesSent: bytesSent.With(ps),
+			bytesRecv: bytesRecv.With(ps),
+			dataSent:  framesSent.With(ps, "data"),
+			ackSent:   framesSent.With(ps, "ack"),
+			appSent:   framesSent.With(ps, "app"),
+			hbSent:    framesSent.With(ps, "heartbeat"),
+			dataRecv:  framesRecv.With(ps, "data"),
+			ackRecv:   framesRecv.With(ps, "ack"),
+			appRecv:   framesRecv.With(ps, "app"),
+			hbRecv:    framesRecv.With(ps, "heartbeat"),
+			resent:    resent.With(ps),
+			reconn:    reconn.With(ps),
+			fdTrips:   fdTrips.With(ps),
+			hbRTT:     hbRTT.With(ps),
+			up:        up.With(ps),
 		}
 		t.links[p] = newLink(t, p)
 	}
@@ -199,9 +266,25 @@ func (t *Transport) SendApp(peer int, a *wire.App) error {
 // BytesSent reports the total frame bytes written on outgoing links.
 func (t *Transport) BytesSent() int64 { return t.bytesSent.Load() }
 
+// BytesRecv reports the total frame bytes read on incoming links.
+func (t *Transport) BytesRecv() int64 { return t.bytesRecv.Load() }
+
 // DataSent reports the number of data frames written (retransmissions
 // included).
 func (t *Transport) DataSent() int64 { return t.dataSent.Load() }
+
+// DataRecv reports the number of data frames read (duplicates included).
+func (t *Transport) DataRecv() int64 { return t.dataRecv.Load() }
+
+// Resent reports the number of data frames rewritten after reconnects.
+func (t *Transport) Resent() int64 { return t.resent.Load() }
+
+// Reconnects reports successful re-dials after each link's first connect.
+func (t *Transport) Reconnects() int64 { return t.reconnects.Load() }
+
+// FailureDetectorTrips reports how many times a live peer was declared
+// suspect.
+func (t *Transport) FailureDetectorTrips() int64 { return t.fdTrips.Load() }
 
 // RecvLast returns the highest contiguous data sequence received from peer.
 func (t *Transport) RecvLast(peer int) uint64 {
@@ -209,6 +292,21 @@ func (t *Transport) RecvLast(peer int) uint64 {
 	defer t.recvMu.Unlock()
 	return t.recvLast[peer]
 }
+
+// RecvLastAll returns the highest contiguous data sequence received from
+// every peer that has sent data.
+func (t *Transport) RecvLastAll() map[int]uint64 {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	out := make(map[int]uint64, len(t.recvLast))
+	for p, s := range t.recvLast {
+		out[p] = s
+	}
+	return out
+}
+
+// peerIns returns peer's resolved instruments (nil for unknown peers).
+func (t *Transport) peerIns(peer int) *peerInstruments { return t.peers[peer] }
 
 // --- accept path ---
 
@@ -232,6 +330,26 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
+// countingReader counts bytes flowing through an incoming connection into
+// the transport-wide total and, once the handshake identifies the peer, a
+// per-peer counter.
+type countingReader struct {
+	r     io.Reader
+	total *atomic.Int64
+	peer  atomic.Pointer[metrics.Counter]
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.total.Add(int64(n))
+		if c := cr.peer.Load(); c != nil {
+			c.Add(int64(n))
+		}
+	}
+	return n, err
+}
+
 func (t *Transport) serveIncoming(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -240,7 +358,8 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		t.recvMu.Unlock()
 		_ = conn.Close()
 	}()
-	r := wire.NewReader(conn)
+	cr := &countingReader{r: conn, total: &t.bytesRecv}
+	r := wire.NewReader(cr)
 	msg, err := r.Next()
 	if err != nil {
 		_ = conn.Close()
@@ -252,6 +371,8 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		return
 	}
 	from := int(hello.From)
+	ins := t.peerIns(from)
+	cr.peer.Store(ins.bytesRecv)
 
 	t.recvMu.Lock()
 	if old := t.incoming[from]; old != nil {
@@ -281,15 +402,25 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		t.heard(from)
 		switch m := msg.(type) {
 		case *wire.Data:
+			t.dataRecv.Add(1)
+			ins.dataRecv.Inc()
 			if t.acceptData(from, m.Seq) {
 				t.cfg.Handler.HandleData(from, m)
 			}
 		case *wire.Ack:
+			ins.ackRecv.Inc()
 			t.cfg.Handler.HandleAck(m)
 		case *wire.App:
+			ins.appRecv.Inc()
 			t.cfg.Handler.HandleApp(from, m)
 		case *wire.Heartbeat:
-			// Liveness only.
+			// Echo the heartbeat so the dialer can measure round-trip
+			// time; this goroutine is the connection's only writer after
+			// the HelloAck, so the write is race-free.
+			ins.hbRecv.Inc()
+			if err := wire.WriteFrame(conn, m); err != nil {
+				_ = conn.Close()
+			}
 		case *wire.Hello, *wire.HelloAck:
 			// Unexpected mid-stream; ignore.
 		}
@@ -318,6 +449,9 @@ func (t *Transport) heard(peer int) {
 	t.peerUp[peer] = true
 	t.liveMu.Unlock()
 	if !wasUp {
+		if ins := t.peerIns(peer); ins != nil {
+			ins.up.Set(1)
+		}
 		t.cfg.Handler.PeerUp(peer)
 	}
 }
@@ -341,6 +475,11 @@ func (t *Transport) failureDetector() {
 			}
 			t.liveMu.Unlock()
 			for _, p := range downs {
+				t.fdTrips.Add(1)
+				if ins := t.peerIns(p); ins != nil {
+					ins.fdTrips.Inc()
+					ins.up.Set(0)
+				}
 				t.cfg.Handler.PeerDown(p)
 			}
 		}

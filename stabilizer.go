@@ -33,9 +33,12 @@
 package stabilizer
 
 import (
+	"net/http"
+
 	"stabilizer/internal/config"
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
 )
 
 // Re-exported core types: the root package is a thin facade over
@@ -57,6 +60,12 @@ type (
 	Persister = core.Persister
 	// Stats is a point-in-time node state snapshot.
 	Stats = core.Stats
+	// DebugSnapshot is a JSON-friendly control-plane dump (Node.DebugSnapshot).
+	DebugSnapshot = core.DebugSnapshot
+
+	// MetricsRegistry collects a node's instrumentation; pass one per
+	// node via Config.Metrics and expose it with ServeMetrics.
+	MetricsRegistry = metrics.Registry
 
 	// Topology describes the WAN deployment.
 	Topology = config.Topology
@@ -73,6 +82,16 @@ type (
 
 // Open starts a Stabilizer node and connects it to its peers.
 func Open(cfg Config) (*Node, error) { return core.Open(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics binds addr and serves reg at /metrics (Prometheus text
+// format; JSON with ?format=json) in the background, plus any extra
+// handlers keyed by path. Close the returned server on shutdown.
+func ServeMetrics(addr string, reg *MetricsRegistry, extra map[string]http.Handler) (*http.Server, error) {
+	return metrics.Serve(addr, reg, extra)
+}
 
 // LoadTopology reads and validates a topology JSON file.
 func LoadTopology(path string) (*Topology, error) { return config.Load(path) }
