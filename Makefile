@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-transport bench-transport-short
 
 check: vet build race
 
@@ -18,3 +18,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-transport reruns the data-plane microbenchmarks (wire codec,
+# send-log drain, end-to-end stream throughput) and rewrites the "current"
+# run in BENCH_transport.json, preserving the recorded pre-batching
+# baseline.
+bench-transport:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/wire ./internal/transport \
+	  | $(GO) run ./cmd/benchjson -update BENCH_transport.json
+
+# bench-transport-short is the CI smoke variant: a few iterations per
+# benchmark, no JSON rewrite — it only proves the benchmarks still run.
+bench-transport-short:
+	$(GO) test -bench=. -benchmem -benchtime=10x -run=^$$ ./internal/wire ./internal/transport

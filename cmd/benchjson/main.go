@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON record, so benchmark results can be checked in and diffed.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson            # JSON to stdout
+//	go test -bench=. -benchmem ./... | benchjson -update F  # rewrite F
+//
+// With -update, the parsed run is stored under "current"; an existing
+// file's "baseline" section is preserved so the pre-optimization numbers
+// survive regeneration. A fresh file seeds "baseline" from the first run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op", "B/op", "allocs/op",
+	// "MB/s" and any b.ReportMetric unit such as "msgs/s".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run is one benchmark invocation.
+type Run struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// File is the on-disk layout of BENCH_*.json records.
+type File struct {
+	Note     string `json:"note,omitempty"`
+	Baseline *Run   `json:"baseline,omitempty"`
+	Current  *Run   `json:"current,omitempty"`
+}
+
+func main() {
+	update := flag.String("update", "", "rewrite this JSON file, preserving its baseline section")
+	note := flag.String("note", "", "free-form note stored in the file (only with -update on a fresh file)")
+	flag.Parse()
+
+	run := &Run{Date: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through so failures stay visible
+		if strings.HasPrefix(line, "go: ") || strings.HasPrefix(line, "goos:") {
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			run.Benchmarks = append(run.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("read stdin: %v", err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatalf("no benchmark lines found on stdin")
+	}
+
+	if *update == "" {
+		emit(os.Stdout, &File{Current: run})
+		return
+	}
+	out := &File{Note: *note, Baseline: run, Current: run}
+	if data, err := os.ReadFile(*update); err == nil {
+		var prev File
+		if err := json.Unmarshal(data, &prev); err != nil {
+			fatalf("parse %s: %v", *update, err)
+		}
+		if prev.Baseline != nil {
+			out.Baseline = prev.Baseline
+		}
+		if prev.Note != "" && *note == "" {
+			out.Note = prev.Note
+		}
+	}
+	f, err := os.Create(*update)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	emit(f, out)
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// parseLine parses one `Benchmark...` result line: a name, an iteration
+// count, then (value, unit) pairs.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashSuffix(fields[0])),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// lastDashSuffix returns the trailing -N GOMAXPROCS suffix digits of a
+// benchmark name, or "" when there is none.
+func lastDashSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	suf := name[i+1:]
+	if _, err := strconv.Atoi(suf); err != nil {
+		return ""
+	}
+	return suf
+}
+
+func emit(w *os.File, f *File) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		fatalf("encode: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

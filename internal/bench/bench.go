@@ -21,6 +21,7 @@ import (
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/transport"
 )
 
 // Options configure an experiment run.
@@ -41,6 +42,12 @@ type Options struct {
 	// Families are get-or-create, so successive clusters accumulate into
 	// the same counters.
 	Metrics *metrics.Registry
+	// Batch overrides the data-plane batching knobs on every node the
+	// experiment starts (zero value = transport defaults). Note the
+	// RTT-adaptive byte budget already tracks TimeScale implicitly: the
+	// scaled heartbeat RTT shrinks the bandwidth-delay product along with
+	// the emulated latencies.
+	Batch transport.BatchConfig
 }
 
 func (o Options) normalized() Options {
@@ -85,6 +92,7 @@ func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*
 			Network:        c.net,
 			HeartbeatEvery: 100 * time.Millisecond,
 			PeerTimeout:    5 * time.Second,
+			Batch:          opts.Batch,
 		}
 		if i == 1 {
 			cfg.Metrics = opts.Metrics

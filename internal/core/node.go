@@ -104,6 +104,9 @@ type Config struct {
 	// always collected; pass one registry per node — families are
 	// node-scoped and would collide if shared.
 	Metrics *metrics.Registry
+	// Batch tunes the transport's data-plane batching (RTT-adaptive batch
+	// byte budgets per link); zero values pick the transport defaults.
+	Batch transport.BatchConfig
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -220,6 +223,7 @@ func Open(cfg Config) (*Node, error) {
 		PeerTimeout:    cfg.PeerTimeout,
 		Epoch:          cfg.Epoch,
 		Metrics:        mreg,
+		Batch:          cfg.Batch,
 	})
 	if err != nil {
 		return nil, err

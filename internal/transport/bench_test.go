@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/wire"
+)
+
+// countHandler counts delivered data frames and ignores everything else.
+type countHandler struct {
+	n atomic.Int64
+}
+
+func (h *countHandler) HandleData(from int, d *wire.Data) { h.n.Add(1) }
+func (h *countHandler) HandleAck(a *wire.Ack)             {}
+func (h *countHandler) HandleApp(from int, a *wire.App)   {}
+func (h *countHandler) PeerUp(peer int)                   {}
+func (h *countHandler) PeerDown(peer int)                 {}
+
+// BenchmarkSendLogAppendDrain measures the per-entry append + cursor-walk
+// cost of the shared send log, including periodic reclaim.
+func BenchmarkSendLogAppendDrain(b *testing.B) {
+	l := NewSendLog(1)
+	payload := make([]byte, 64)
+	cursor := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		e, ok := l.TryNext(cursor)
+		if !ok {
+			b.Fatal("entry not ready")
+		}
+		cursor = e.Seq + 1
+		if i%4096 == 4095 {
+			l.TruncateThrough(e.Seq)
+		}
+	}
+}
+
+// BenchmarkSendLogAppendDrainBatch is BenchmarkSendLogAppendDrain with the
+// batched drain path: one lock acquisition per run of entries instead of
+// one per entry.
+func BenchmarkSendLogAppendDrainBatch(b *testing.B) {
+	l := NewSendLog(1)
+	payload := make([]byte, 64)
+	cursor := uint64(1)
+	var batch []LogEntry
+	const run = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += run {
+		n := run
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			if _, err := l.Append(payload, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		batch = l.TryNextBatch(cursor, batch[:0], n, 1<<20)
+		if len(batch) != n {
+			b.Fatalf("drained %d of %d", len(batch), n)
+		}
+		cursor = batch[len(batch)-1].Seq + 1
+		l.TruncateThrough(cursor - 1)
+	}
+}
+
+// benchmarkThroughput streams b.N messages from node 1 to node 2 over the
+// given matrix and reports the end-to-end delivery rate.
+func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int) {
+	b.Helper()
+	net := emunet.NewMemNetwork(matrix)
+	defer net.Close()
+	sendLog := NewSendLog(1)
+	rx := &countHandler{}
+	tr1, err := New(Config{
+		Self: 1, N: 2, Network: net, Handler: &countHandler{}, Log: sendLog,
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr2, err := New(Config{
+		Self: 2, N: 2, Network: net, Handler: rx, Log: NewSendLog(1),
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr1.Start(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tr2.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer tr1.Close()
+	defer tr2.Close()
+
+	payload := make([]byte, payloadSize)
+	const window = 8192 // max in-flight messages, bounds log growth
+	b.SetBytes(int64(payloadSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		recvd := int(rx.n.Load())
+		if sent-recvd >= window {
+			sendLog.TruncateThrough(uint64(recvd))
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		if _, err := sendLog.Append(payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		tr1.NotifyData()
+		sent++
+	}
+	for int(rx.n.Load()) < b.N {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "msgs/s")
+	}
+}
+
+// BenchmarkStreamThroughputLocal measures delivery rate over an unshaped
+// in-memory fabric: the pure software overhead of the send/receive path.
+func BenchmarkStreamThroughputLocal(b *testing.B) {
+	benchmarkThroughput(b, nil, 256)
+}
+
+// BenchmarkStreamThroughputEmunet measures delivery rate over an
+// emunet-shaped WAN link (5 ms one-way, 2 Gbit/s), where batching and
+// pipelining decide how close the stream gets to saturating the link.
+func BenchmarkStreamThroughputEmunet(b *testing.B) {
+	m := emunet.NewMatrix()
+	m.Default = emunet.Link{OneWayLatency: 5 * time.Millisecond, BandwidthBps: emunet.Mbps(2000)}
+	benchmarkThroughput(b, m, 256)
+}

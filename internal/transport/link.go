@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stabilizer/internal/metrics"
@@ -33,15 +34,24 @@ type link struct {
 	peer int
 	ins  *peerInstruments
 
+	// notified coalesces data wakeups: it is set by the first NotifyData
+	// after the writer goes idle and cleared by the writer before it
+	// re-checks for work, so a burst of Sends costs one cond broadcast
+	// per idle link instead of one per message.
+	notified atomic.Bool
+
 	mu   sync.Mutex
 	cond sync.Cond
 	// acks holds the latest known value per slot and is never cleared;
 	// sent holds what has been written on the *current* connection. On
 	// reconnect sent is reset, so the full control state is resynced —
 	// monotonicity makes the resend harmless (SST-style control plane).
-	acks     map[ackKey]uint64
-	sent     map[ackKey]uint64
+	acks map[ackKey]uint64
+	sent map[ackKey]uint64
+	// dirty is the emission queue; dirtySet mirrors it for O(1)
+	// already-queued checks.
 	dirty    []ackKey
+	dirtySet map[ackKey]struct{}
 	apps     []*wire.App
 	hbDue    bool
 	hbClock  uint64
@@ -57,6 +67,15 @@ type link struct {
 	// connection of this link; entries at or below it are resends.
 	// Touched only by the run/stream goroutine.
 	maxDataSeq uint64
+	// batch is the reusable drain buffer for TryNextBatch; budgetBytes
+	// caches the adaptive batch budget and budgetAge counts batches until
+	// the next recomputation. Run/stream goroutine only.
+	batch       []LogEntry
+	budgetBytes int
+	budgetAge   int
+	// scratch is the handshake frame buffer, reused across redials.
+	// Run goroutine only.
+	scratch []byte
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -64,11 +83,12 @@ type link struct {
 
 func newLink(t *Transport, peer int) *link {
 	l := &link{
-		t:    t,
-		peer: peer,
-		ins:  t.peers[peer],
-		acks: make(map[ackKey]uint64),
-		sent: make(map[ackKey]uint64),
+		t:        t,
+		peer:     peer,
+		ins:      t.peers[peer],
+		acks:     make(map[ackKey]uint64),
+		sent:     make(map[ackKey]uint64),
+		dirtySet: make(map[ackKey]struct{}),
 	}
 	l.cond.L = &l.mu
 	return l
@@ -82,27 +102,30 @@ func (l *link) signal() {
 	l.cond.Broadcast()
 }
 
+// notifyData coalesces send-log wakeups: only the first notification after
+// the writer went idle pays for the lock and broadcast; the rest of a burst
+// is a single atomic load.
+func (l *link) notifyData() {
+	if l.notified.Load() {
+		return
+	}
+	if !l.notified.Swap(true) {
+		l.signal()
+	}
+}
+
 func (l *link) queueAck(a wire.Ack) {
 	k := ackKey{origin: a.Origin, by: a.By, typ: a.Type}
 	l.mu.Lock()
 	if prev, ok := l.acks[k]; !ok || a.Seq > prev {
 		l.acks[k] = a.Seq
-		if !l.isDirty(k) {
+		if _, queued := l.dirtySet[k]; !queued {
 			l.dirty = append(l.dirty, k)
+			l.dirtySet[k] = struct{}{}
 		}
 	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
-}
-
-// isDirty reports whether k is already queued for emission. Caller holds mu.
-func (l *link) isDirty(k ackKey) bool {
-	for _, d := range l.dirty {
-		if d == k {
-			return true
-		}
-	}
-	return false
 }
 
 // resetSent forgets per-connection send state so the next stream resyncs
@@ -112,8 +135,10 @@ func (l *link) resetSent() {
 	defer l.mu.Unlock()
 	l.sent = make(map[ackKey]uint64, len(l.acks))
 	l.dirty = l.dirty[:0]
+	clear(l.dirtySet)
 	for k := range l.acks {
 		l.dirty = append(l.dirty, k)
+		l.dirtySet[k] = struct{}{}
 	}
 }
 
@@ -207,7 +232,8 @@ func (l *link) dial() (net.Conn, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := wire.WriteFrame(conn, &wire.Hello{From: uint16(l.t.cfg.Self), Epoch: l.t.cfg.Epoch}); err != nil {
+	l.scratch = wire.AppendFrame(l.scratch[:0], &wire.Hello{From: uint16(l.t.cfg.Self), Epoch: l.t.cfg.Epoch})
+	if _, err := conn.Write(l.scratch); err != nil {
 		_ = conn.Close()
 		return nil, 0, err
 	}
@@ -258,35 +284,71 @@ func (l *link) observeEcho(clock uint64) {
 	l.t.heard(l.peer)
 }
 
-// batchLimit caps how many data frames are written before re-checking the
-// control outbox, so ACKs interleave with bulk data.
-const batchLimit = 32
+// budgetRefreshEvery is how many data batches are sized from one cached
+// budget before the heartbeat-RTT histogram is consulted again.
+const budgetRefreshEvery = 32
+
+// batchBudget returns the link's current data-batch byte budget, sized
+// bandwidth-delay-product style from the observed heartbeat RTT: slower
+// links get bigger batches (budget = RTT × assumed bandwidth), clamped to
+// [BatchMinBytes, BatchMaxBytes]. Before any RTT sample exists the budget
+// is the configured minimum, which keeps fresh links latency-friendly.
+// The histogram scan is amortized over budgetRefreshEvery batches.
+func (l *link) batchBudget() int {
+	if l.budgetAge > 0 {
+		l.budgetAge--
+		return l.budgetBytes
+	}
+	l.budgetAge = budgetRefreshEvery
+	cfg := &l.t.cfg.Batch
+	rttSec := l.ins.hbRTT.Quantile(0.5)
+	b := int(rttSec * cfg.BandwidthBps / 8)
+	if b < cfg.MinBytes {
+		b = cfg.MinBytes
+	}
+	if b > cfg.MaxBytes {
+		b = cfg.MaxBytes
+	}
+	l.budgetBytes = b
+	return b
+}
 
 // stream multiplexes outbox + send log over an established connection until
-// it fails or the link closes.
+// it fails or the link closes. Data is written in batches: a run of log
+// entries is drained under one lock acquisition, encoded back to back into
+// one reusable frame buffer, handed to the connection as a single write,
+// and accounted with per-batch (not per-frame) metric updates. Control
+// frames are re-checked between batches so ACKs interleave with bulk data.
 func (l *link) stream(conn net.Conn, cursor uint64) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var frame []byte
+	var data wire.Data
 	for {
 		acks, apps, hb, hbClock, ok := l.takeControl()
 		if !ok {
 			return
 		}
 		wrote := false
-		for i := range acks {
-			frame = wire.AppendFrame(frame[:0], &acks[i])
+		if len(acks) > 0 {
+			frame = frame[:0]
+			for i := range acks {
+				frame = wire.AppendFrame(frame, &acks[i])
+			}
 			if _, err := bw.Write(frame); err != nil {
 				return // resetSent on reconnect resyncs everything
 			}
-			l.countSent(len(frame), l.ins.ackSent)
+			l.countSent(len(frame), len(acks), l.ins.ackSent)
 			wrote = true
 		}
-		for _, a := range apps {
-			frame = wire.AppendFrame(frame[:0], a)
+		if len(apps) > 0 {
+			frame = frame[:0]
+			for _, a := range apps {
+				frame = wire.AppendFrame(frame, a)
+			}
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), l.ins.appSent)
+			l.countSent(len(frame), len(apps), l.ins.appSent)
 			wrote = true
 		}
 		if hb {
@@ -294,33 +356,35 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), l.ins.hbSent)
+			l.countSent(len(frame), 1, l.ins.hbSent)
 			l.mu.Lock()
 			l.hbSentClock, l.hbSentAt = hbClock, time.Now()
 			l.mu.Unlock()
 			wrote = true
 		}
-		for i := 0; i < batchLimit; i++ {
-			entry, ready := l.t.cfg.Log.TryNext(cursor)
-			if !ready {
-				break
+		l.batch = l.t.cfg.Log.TryNextBatch(cursor, l.batch[:0], l.t.cfg.Batch.MaxFrames, l.batchBudget())
+		if len(l.batch) > 0 {
+			frame = frame[:0]
+			resends := 0
+			for i := range l.batch {
+				e := &l.batch[i]
+				data.Seq, data.SentUnixNano, data.Payload = e.Seq, e.SentUnixNano, e.Payload
+				frame = wire.AppendFrame(frame, &data)
+				if e.Seq <= l.maxDataSeq {
+					resends++
+				} else {
+					l.maxDataSeq = e.Seq
+				}
 			}
-			cursor = entry.Seq + 1
-			frame = wire.AppendFrame(frame[:0], &wire.Data{
-				Seq:          entry.Seq,
-				SentUnixNano: entry.SentUnixNano,
-				Payload:      entry.Payload,
-			})
+			cursor = l.batch[len(l.batch)-1].Seq + 1
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), l.ins.dataSent)
-			l.t.dataSent.Add(1)
-			if entry.Seq <= l.maxDataSeq {
-				l.t.resent.Add(1)
-				l.ins.resent.Inc()
-			} else {
-				l.maxDataSeq = entry.Seq
+			l.countSent(len(frame), len(l.batch), l.ins.dataSent)
+			l.t.dataSent.Add(int64(len(l.batch)))
+			if resends > 0 {
+				l.t.resent.Add(int64(resends))
+				l.ins.resent.Add(int64(resends))
 			}
 			wrote = true
 		}
@@ -336,12 +400,12 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 	}
 }
 
-// countSent records one written frame in the transport total and the
-// per-peer byte and frame-kind counters.
-func (l *link) countSent(n int, kind *metrics.Counter) {
+// countSent records one written batch of `frames` frames totalling n bytes
+// in the transport total and the per-peer byte and frame-kind counters.
+func (l *link) countSent(n, frames int, kind *metrics.Counter) {
 	l.t.bytesSent.Add(int64(n))
 	l.ins.bytesSent.Add(int64(n))
-	kind.Inc()
+	kind.Add(int64(frames))
 }
 
 // takeControl atomically drains the control outbox. ok is false once the
@@ -363,6 +427,7 @@ func (l *link) takeControl() (acks []wire.Ack, apps []*wire.App, hb bool, hbCloc
 			acks = append(acks, wire.Ack{Origin: k.origin, By: k.by, Type: k.typ, Seq: v})
 		}
 		l.dirty = l.dirty[:0]
+		clear(l.dirtySet)
 	}
 	if len(l.apps) > 0 {
 		apps = l.apps
@@ -379,6 +444,12 @@ func (l *link) waitWork(cursor uint64) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
+		// Re-arm data notifications before checking for work: any append
+		// that lands after this store triggers a real signal, and any
+		// append before it is visible to the TryNext probe below — so no
+		// wakeup is lost while the flag keeps bursts down to one
+		// broadcast per idle period.
+		l.notified.Store(false)
 		if l.closed {
 			return false
 		}

@@ -28,10 +28,14 @@ type LogEntry struct {
 // TruncateThrough reclaims them (the core does so once a message has been
 // delivered everywhere).
 type SendLog struct {
-	mu      sync.Mutex
-	cond    sync.Cond
-	base    uint64 // sequence of entries[0]; 0 when empty and nothing truncated
-	next    uint64 // next sequence to assign (first is 1)
+	mu   sync.Mutex
+	cond sync.Cond
+	base uint64 // sequence of entries[off]; next when empty
+	next uint64 // next sequence to assign (first is 1)
+	// off is the reclaimed prefix length of entries: entries[:off] are
+	// zeroed husks kept so TruncateThrough can advance in O(1) and only
+	// compact when the dead prefix dominates the slice.
+	off     int
 	entries []LogEntry
 	bytes   int64
 	closed  bool
@@ -76,7 +80,7 @@ func (l *SendLog) Next(seq uint64) (LogEntry, error) {
 			seq = l.base
 		}
 		if seq < l.next {
-			return l.entries[seq-l.base], nil
+			return l.entries[l.off+int(seq-l.base)], nil
 		}
 		if l.closed {
 			return LogEntry{}, ErrLogClosed
@@ -93,31 +97,74 @@ func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
 		seq = l.base
 	}
 	if seq < l.next {
-		return l.entries[seq-l.base], true
+		return l.entries[l.off+int(seq-l.base)], true
 	}
 	return LogEntry{}, false
 }
 
-// TruncateThrough reclaims every entry with sequence ≤ seq.
+// TryNextBatch drains a contiguous run of ready entries starting at seq
+// under a single lock acquisition, appending them to dst and returning the
+// extended slice. The run is capped at maxFrames entries and stops before
+// the entry that would push the accumulated payload bytes past maxBytes —
+// but always includes at least one entry when any is ready, so an
+// over-budget payload still makes progress. A seq below the retained base
+// snaps to the base, exactly like TryNext. Entries share payload slices
+// with the log; callers must not mutate them.
+func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes int) []LogEntry {
+	if maxFrames < 1 {
+		maxFrames = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.base {
+		seq = l.base
+	}
+	budget := maxBytes
+	for n := 0; n < maxFrames && seq < l.next; n++ {
+		e := l.entries[l.off+int(seq-l.base)]
+		if n > 0 && len(e.Payload) > budget {
+			break
+		}
+		dst = append(dst, e)
+		budget -= len(e.Payload)
+		seq++
+	}
+	return dst
+}
+
+// TruncateThrough reclaims every entry with sequence ≤ seq. Reclaim is
+// amortized: dropped entries are zeroed in place (releasing their payloads
+// to the collector) and the slice is only compacted once the dead prefix
+// outgrows the live tail, so each entry is moved O(1) times over its life
+// instead of once per call.
 func (l *SendLog) TruncateThrough(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if seq < l.base {
 		return
 	}
-	drop := seq - l.base + 1
-	if drop > uint64(len(l.entries)) {
-		drop = uint64(len(l.entries))
+	drop := int(seq - l.base + 1)
+	if live := len(l.entries) - l.off; drop > live {
+		drop = live
 	}
-	for _, e := range l.entries[:drop] {
-		l.bytes -= int64(len(e.Payload))
+	dead := l.entries[l.off : l.off+drop]
+	for i := range dead {
+		l.bytes -= int64(len(dead[i].Payload))
 	}
-	// Copy the tail so the dropped prefix can be collected.
-	tail := make([]LogEntry, len(l.entries)-int(drop))
-	copy(tail, l.entries[drop:])
-	l.entries = tail
-	l.base += drop
+	clear(dead) // release payload references
+	l.off += drop
+	l.base += uint64(drop)
+	if l.off >= len(l.entries)-l.off && l.off >= compactThreshold {
+		n := copy(l.entries, l.entries[l.off:])
+		clear(l.entries[n:])
+		l.entries = l.entries[:n]
+		l.off = 0
+	}
 }
+
+// compactThreshold is the minimum dead-prefix length before TruncateThrough
+// compacts the slice, so tiny logs don't shuffle on every reclaim.
+const compactThreshold = 32
 
 // Head returns the highest assigned sequence (0 if none).
 func (l *SendLog) Head() uint64 {
@@ -151,7 +198,7 @@ func (l *SendLog) Bytes() int64 {
 func (l *SendLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries)
+	return len(l.entries) - l.off
 }
 
 // Close wakes all blocked readers with ErrLogClosed.

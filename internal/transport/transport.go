@@ -21,9 +21,12 @@ import (
 type Handler interface {
 	// HandleData delivers one sequenced data message originated by peer
 	// from. Duplicates are filtered by the transport; sequence numbers
-	// are strictly increasing per peer.
+	// are strictly increasing per peer. The Data struct is transport-owned
+	// scratch valid only for the duration of the call — retain d.Payload
+	// (which is freshly allocated per frame) rather than d itself.
 	HandleData(from int, d *wire.Data)
-	// HandleAck delivers one monotonic stability report.
+	// HandleAck delivers one monotonic stability report. Like Data, the
+	// struct is only valid during the call.
 	HandleAck(a *wire.Ack)
 	// HandleApp delivers an application request/response message.
 	HandleApp(from int, a *wire.App)
@@ -58,6 +61,47 @@ type Config struct {
 	// (stabilizer_transport_*). Nil uses a private registry so the
 	// counters still exist for Stats-style snapshots.
 	Metrics *metrics.Registry
+	// Batch tunes the data-plane batch writer; zero values pick defaults.
+	Batch BatchConfig
+}
+
+// BatchConfig tunes how each outgoing link batches data frames. The batch
+// byte budget adapts to the link's observed heartbeat RTT,
+// bandwidth-delay-product style: budget = RTT × BandwidthBps/8, clamped to
+// [MinBytes, MaxBytes], so slow WAN links drain bigger runs per lock
+// acquisition and write while fast LAN links stay latency-friendly.
+type BatchConfig struct {
+	// MaxFrames caps the data frames drained per batch, bounding how long
+	// the control outbox (ACKs, heartbeats) waits behind bulk data
+	// (default 256).
+	MaxFrames int
+	// MinBytes is the batch byte budget before any RTT sample exists and
+	// the floor thereafter (default 16 KiB).
+	MinBytes int
+	// MaxBytes caps the adaptive budget (default 1 MiB).
+	MaxBytes int
+	// BandwidthBps is the assumed per-link bandwidth in bits per second
+	// used in the budget rule (default 100 Mbit/s).
+	BandwidthBps float64
+}
+
+func (b BatchConfig) normalized() BatchConfig {
+	if b.MaxFrames <= 0 {
+		b.MaxFrames = 256
+	}
+	if b.MinBytes <= 0 {
+		b.MinBytes = 16 << 10
+	}
+	if b.MaxBytes <= 0 {
+		b.MaxBytes = 1 << 20
+	}
+	if b.MaxBytes < b.MinBytes {
+		b.MaxBytes = b.MinBytes
+	}
+	if b.BandwidthBps <= 0 {
+		b.BandwidthBps = 100e6
+	}
+	return b
 }
 
 // peerInstruments are the per-peer metric instances, resolved once at
@@ -90,8 +134,12 @@ type Transport struct {
 	links map[int]*link            // keyed by peer index
 	peers map[int]*peerInstruments // keyed by peer index
 
+	// recvLast[p] is the highest contiguous data sequence received from
+	// peer p, advanced by CAS so the per-frame duplicate filter shares no
+	// lock across peers. Index 0 is unused (peers are 1-based).
+	recvLast []atomic.Uint64
+
 	recvMu   sync.Mutex
-	recvLast map[int]uint64    // highest contiguous data seq received per peer
 	incoming map[int]net.Conn  // current accepted conn per peer
 	accepted map[net.Conn]bool // every live accepted conn, incl. pre-handshake
 
@@ -138,11 +186,12 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	cfg.Batch = cfg.Batch.normalized()
 	t := &Transport{
 		cfg:       cfg,
 		links:     make(map[int]*link, cfg.N-1),
 		peers:     make(map[int]*peerInstruments, cfg.N-1),
-		recvLast:  make(map[int]uint64, cfg.N-1),
+		recvLast:  make([]atomic.Uint64, cfg.N+1),
 		incoming:  make(map[int]net.Conn, cfg.N-1),
 		accepted:  make(map[net.Conn]bool, cfg.N-1),
 		lastHeard: make(map[int]time.Time, cfg.N-1),
@@ -231,10 +280,12 @@ func (t *Transport) Close() error {
 }
 
 // NotifyData wakes every outgoing link after new entries were appended to
-// the send log.
+// the send log. Wakeups are coalesced per link: during a burst of appends
+// only the first notification after a link goes idle broadcasts; the rest
+// cost one atomic load each.
 func (t *Transport) NotifyData() {
 	for _, lk := range t.links {
-		lk.signal()
+		lk.notifyData()
 	}
 }
 
@@ -288,19 +339,20 @@ func (t *Transport) FailureDetectorTrips() int64 { return t.fdTrips.Load() }
 
 // RecvLast returns the highest contiguous data sequence received from peer.
 func (t *Transport) RecvLast(peer int) uint64 {
-	t.recvMu.Lock()
-	defer t.recvMu.Unlock()
-	return t.recvLast[peer]
+	if peer < 1 || peer >= len(t.recvLast) {
+		return 0
+	}
+	return t.recvLast[peer].Load()
 }
 
 // RecvLastAll returns the highest contiguous data sequence received from
 // every peer that has sent data.
 func (t *Transport) RecvLastAll() map[int]uint64 {
-	t.recvMu.Lock()
-	defer t.recvMu.Unlock()
-	out := make(map[int]uint64, len(t.recvLast))
-	for p, s := range t.recvLast {
-		out[p] = s
+	out := make(map[int]uint64)
+	for p := 1; p < len(t.recvLast); p++ {
+		if s := t.recvLast[p].Load(); s > 0 {
+			out[p] = s
+		}
 	}
 	return out
 }
@@ -379,10 +431,15 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		_ = old.Close()
 	}
 	t.incoming[from] = conn
-	last := t.recvLast[from]
 	t.recvMu.Unlock()
+	last := t.recvLast[from].Load()
 
-	if err := wire.WriteFrame(conn, &wire.HelloAck{From: uint16(t.cfg.Self), LastSeq: last}); err != nil {
+	// scratch is the connection's reusable write buffer: the HelloAck here
+	// and every heartbeat echo below are framed into it instead of paying
+	// wire.WriteFrame's per-call allocation.
+	var scratch []byte
+	scratch = wire.AppendFrame(scratch, &wire.HelloAck{From: uint16(t.cfg.Self), LastSeq: last})
+	if _, err := conn.Write(scratch); err != nil {
 		_ = conn.Close()
 		return
 	}
@@ -416,9 +473,10 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		case *wire.Heartbeat:
 			// Echo the heartbeat so the dialer can measure round-trip
 			// time; this goroutine is the connection's only writer after
-			// the HelloAck, so the write is race-free.
+			// the HelloAck, so the write (and scratch reuse) is race-free.
 			ins.hbRecv.Inc()
-			if err := wire.WriteFrame(conn, m); err != nil {
+			scratch = wire.AppendFrame(scratch[:0], m)
+			if _, err := conn.Write(scratch); err != nil {
 				_ = conn.Close()
 			}
 		case *wire.Hello, *wire.HelloAck:
@@ -429,15 +487,20 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 
 // acceptData advances the per-peer contiguous receive counter, filtering
 // duplicates caused by resend-after-reconnect. The transport guarantees
-// FIFO, so sequences only move forward.
+// FIFO per connection, so sequences only move forward; the CAS loop keeps
+// the filter correct in the brief window where a superseded connection from
+// the same peer is still draining.
 func (t *Transport) acceptData(from int, seq uint64) bool {
-	t.recvMu.Lock()
-	defer t.recvMu.Unlock()
-	if seq <= t.recvLast[from] {
-		return false
+	c := &t.recvLast[from]
+	for {
+		cur := c.Load()
+		if seq <= cur {
+			return false
+		}
+		if c.CompareAndSwap(cur, seq) {
+			return true
+		}
 	}
-	t.recvLast[from] = seq
-	return true
 }
 
 // --- liveness ---

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+)
+
+// repeatReader replays one encoded frame forever, so decode benchmarks
+// measure the Reader alone with no per-iteration source allocation.
+type repeatReader struct {
+	data []byte
+	off  int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	return n, nil
+}
+
+func benchmarkEncode(b *testing.B, msg Message) {
+	b.Helper()
+	var frame []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = AppendFrame(frame[:0], msg)
+	}
+	b.SetBytes(int64(len(frame)))
+}
+
+func benchmarkDecode(b *testing.B, msg Message) {
+	b.Helper()
+	frame := AppendFrame(nil, msg)
+	r := NewReader(&repeatReader{data: frame})
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeData1K(b *testing.B) {
+	benchmarkEncode(b, &Data{Seq: 42, SentUnixNano: 1700000000, Payload: make([]byte, 1024)})
+}
+
+func BenchmarkEncodeAck(b *testing.B) {
+	benchmarkEncode(b, &Ack{Origin: 1, By: 2, Type: 3, Seq: 99})
+}
+
+func BenchmarkDecodeData1K(b *testing.B) {
+	benchmarkDecode(b, &Data{Seq: 42, SentUnixNano: 1700000000, Payload: make([]byte, 1024)})
+}
+
+func BenchmarkDecodeData64(b *testing.B) {
+	benchmarkDecode(b, &Data{Seq: 42, SentUnixNano: 1700000000, Payload: make([]byte, 64)})
+}
+
+func BenchmarkDecodeAck(b *testing.B) {
+	benchmarkDecode(b, &Ack{Origin: 1, By: 2, Type: 3, Seq: 99})
+}
+
+func BenchmarkDecodeHeartbeat(b *testing.B) {
+	benchmarkDecode(b, &Heartbeat{Clock: 7})
+}

@@ -286,38 +286,61 @@ func WriteFrame(w io.Writer, msg Message) error {
 
 // Reader decodes a stream of frames. It owns an internal buffered reader;
 // do not read from the underlying stream while a Reader is attached.
+//
+// Readers are zero-allocation on the hot path: frame bodies are read into
+// an internal buffer reused across calls, and the high-rate message kinds
+// (Data, Ack, Heartbeat) are decoded into Reader-owned scratch structs.
 type Reader struct {
 	br  *bufio.Reader
-	buf []byte
+	hdr [4]byte // length-prefix scratch, kept here so it never escapes
+	buf []byte  // reusable frame-body buffer
+
+	// Scratch messages for the hot-path kinds; handed out by Next and
+	// overwritten by the following call.
+	data Data
+	ack  Ack
+	hb   Heartbeat
 }
+
+// bufKeep caps how much body-buffer capacity a Reader retains between
+// frames: one oversized frame must not pin its buffer forever.
+const bufKeep = 1 << 20
 
 // NewReader wraps r in a frame decoder.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 64<<10)}
 }
 
-// Next reads and decodes the next frame. The returned message's payload
-// slices are freshly allocated and remain valid after subsequent calls.
+// Next reads and decodes the next frame. The returned message is valid
+// only until the following call to Next — Data, Ack and Heartbeat decode
+// into Reader-owned scratch structs. Payload slices (Data.Payload,
+// App.Payload) are freshly allocated and remain valid indefinitely;
+// callers that need other fields past the next call must copy them out.
 func (r *Reader) Next() (Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(r.hdr[:])
 	if n == 0 {
 		return nil, ErrShortFrame
 	}
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	body := make([]byte, n)
+	if uint32(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	body := r.buf[:n]
 	if _, err := io.ReadFull(r.br, body); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
 	}
-	msg, err := newMessage(Kind(body[0]))
+	if cap(r.buf) > bufKeep && n <= bufKeep {
+		r.buf = nil // drop an oversized buffer once a normal frame follows
+	}
+	msg, err := r.message(Kind(body[0]))
 	if err != nil {
 		return nil, err
 	}
@@ -327,18 +350,21 @@ func (r *Reader) Next() (Message, error) {
 	return msg, nil
 }
 
-func newMessage(k Kind) (Message, error) {
+// message returns the destination struct for kind k: a reused scratch
+// struct for the hot-path kinds, a fresh allocation otherwise (handshake
+// frames are rare; App messages are retained by application handlers).
+func (r *Reader) message(k Kind) (Message, error) {
 	switch k {
 	case KindHello:
 		return &Hello{}, nil
 	case KindHelloAck:
 		return &HelloAck{}, nil
 	case KindData:
-		return &Data{}, nil
+		return &r.data, nil
 	case KindAck:
-		return &Ack{}, nil
+		return &r.ack, nil
 	case KindHeartbeat:
-		return &Heartbeat{}, nil
+		return &r.hb, nil
 	case KindApp:
 		return &App{}, nil
 	default:

@@ -182,6 +182,69 @@ func TestQuickDecoderNeverPanics(t *testing.T) {
 	}
 }
 
+// TestReaderScratchReuse pins the Reader's zero-alloc contract: hot-path
+// kinds decode into Reader-owned scratch structs (same pointer every call),
+// while payload slices are fresh per frame and survive later calls.
+func TestReaderScratchReuse(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, &Data{Seq: 1, Payload: []byte("first")})
+	_ = WriteFrame(&buf, &Ack{Origin: 1, By: 2, Type: 3, Seq: 10})
+	_ = WriteFrame(&buf, &Data{Seq: 2, Payload: []byte("second")})
+	_ = WriteFrame(&buf, &Heartbeat{Clock: 4})
+	r := NewReader(&buf)
+
+	m1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := m1.(*Data)
+	p1 := d1.Payload
+	if _, err := r.Next(); err != nil { // Ack overwrites nothing of Data
+		t.Fatal(err)
+	}
+	m3, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := m3.(*Data)
+	if d1 != d3 {
+		t.Fatal("Data frames decoded into distinct structs; want reused scratch")
+	}
+	if d3.Seq != 2 || string(d3.Payload) != "second" {
+		t.Fatalf("second Data = %+v", d3)
+	}
+	// The first payload slice must still be intact after two more frames.
+	if string(p1) != "first" {
+		t.Fatalf("retained payload corrupted: %q", p1)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderBufferShrinksAfterOversizeFrame checks one giant frame does not
+// pin its body buffer once normal-sized frames resume.
+func TestReaderBufferShrinksAfterOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, 2<<20)
+	_ = WriteFrame(&buf, &Data{Seq: 1, Payload: big})
+	_ = WriteFrame(&buf, &Data{Seq: 2, Payload: []byte("small")})
+	_ = WriteFrame(&buf, &Data{Seq: 3, Payload: []byte("again")})
+	r := NewReader(&buf)
+	for i := 1; i <= 3; i++ {
+		m, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if d := m.(*Data); d.Seq != uint64(i) {
+			t.Fatalf("frame %d: seq %d", i, d.Seq)
+		}
+	}
+	if cap(r.buf) > bufKeep {
+		t.Fatalf("body buffer still %d bytes after oversize frame", cap(r.buf))
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	for k := KindHello; k <= KindApp; k++ {
 		if s := k.String(); s == "" || s[0] == 'k' {
