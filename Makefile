@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-transport bench-transport-short
+.PHONY: check vet build test race chaos bench bench-transport bench-transport-short
 
 check: vet build race
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the full-horizon fault-injection soak (the default `go test`
+# run only gets the -short bounded variant). Pin the fault schedule with
+# STABILIZER_CHAOS_SEED=<n> to replay a failure byte-for-byte.
+chaos:
+	STABILIZER_CHAOS_FULL=1 $(GO) test -v -run TestChaosSoak ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"time"
+
+	"stabilizer/internal/core"
+	"stabilizer/internal/metrics"
+)
+
+// stabilityHistogram returns a node's stability-latency histogram for one
+// predicate — the same stabilizer_stability_latency_seconds family the
+// /metrics endpoint exposes. Families are get-or-create, so this resolves
+// to the histogram the node's frontier hook has been observing into.
+func stabilityHistogram(n *core.Node, pred string) *metrics.Histogram {
+	return n.Metrics().HistogramVec("stabilizer_stability_latency_seconds",
+		"Send to predicate-frontier crossing, per predicate key.",
+		metrics.LatencyOpts, "predicate").With(pred)
+}
+
+// stabilityQuantile reads the q-quantile stability latency of pred from
+// the node's histogram, rescaled to paper time units. The histogram
+// observes raw wall-clock time (exposed as seconds), so the same rescale
+// applies as to series built from wall-clock timestamps. Returns 0 when
+// the predicate has no observations.
+func (o Options) stabilityQuantile(n *core.Node, pred string, q float64) time.Duration {
+	secs := stabilityHistogram(n, pred).Quantile(q)
+	return o.rescale(time.Duration(secs * float64(time.Second)))
+}

@@ -1,0 +1,408 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/core"
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/faultinject"
+	"stabilizer/internal/metrics"
+)
+
+// Options parameterizes a soak run. The zero value (plus a Seed) is a
+// sensible short soak: a 4-node flat cluster where nodes 1 and 2 originate
+// data and nodes 3 and 4 are crashable receivers.
+type Options struct {
+	// Seed pins the fault schedule AND the fabric's jitter, making the
+	// whole run replayable. Zero means seed 1.
+	Seed int64
+	// N is the cluster size (default 4).
+	N int
+	// Senders originate data and register stability predicates; they are
+	// never crashed (a fresh-restarted primary would need checkpoint
+	// plumbing the soak doesn't exercise). Default {1, 2}.
+	Senders []int
+	// Crashable nodes may be crash-restarted by the schedule. Defaults to
+	// every non-sender. Must be disjoint from Senders.
+	Crashable []int
+	// Horizon is the fault-injection window (default 2.5s).
+	Horizon time.Duration
+	// SendEvery is each sender's inter-message gap (default 3ms).
+	SendEvery time.Duration
+	// DrainTimeout bounds the post-fault convergence wait (default 20s;
+	// reconnect backoff alone can take ~2s after the last heal).
+	DrainTimeout time.Duration
+	// HeartbeatEvery / PeerTimeout tune the nodes' failure detectors
+	// (defaults 25ms / 200ms — fast enough to trip during the soak).
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	// Logf, when set, traces faults and crash/restart events.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.N == 0 {
+		o.N = 4
+	}
+	if len(o.Senders) == 0 {
+		o.Senders = []int{1, 2}
+	}
+	if len(o.Crashable) == 0 {
+		isSender := make(map[int]bool, len(o.Senders))
+		for _, s := range o.Senders {
+			isSender[s] = true
+		}
+		for i := 1; i <= o.N; i++ {
+			if !isSender[i] {
+				o.Crashable = append(o.Crashable, i)
+			}
+		}
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2500 * time.Millisecond
+	}
+	if o.SendEvery == 0 {
+		o.SendEvery = 3 * time.Millisecond
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 20 * time.Second
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = 25 * time.Millisecond
+	}
+	if o.PeerTimeout == 0 {
+		o.PeerTimeout = 200 * time.Millisecond
+	}
+	return o
+}
+
+// genConfig is the schedule generator configuration the soak uses; it is a
+// method so the replay test can assert byte-identical regeneration against
+// the exact configuration Soak runs.
+func (o Options) genConfig() faultinject.GenConfig {
+	return faultinject.GenConfig{
+		N:         o.N,
+		Crashable: o.Crashable,
+		Horizon:   o.Horizon,
+	}
+}
+
+// convergencePred is the predicate every node must agree on at drain time.
+// The .delivered suffix matters: the row advances only after application
+// upcalls finish, so agreement implies the checker's FIFO counters have
+// seen the whole stream too.
+const convergencePred = "MIN($ALLWNODES.delivered)"
+
+// Report summarizes a soak run.
+type Report struct {
+	// Schedule is the fault schedule that was executed.
+	Schedule *faultinject.Schedule
+	// Heads maps each sender to its final stream head.
+	Heads map[int]uint64
+	// Deliveries counts application upcalls across all nodes and
+	// incarnations (re-deliveries to restarted nodes included).
+	Deliveries int64
+	// Violations lists every invariant violation (empty on success).
+	Violations []string
+}
+
+// Soak runs one deterministic chaos soak: it boots the cluster on a seeded
+// in-memory fabric, pumps data from the senders while executing the fault
+// schedule derived from Options.Seed, then heals everything and requires
+// convergence. The returned error is non-nil iff any invariant was
+// violated (the Report carries the details either way).
+func Soak(o Options) (*Report, error) {
+	o = o.withDefaults()
+	for _, s := range o.Senders {
+		for _, c := range o.Crashable {
+			if s == c {
+				return nil, fmt.Errorf("chaos: node %d is both sender and crashable", s)
+			}
+		}
+	}
+
+	sched := faultinject.Generate(o.Seed, o.genConfig())
+
+	// A lightly shaped fabric: enough latency that faults hit in-flight
+	// traffic, jitter to exercise the seeded shaper, and a bandwidth cap so
+	// post-heal resends stream rather than teleport.
+	matrix := emunet.NewMatrix()
+	matrix.Default = emunet.Link{
+		OneWayLatency: 2 * time.Millisecond,
+		Jitter:        time.Millisecond,
+		BandwidthBps:  emunet.Mbps(200),
+	}
+	fabric := emunet.NewMemNetwork(matrix)
+	fabric.Seed(o.Seed)
+	defer fabric.Close()
+
+	inj := faultinject.New(metrics.NewRegistry())
+	defer inj.Close()
+	fabric.SetConnHook(inj.Hook())
+
+	topo := &config.Topology{Self: 1}
+	for i := 1; i <= o.N; i++ {
+		topo.Nodes = append(topo.Nodes, config.Node{
+			Name:   fmt.Sprintf("node%d", i),
+			AZ:     fmt.Sprintf("az%d", i),
+			Region: fmt.Sprintf("region%d", i),
+		})
+	}
+
+	check := NewChecker(o.N, o.Senders)
+	var deliveries atomic.Int64
+
+	// Cluster state. mu serializes crash/restart against CrossCheck sweeps
+	// and the final convergence reads; nodes[i-1] == nil marks node i down.
+	var (
+		mu     sync.Mutex
+		nodes  = make([]*core.Node, o.N)
+		epochs = make([]uint64, o.N+1)
+	)
+	open := func(i int) (*core.Node, error) {
+		epochs[i]++
+		return core.Open(core.Config{
+			Topology:       topo.WithSelf(i),
+			Network:        fabric,
+			HeartbeatEvery: o.HeartbeatEvery,
+			PeerTimeout:    o.PeerTimeout,
+			// Keep send buffers whole: a fresh-restarted receiver needs
+			// the full prefix resent, which reclaim would have truncated.
+			DisableAutoReclaim: true,
+			Epoch:              epochs[i],
+		})
+	}
+	// attach must run before the node's peers can deliver anything; the
+	// fabric's 2ms one-way latency guarantees a handshake takes longer
+	// than the call gap after core.Open returns.
+	attach := func(n *core.Node) {
+		check.Attach(n)
+		n.OnDeliver(func(core.Message) { deliveries.Add(1) })
+	}
+	closeAll := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, n := range nodes {
+			if n != nil {
+				_ = n.Close()
+			}
+		}
+	}
+	defer closeAll()
+
+	for i := 1; i <= o.N; i++ {
+		n, err := open(i)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: open node %d: %w", i, err)
+		}
+		attach(n)
+		nodes[i-1] = n
+	}
+
+	maj := o.N/2 + 1
+	for _, s := range o.Senders {
+		sn := nodes[s-1]
+		if err := sn.RegisterPredicate("all", "MIN($ALLWNODES)"); err != nil {
+			return nil, fmt.Errorf("chaos: register 'all' on node %d: %w", s, err)
+		}
+		if err := sn.RegisterPredicate("maj", fmt.Sprintf("KTH_MIN(%d, $ALLWNODES)", maj)); err != nil {
+			return nil, fmt.Errorf("chaos: register 'maj' on node %d: %w", s, err)
+		}
+	}
+
+	// Data pumps. Senders are never crashed, so their *Node pointers are
+	// stable for the whole run.
+	pumpStop := make(chan struct{})
+	var pumps sync.WaitGroup
+	for _, s := range o.Senders {
+		sn := nodes[s-1]
+		pumps.Add(1)
+		go func(sn *core.Node) {
+			defer pumps.Done()
+			payload := make([]byte, 96)
+			tick := time.NewTicker(o.SendEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-pumpStop:
+					return
+				case <-tick.C:
+					if _, err := sn.Send(payload); err != nil {
+						return
+					}
+				}
+			}
+		}(sn)
+	}
+
+	crash := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		n := nodes[i-1]
+		if n == nil {
+			return
+		}
+		_ = n.Close()
+		// Read the high water AFTER Close: it is monotone within the
+		// incarnation, so this is the incarnation's final value.
+		hw := make(map[int]uint64, len(o.Senders))
+		for _, s := range o.Senders {
+			hw[s] = n.RecvLast(s)
+		}
+		check.RecordCrash(i, hw)
+		nodes[i-1] = nil
+		if o.Logf != nil {
+			o.Logf("chaos: crashed node %d, high water %v", i, hw)
+		}
+	}
+	restart := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if nodes[i-1] != nil {
+			return
+		}
+		check.RecordRestart(i)
+		n, err := open(i)
+		if err != nil {
+			check.Violatef("restart node %d: %v", i, err)
+			return
+		}
+		attach(n)
+		nodes[i-1] = n
+		if o.Logf != nil {
+			o.Logf("chaos: restarted node %d (epoch %d)", i, epochs[i])
+		}
+	}
+
+	// Continuous invariant-3 sweeps while faults fly.
+	ccStop := make(chan struct{})
+	ccDone := make(chan struct{})
+	go func() {
+		defer close(ccDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ccStop:
+				return
+			case <-tick.C:
+				mu.Lock()
+				check.CrossCheck(nodes)
+				mu.Unlock()
+			}
+		}
+	}()
+
+	runner := &faultinject.Runner{
+		Inj: inj, Sched: sched, N: o.N, Scale: 1,
+		Crash: crash, Restart: restart, Logf: o.Logf,
+	}
+	runner.Run(nil)
+	inj.HealAll()
+
+	close(pumpStop)
+	pumps.Wait()
+
+	heads := make(map[int]uint64, len(o.Senders))
+	for _, s := range o.Senders {
+		heads[s] = nodes[s-1].NextSeq() - 1
+	}
+
+	// Invariant 4: with faults healed, every live node's evaluation of the
+	// convergence predicate over every sender's stream must reach that
+	// stream's head.
+	converged := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range o.Senders {
+			for _, n := range nodes {
+				if n == nil {
+					return false
+				}
+				f, err := n.EvalFor(s, convergencePred)
+				if err != nil || f < heads[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(o.DrainTimeout)
+	ok := false
+	for time.Now().Before(deadline) {
+		if ok = converged(); ok {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		mu.Lock()
+		var lines []string
+		for _, s := range o.Senders {
+			for i, n := range nodes {
+				if n == nil {
+					lines = append(lines, fmt.Sprintf("node %d: down", i+1))
+					continue
+				}
+				f, err := n.EvalFor(s, convergencePred)
+				lines = append(lines, fmt.Sprintf("node %d: origin %d frontier %d/%d recvLast %d (err=%v)",
+					i+1, s, f, heads[s], n.RecvLast(s), err))
+			}
+		}
+		mu.Unlock()
+		sort.Strings(lines)
+		check.Violatef("no convergence within %v:\n  %s", o.DrainTimeout, joinLines(lines))
+	}
+
+	close(ccStop)
+	<-ccDone
+	mu.Lock()
+	check.CrossCheck(nodes)
+	// The checker's own FIFO counters must also have reached the heads:
+	// agreement on .delivered plus gap-free counting means every message
+	// was upcalled exactly once per incarnation.
+	if ok {
+		for _, s := range o.Senders {
+			for i, n := range nodes {
+				if n == nil || i+1 == s {
+					continue
+				}
+				if got := check.Delivered(i+1, s); got != heads[s] {
+					check.Violatef("delivery incomplete: node %d saw %d/%d of origin %d", i+1, got, heads[s], s)
+				}
+			}
+		}
+	}
+	mu.Unlock()
+
+	rep := &Report{
+		Schedule:   sched,
+		Heads:      heads,
+		Deliveries: deliveries.Load(),
+		Violations: check.Violations(),
+	}
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("chaos: %d invariant violation(s), seed %d:\n%s",
+			len(rep.Violations), o.Seed, joinLines(rep.Violations))
+	}
+	return rep, nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

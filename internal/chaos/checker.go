@@ -1,0 +1,235 @@
+// Package chaos contains the fault-injection soak harness and the
+// invariant checker it drives. The checker encodes the safety properties
+// Stabilizer promises regardless of network weather (paper §II-A, §III-A):
+//
+//  1. Frontier monotonicity — a predicate's stability frontier only moves
+//     forward, and never past the origin stream's head. Frontier regressions
+//     would un-stabilize messages an application already acted on.
+//  2. Per-origin FIFO delivery — every receiver sees each origin's stream
+//     gap-free and duplicate-free, across any number of reconnects. This is
+//     the lossless-channel abstraction of §II-A.
+//  3. No phantom stability — no node's recorder may claim a peer received a
+//     sequence beyond what that peer actually received (crashes included).
+//     A violation means a stability report was invented or mis-attributed.
+//  4. Convergence — once faults cease, every live node's view of every
+//     origin stream reaches the origin's head ("all WAN nodes reach the
+//     same conclusions eventually", §III-A).
+//
+// Invariants 1 and 2 are asserted continuously from hooks on the live
+// nodes; invariant 3 by periodic CrossCheck sweeps; invariant 4 by the
+// harness at drain time via Violatef.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"stabilizer/internal/core"
+)
+
+// maxViolations caps the violation log so a systemic failure doesn't
+// buffer unboundedly; the count is exact up to the cap.
+const maxViolations = 32
+
+type frontierKey struct {
+	node int
+	pred string
+}
+
+type streamKey struct {
+	receiver, origin int
+}
+
+// Checker accumulates invariant violations across a soak run. All methods
+// are safe for concurrent use; hooks registered by Attach run on the
+// nodes' delivery and control-plane goroutines.
+type Checker struct {
+	n       int
+	senders []int
+
+	mu           sync.Mutex
+	lastFrontier map[frontierKey]uint64
+	lastDeliv    map[streamKey]uint64
+	// crashHW holds the receive high water each receiver had reached when
+	// it crashed, so invariant 3 stays checkable while the node is down
+	// and across its fresh (RecvLast-reset) incarnation.
+	crashHW    map[streamKey]uint64
+	violations []string
+	dropped    int
+}
+
+// NewChecker returns a checker for an n-node cluster in which the given
+// nodes originate data.
+func NewChecker(n int, senders []int) *Checker {
+	return &Checker{
+		n:            n,
+		senders:      append([]int(nil), senders...),
+		lastFrontier: make(map[frontierKey]uint64),
+		lastDeliv:    make(map[streamKey]uint64),
+		crashHW:      make(map[streamKey]uint64),
+	}
+}
+
+// Attach hooks invariants 1 and 2 into a live node. Call it right after
+// core.Open, before the node's peers can have delivered anything, and
+// again for every restarted incarnation (after RecordRestart).
+func (c *Checker) Attach(node *core.Node) {
+	self := node.Self()
+
+	// Invariant 1: frontiers only advance, and never overrun the head of
+	// the stream they describe (registered predicates always concern the
+	// node's own outbound stream). The head is read at hook time: it is
+	// monotone and was at least `new` when the advance happened, so the
+	// comparison is conservative.
+	node.OnFrontierAdvance(func(key string, old, new uint64) {
+		head := node.NextSeq() - 1
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		k := frontierKey{self, key}
+		if new <= old {
+			c.failf("frontier regression: node %d predicate %q advanced %d -> %d", self, key, old, new)
+		}
+		if last := c.lastFrontier[k]; new <= last {
+			c.failf("frontier non-monotonic: node %d predicate %q reported %d after %d", self, key, new, last)
+		}
+		if new > head {
+			c.failf("frontier overran head: node %d predicate %q frontier %d > stream head %d", self, key, new, head)
+		}
+		if new > c.lastFrontier[k] {
+			c.lastFrontier[k] = new
+		}
+	})
+
+	// Invariant 2: per-origin FIFO, no gaps, no duplicates. A restarted
+	// receiver is reset by RecordRestart and legitimately re-observes the
+	// stream from sequence 1.
+	node.OnDeliver(func(m core.Message) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		k := streamKey{self, m.Origin}
+		switch want := c.lastDeliv[k] + 1; {
+		case m.Seq == want:
+		case m.Seq <= c.lastDeliv[k]:
+			c.failf("duplicate delivery: node %d re-delivered seq %d of origin %d (already at %d)",
+				self, m.Seq, m.Origin, c.lastDeliv[k])
+		default:
+			c.failf("delivery gap: node %d got seq %d of origin %d, want %d",
+				self, m.Seq, m.Origin, want)
+		}
+		if m.Seq > c.lastDeliv[k] {
+			c.lastDeliv[k] = m.Seq
+		}
+	})
+}
+
+// RecordCrash notes a crashed receiver's final receive high waters
+// (origin → highest contiguous sequence), read after the node was closed.
+func (c *Checker) RecordCrash(node int, highWater map[int]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for origin, hw := range highWater {
+		k := streamKey{node, origin}
+		if hw > c.crashHW[k] {
+			c.crashHW[k] = hw
+		}
+	}
+}
+
+// RecordRestart resets the FIFO and frontier tracking of a node that is
+// about to come back as a fresh incarnation: its transport restarts
+// receive counters at zero (origins resend from sequence 1) and its
+// frontier registry starts empty. Call before the new core.Open.
+func (c *Checker) RecordRestart(node int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.lastDeliv {
+		if k.receiver == node {
+			delete(c.lastDeliv, k)
+		}
+	}
+	for k := range c.lastFrontier {
+		if k.node == node {
+			delete(c.lastFrontier, k)
+		}
+	}
+}
+
+// CrossCheck sweeps invariant 3 over a snapshot of the cluster: for every
+// live node A, origin o, and witness b, A's record of "b received seq v of
+// o" must not exceed b's actual receive high water. nodes is 0-indexed
+// with nil entries for crashed nodes; the caller must prevent concurrent
+// crash/restart (the soak harness holds its cluster lock).
+//
+// Read order matters: the claimed ack value is read before the witness's
+// high water. Receipt at b happens-before b emits the ack happens-before A
+// records it, and high waters are monotone within an incarnation (crashes
+// are covered by RecordCrash), so a genuine report can never observe
+// claim > high water.
+func (c *Checker) CrossCheck(nodes []*core.Node) {
+	for ai, a := range nodes {
+		if a == nil {
+			continue
+		}
+		for _, o := range c.senders {
+			for b := 1; b <= c.n; b++ {
+				if b == o {
+					continue // an origin trivially "received" its own stream
+				}
+				claim, err := a.AckValue(o, b, "received")
+				if err != nil || claim == 0 {
+					continue
+				}
+				var hw uint64
+				if bn := nodes[b-1]; bn != nil {
+					hw = bn.RecvLast(o)
+				}
+				c.mu.Lock()
+				if chw := c.crashHW[streamKey{b, o}]; chw > hw {
+					hw = chw
+				}
+				if claim > hw {
+					c.failf("phantom stability report: node %d records node %d received seq %d of origin %d, but node %d only reached %d",
+						ai+1, b, claim, o, b, hw)
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Delivered returns the checker's view of the highest contiguous sequence
+// the receiver has had upcalled for origin.
+func (c *Checker) Delivered(receiver, origin int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDeliv[streamKey{receiver, origin}]
+}
+
+// Violatef records an externally detected violation (the harness uses it
+// for the convergence invariant).
+func (c *Checker) Violatef(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failf(format, args...)
+}
+
+// failf appends a violation; callers hold c.mu.
+func (c *Checker) failf(format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// Violations returns the recorded violations (empty means all invariants
+// held). A trailing marker notes any overflow past the cap.
+func (c *Checker) Violations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.violations...)
+	if c.dropped > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations", c.dropped))
+	}
+	return out
+}

@@ -473,6 +473,21 @@ func (n *Node) StabilityFrontier(key string) (uint64, error) {
 	return n.registry.Frontier(key)
 }
 
+// OnFrontierAdvance registers fn to run after any registered predicate's
+// frontier advances, with the predicate key and the old and new frontiers.
+// Unlike MonitorStabilityFrontier it covers every predicate (the reserved
+// reclaim predicate included) and reports the previous value, which is what
+// invariant checkers need to assert monotonicity. Hooks accumulate and are
+// safe to add on a live node; fn runs on the control-plane recompute path,
+// so keep it short.
+func (n *Node) OnFrontierAdvance(fn func(key string, old, new uint64)) {
+	n.registry.OnAdvance(fn)
+}
+
+// RecvLast returns the highest contiguous data sequence received from peer
+// over this node's lifetime (volatile: a restarted node starts from 0).
+func (n *Node) RecvLast(peer int) uint64 { return n.tr.RecvLast(peer) }
+
 // Eval compiles source against this node's topology and evaluates it once
 // against the local origin's ACK recorder, without registering anything.
 func (n *Node) Eval(source string) (uint64, error) {

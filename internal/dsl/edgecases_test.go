@@ -1,0 +1,88 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKthEdgeCases is the boundary table for the KTH operators: rank at
+// each end of the valid range, ranks past it, empty node sets, and
+// duplicate operands — both the explicit kind (two operands naming the
+// same node, which is a 2-element value list) and the union kind ($1+$1,
+// which dedups to one node and can shrink a value list below the rank).
+// Invalid predicates must be rejected at resolve (compile) time, never at
+// evaluation.
+func TestKthEdgeCases(t *testing.T) {
+	env := newFakeEnv() // 8 nodes, self = 1
+	src := received(5, 3, 9, 1, 1, 9, 3, 5)
+
+	valid := []struct {
+		pred string
+		want uint64
+	}{
+		// Rank boundaries: k = 1 and k = N degenerate to MIN/MAX.
+		{"KTH_MIN(1, $ALLWNODES)", 1},
+		{"KTH_MAX(1, $ALLWNODES)", 9},
+		{"KTH_MIN(8, $ALLWNODES)", 9},
+		{"KTH_MAX(8, $ALLWNODES)", 1},
+		// k = N spelled via SIZEOF stays in range by construction.
+		{"KTH_MIN(SIZEOF($ALLWNODES), $ALLWNODES)", 9},
+		// Explicit duplicate operands are a value list, not a set: both
+		// cells are loaded, so the rank range is [1, 2].
+		{"KTH_MIN(2, $1, $1)", 5},
+		{"KTH_MAX(2, $3, $3)", 9},
+		// A single-node set is fine at rank 1.
+		{"KTH_MIN(1, $4)", 1},
+		// Union dedup: $1+$1 is the one-node set {1}.
+		{"KTH_MIN(1, $1+$1)", 5},
+	}
+	for _, tc := range valid {
+		t.Run(tc.pred, func(t *testing.T) {
+			p, err := Compile(tc.pred, env)
+			if err != nil {
+				t.Fatalf("Compile(%q): %v", tc.pred, err)
+			}
+			if got := p.Eval(src); got != tc.want {
+				t.Fatalf("Eval(%q) = %d, want %d", tc.pred, got, tc.want)
+			}
+		})
+	}
+
+	invalid := []struct {
+		pred string
+		frag string // required fragment of the resolve error
+	}{
+		// Ranks outside [1, len(values)].
+		{"KTH_MIN(0, $ALLWNODES)", "out of range"},
+		{"KTH_MAX(0, $ALLWNODES)", "out of range"},
+		{"KTH_MIN(9, $ALLWNODES)", "out of range"},
+		{"KTH_MAX(9, $ALLWNODES)", "out of range"},
+		{"KTH_MIN(SIZEOF($ALLWNODES)+1, $ALLWNODES)", "out of range"},
+		// Negative rank via arithmetic.
+		{"KTH_MIN(1-2, $ALLWNODES)", "out of range"},
+		// Union dedup shrinks the value list below the rank: $1+$1 is one
+		// node, so the list has 2 entries and rank 3 is invalid.
+		{"KTH_MIN(3, $1+$1, $2)", "out of range"},
+		// Empty node sets.
+		{"KTH_MIN(1, $ALLWNODES-$ALLWNODES)", "no WAN nodes"},
+		{"KTH_MAX(1, $MYWNODE-$MYWNODE)", "no WAN nodes"},
+		{"MIN($ALLWNODES-$ALLWNODES)", "no WAN nodes"},
+		// A rank with no values at all.
+		{"KTH_MIN(1)", "needs a rank and at least one value"},
+	}
+	for _, tc := range invalid {
+		t.Run(tc.pred, func(t *testing.T) {
+			ast, err := Parse(tc.pred)
+			if err != nil {
+				t.Fatalf("Parse(%q) must succeed (rejection belongs to resolve): %v", tc.pred, err)
+			}
+			_, err = Resolve(ast, env)
+			if err == nil {
+				t.Fatalf("Resolve(%q) succeeded, want error containing %q", tc.pred, tc.frag)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Resolve(%q) error %q does not mention %q", tc.pred, err, tc.frag)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ package emunet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,6 +31,13 @@ type Link struct {
 	// BandwidthBps is the link capacity in bits per second. Zero means
 	// unlimited.
 	BandwidthBps float64
+	// Jitter is the maximum extra random delay added on top of
+	// OneWayLatency, drawn uniformly per shaped chunk from [0, Jitter).
+	// Jitter requires a seeded random source: links shaped through a
+	// fabric always have one (see Seed), while bare Shape calls apply no
+	// jitter. FIFO order is preserved — jitter perturbs delivery times,
+	// never ordering.
+	Jitter time.Duration
 }
 
 // Transmission returns the serialization delay of n bytes at the link's
@@ -86,11 +94,13 @@ func (m *Matrix) Scaled(factor float64) *Matrix {
 	out.Default = Link{
 		OneWayLatency: time.Duration(float64(m.Default.OneWayLatency) / factor),
 		BandwidthBps:  m.Default.BandwidthBps * factor,
+		Jitter:        time.Duration(float64(m.Default.Jitter) / factor),
 	}
 	for k, l := range m.links {
 		out.links[k] = Link{
 			OneWayLatency: time.Duration(float64(l.OneWayLatency) / factor),
 			BandwidthBps:  l.BandwidthBps * factor,
+			Jitter:        time.Duration(float64(l.Jitter) / factor),
 		}
 	}
 	return out
@@ -110,6 +120,36 @@ type Network interface {
 // Mbps converts megabits per second to bits per second.
 func Mbps(v float64) float64 { return v * 1e6 }
 
+// ConnHook intercepts the dial path of a fabric: it runs after shaping and
+// may wrap the connection (fault injection, tracing) or reject the dial by
+// returning an error, in which case the dial fails as if the target were
+// unreachable. The hook runs on the dialer's goroutine.
+type ConnHook func(from, to int, conn net.Conn) (net.Conn, error)
+
+// fabricRand derives per-connection random sources from one master seed so
+// shaped-link jitter is pinned by the fabric's seed rather than global
+// process randomness. Dial-order dependence is accepted: the seed pins the
+// family of sequences, which is what replayable tests need.
+type fabricRand struct {
+	mu     sync.Mutex
+	master *rand.Rand
+}
+
+func newFabricRand(seed int64) *fabricRand {
+	return &fabricRand{master: rand.New(rand.NewSource(seed))}
+}
+
+// child returns a fresh deterministic sub-source.
+func (f *fabricRand) child() *rand.Rand {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return rand.New(rand.NewSource(f.master.Int63()))
+}
+
+// defaultFabricSeed seeds fabrics whose caller never called Seed, so jitter
+// is deterministic by default.
+const defaultFabricSeed = 1
+
 // MemNetwork is an in-process fabric built on synchronous pipes.
 type MemNetwork struct {
 	matrix *Matrix
@@ -117,6 +157,8 @@ type MemNetwork struct {
 	mu        sync.Mutex
 	listeners map[int]*memListener
 	closed    bool
+	hook      ConnHook
+	rnd       *fabricRand
 }
 
 var _ Network = (*MemNetwork)(nil)
@@ -130,7 +172,24 @@ func NewMemNetwork(matrix *Matrix) *MemNetwork {
 	return &MemNetwork{
 		matrix:    matrix,
 		listeners: make(map[int]*memListener),
+		rnd:       newFabricRand(defaultFabricSeed),
 	}
+}
+
+// Seed pins the fabric's random source (shaped-link jitter) to seed, making
+// runs replayable. Call before dialing; the default seed is 1.
+func (n *MemNetwork) Seed(seed int64) {
+	n.mu.Lock()
+	n.rnd = newFabricRand(seed)
+	n.mu.Unlock()
+}
+
+// SetConnHook installs a dial-path hook (see ConnHook). Pass nil to remove.
+// Call before dialing begins; concurrent dials observe the latest hook.
+func (n *MemNetwork) SetConnHook(h ConnHook) {
+	n.mu.Lock()
+	n.hook = h
+	n.mu.Unlock()
 }
 
 // Errors returned by the fabrics.
@@ -172,12 +231,22 @@ func (n *MemNetwork) Dial(from, to int) (net.Conn, error) {
 		return nil, ErrClosed
 	}
 	l := n.listeners[to]
+	hook, rnd := n.hook, n.rnd
 	n.mu.Unlock()
 	if l == nil {
 		return nil, fmt.Errorf("%w: %d", ErrNoListener, to)
 	}
 	dialSide, acceptSide := net.Pipe()
-	shaped := Shape(dialSide, n.matrix.Get(from, to), n.matrix.Get(to, from))
+	shaped := ShapeSeeded(dialSide, n.matrix.Get(from, to), n.matrix.Get(to, from), rnd.child())
+	if hook != nil {
+		wrapped, err := hook(from, to, shaped)
+		if err != nil {
+			_ = shaped.Close()
+			_ = acceptSide.Close()
+			return nil, err
+		}
+		shaped = wrapped
+	}
 	select {
 	case l.accept <- acceptSide:
 		return shaped, nil
@@ -253,6 +322,8 @@ type TCPNetwork struct {
 	addrs     map[int]string
 	listeners []net.Listener
 	closed    bool
+	hook      ConnHook
+	rnd       *fabricRand
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -262,7 +333,23 @@ func NewTCPNetwork(matrix *Matrix) *TCPNetwork {
 	if matrix == nil {
 		matrix = NewMatrix()
 	}
-	return &TCPNetwork{matrix: matrix, addrs: make(map[int]string)}
+	return &TCPNetwork{matrix: matrix, addrs: make(map[int]string), rnd: newFabricRand(defaultFabricSeed)}
+}
+
+// Seed pins the fabric's random source (shaped-link jitter) to seed, making
+// runs replayable. Call before dialing; the default seed is 1.
+func (n *TCPNetwork) Seed(seed int64) {
+	n.mu.Lock()
+	n.rnd = newFabricRand(seed)
+	n.mu.Unlock()
+}
+
+// SetConnHook installs a dial-path hook (see ConnHook). Pass nil to remove.
+// Call before dialing begins; concurrent dials observe the latest hook.
+func (n *TCPNetwork) SetConnHook(h ConnHook) {
+	n.mu.Lock()
+	n.hook = h
+	n.mu.Unlock()
 }
 
 // Listen implements Network.
@@ -292,6 +379,7 @@ func (n *TCPNetwork) Dial(from, to int) (net.Conn, error) {
 		return nil, ErrClosed
 	}
 	addr := n.addrs[to]
+	hook, rnd := n.hook, n.rnd
 	n.mu.Unlock()
 	if addr == "" {
 		return nil, fmt.Errorf("%w: %d", ErrNoListener, to)
@@ -300,7 +388,16 @@ func (n *TCPNetwork) Dial(from, to int) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emunet: dial node %d: %w", to, err)
 	}
-	return Shape(c, n.matrix.Get(from, to), n.matrix.Get(to, from)), nil
+	shaped := ShapeSeeded(c, n.matrix.Get(from, to), n.matrix.Get(to, from), rnd.child())
+	if hook != nil {
+		wrapped, herr := hook(from, to, shaped)
+		if herr != nil {
+			_ = shaped.Close()
+			return nil, herr
+		}
+		shaped = wrapped
+	}
+	return shaped, nil
 }
 
 // Close implements Network.

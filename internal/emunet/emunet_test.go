@@ -16,11 +16,13 @@ func testFabrics(t *testing.T, matrix *Matrix, fn func(t *testing.T, n Network))
 	t.Run("mem", func(t *testing.T) {
 		n := NewMemNetwork(matrix)
 		defer n.Close()
+		n.Seed(fabricTestSeed)
 		fn(t, n)
 	})
 	t.Run("tcp", func(t *testing.T) {
 		n := NewTCPNetwork(matrix)
 		defer n.Close()
+		n.Seed(fabricTestSeed)
 		fn(t, n)
 	})
 }
@@ -134,10 +136,10 @@ func TestLatencyInjection(t *testing.T) {
 		}
 		rtt := time.Since(start)
 		if rtt < 60*time.Millisecond {
-			t.Fatalf("RTT %v below the injected 60ms", rtt)
+			t.Fatalf("seed %d: RTT %v below the injected 60ms", fabricTestSeed, rtt)
 		}
 		if rtt > 120*time.Millisecond {
-			t.Fatalf("RTT %v wildly above the injected 60ms", rtt)
+			t.Fatalf("seed %d: RTT %v wildly above the injected 60ms", fabricTestSeed, rtt)
 		}
 	})
 }
@@ -148,6 +150,7 @@ func TestBandwidthThrottling(t *testing.T) {
 	matrix.SetSymmetric(1, 2, Link{BandwidthBps: Mbps(8)})
 	n := NewMemNetwork(matrix)
 	defer n.Close()
+	n.Seed(fabricTestSeed)
 
 	l, err := n.Listen(2)
 	if err != nil {
@@ -182,18 +185,19 @@ func TestBandwidthThrottling(t *testing.T) {
 	select {
 	case d := <-received:
 		if d < 700*time.Millisecond || d > 1600*time.Millisecond {
-			t.Fatalf("1MB at 8Mbit/s took %v, want ≈1s", d)
+			t.Fatalf("seed %d: 1MB at 8Mbit/s took %v, want ≈1s", fabricTestSeed, d)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatal("transfer never completed")
+		t.Fatalf("seed %d: transfer never completed", fabricTestSeed)
 	}
 }
 
 func TestFIFOUnderConcurrencyAndShaping(t *testing.T) {
 	matrix := NewMatrix()
-	matrix.SetSymmetric(1, 2, Link{OneWayLatency: 2 * time.Millisecond, BandwidthBps: Mbps(200)})
+	matrix.SetSymmetric(1, 2, Link{OneWayLatency: 2 * time.Millisecond, BandwidthBps: Mbps(200), Jitter: time.Millisecond})
 	n := NewMemNetwork(matrix)
 	defer n.Close()
+	n.Seed(fabricTestSeed)
 	l, err := n.Listen(2)
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +219,7 @@ func TestFIFOUnderConcurrencyAndShaping(t *testing.T) {
 			}
 			got := int(buf[0])<<24 | int(buf[1])<<16 | int(buf[2])<<8 | int(buf[3])
 			if got != i {
-				errc <- fmt.Errorf("out of order: got %d want %d", got, i)
+				errc <- fmt.Errorf("seed %d: out of order: got %d want %d", fabricTestSeed, got, i)
 				return
 			}
 		}

@@ -3,6 +3,7 @@ package emunet
 import (
 	"errors"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -18,12 +19,27 @@ const maxChunk = 64 << 10
 
 // Shape wraps conn so that writes experience the fwd link profile and reads
 // the rev profile. The wrapper owns conn: closing the shaped connection
-// closes conn and releases the internal goroutines.
+// closes conn and releases the internal goroutines. Link jitter is ignored
+// (no random source); use ShapeSeeded or a fabric's Seed for jittered links.
 func Shape(conn net.Conn, fwd, rev Link) net.Conn {
+	return ShapeSeeded(conn, fwd, rev, nil)
+}
+
+// ShapeSeeded is Shape with an explicit random source for link jitter. The
+// shaper never touches package-level randomness: all jitter draws come from
+// rng, so a fixed seed replays the same delay sequence. A nil rng disables
+// jitter. Each direction gets its own sub-source so the two queues never
+// contend on rng.
+func ShapeSeeded(conn net.Conn, fwd, rev Link, rng *rand.Rand) net.Conn {
+	var fr, rr *rand.Rand
+	if rng != nil {
+		fr = rand.New(rand.NewSource(rng.Int63()))
+		rr = rand.New(rand.NewSource(rng.Int63()))
+	}
 	s := &shapedConn{
 		conn: conn,
-		out:  newTimedQueue(fwd),
-		in:   newTimedQueue(rev),
+		out:  newTimedQueue(fwd, fr),
+		in:   newTimedQueue(rev, rr),
 		done: make(chan struct{}),
 	}
 	s.wg.Add(2)
@@ -148,6 +164,7 @@ func (s *shapedConn) SetWriteDeadline(time.Time) error { return nil }
 // delivery happens one propagation delay after serialization completes.
 type timedQueue struct {
 	link Link
+	rng  *rand.Rand // jitter source; guarded by mu, nil = no jitter
 
 	mu       sync.Mutex
 	notEmpty sync.Cond
@@ -163,11 +180,19 @@ type timedChunk struct {
 	deliverAt time.Time
 }
 
-func newTimedQueue(link Link) *timedQueue {
-	q := &timedQueue{link: link}
+func newTimedQueue(link Link, rng *rand.Rand) *timedQueue {
+	q := &timedQueue{link: link, rng: rng}
 	q.notEmpty.L = &q.mu
 	q.notFull.L = &q.mu
 	return q
+}
+
+// jitter draws this chunk's extra propagation delay. Caller holds q.mu.
+func (q *timedQueue) jitter() time.Duration {
+	if q.link.Jitter <= 0 || q.rng == nil {
+		return 0
+	}
+	return time.Duration(q.rng.Int63n(int64(q.link.Jitter)))
 }
 
 // push enqueues a chunk, blocking while the queue is full.
@@ -189,7 +214,7 @@ func (q *timedQueue) push(data []byte) error {
 	q.nextFree = done
 	q.items = append(q.items, timedChunk{
 		data:      data,
-		deliverAt: done.Add(q.link.OneWayLatency),
+		deliverAt: done.Add(q.link.OneWayLatency + q.jitter()),
 	})
 	q.bytes += len(data)
 	q.notEmpty.Signal()

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// writeChunk bounds the bytes written between fault checks, so a fault
+// engaged while a large frame is in flight lands mid-frame: the prefix is
+// on the wire, the rest stalls or dies with the connection.
+const writeChunk = 4 << 10
+
+// Conn is the injectable connection wrapper the Injector's Hook installs on
+// every dialed connection. Its reads and writes consult the injector's
+// fault state: a cut direction stalls them (no bytes lost — TCP semantics),
+// a spike delays writes, and a sever fails everything immediately.
+type Conn struct {
+	inj      *Injector
+	from, to int
+	base     net.Conn
+
+	// severed is set by the injector under inj.mu; once true every
+	// operation fails with net.ErrClosed.
+	severed bool
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Write pushes p through the fault gate in chunks: each chunk first waits
+// out any cut on the forward direction, so a concurrently engaged fault
+// stalls (or a sever kills) the write mid-frame. Spike delay applies once
+// per call, before the first byte.
+func (c *Conn) Write(p []byte) (int, error) {
+	d, err := c.inj.gateWrite(c)
+	if err != nil {
+		return 0, err
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	total := 0
+	for len(p) > 0 {
+		if total > 0 { // re-check the gate between chunks
+			if _, err := c.inj.gateWrite(c); err != nil {
+				return total, err
+			}
+		}
+		n := len(p)
+		if n > writeChunk {
+			n = writeChunk
+		}
+		m, err := c.base.Write(p[:n])
+		total += m
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Read waits out any cut on the reverse direction (whose traffic these
+// reads carry), then reads from the underlying connection. Bytes already
+// buffered below when a cut engages may still be delivered — matching a
+// real one-way blackhole, which cannot recall packets past the bottleneck.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.inj.gateRead(c); err != nil {
+		return 0, err
+	}
+	return c.base.Read(p)
+}
+
+// kill severs the connection: called by the injector after marking severed.
+func (c *Conn) kill() { _ = c.base.Close() }
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.inj.unregister(c)
+		err = c.base.Close()
+	})
+	return err
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.base.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.base.RemoteAddr() }
+
+// SetDeadline implements net.Conn by delegating to the wrapped connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.base.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.base.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.base.SetWriteDeadline(t) }

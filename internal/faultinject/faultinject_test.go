@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := GenConfig{N: 4, Crashable: []int{3, 4}, Horizon: 10 * time.Second}
+	const seed = 42
+	a, b := Generate(seed, cfg), Generate(seed, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("seed %d: schedules differ:\n%s\n--- vs ---\n%s", seed, a, b)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("seed %d: fingerprints differ: %s vs %s", seed, a.Fingerprint(), b.Fingerprint())
+	}
+	if c := Generate(seed+1, cfg); c.String() == a.String() {
+		t.Fatalf("seeds %d and %d produced identical schedules", seed, seed+1)
+	}
+}
+
+func TestGenerateCoversEveryKind(t *testing.T) {
+	const seed = 7
+	s := Generate(seed, GenConfig{N: 4, Crashable: []int{4}, Horizon: 10 * time.Second})
+	if got, want := len(s.Kinds()), len(AllKinds()); got != want {
+		t.Fatalf("seed %d: schedule covers %d kinds (%v), want all %d:\n%s", seed, got, s.Kinds(), want, s)
+	}
+}
+
+func TestGenerateRespectsKindSubset(t *testing.T) {
+	const seed = 7
+	s := Generate(seed, GenConfig{N: 3, Horizon: 10 * time.Second, Kinds: []Kind{KindFlap, KindBlackhole}})
+	for _, e := range s.Events {
+		if e.Kind != KindFlap && e.Kind != KindBlackhole {
+			t.Fatalf("seed %d: unexpected kind %s in restricted schedule", seed, e.Kind)
+		}
+	}
+	if len(s.Events) == 0 {
+		t.Fatalf("seed %d: empty schedule", seed)
+	}
+}
+
+// pipePair returns an injected conn in front of one side of a net.Pipe.
+func pipePair(t *testing.T, in *Injector, from, to int) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	wrapped, err := in.Hook()(from, to, a)
+	if err != nil {
+		t.Fatalf("hook: %v", err)
+	}
+	return wrapped.(*Conn), b
+}
+
+func TestCutStallsWriteUntilHeal(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	c, peer := pipePair(t, in, 1, 2)
+
+	in.CutLink(1, 2)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("hello"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed through a cut link: err=%v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Heal: the stalled bytes must now flow, unmodified.
+	go in.HealLink(1, 2)
+	buf := make([]byte, 16)
+	n, err := peer.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read after heal: %q, %v", buf[:n], err)
+	}
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestSeverFailsStalledWriteMidFrame(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	c, peer := pipePair(t, in, 1, 2)
+
+	// A frame bigger than one write chunk: the first chunk lands, then the
+	// cut engages and the sever kills the rest — a mid-frame break.
+	frame := make([]byte, writeChunk*3)
+	go func() {
+		buf := make([]byte, writeChunk)
+		_, _ = io.ReadFull(peer, buf) // accept the first chunk
+		in.CutLink(1, 2)              // stall the remainder
+		time.Sleep(20 * time.Millisecond)
+		in.Sever(1, 2)
+	}()
+	n, err := c.Write(frame)
+	if err == nil {
+		t.Fatalf("write survived a sever (n=%d)", n)
+	}
+	// The kill may surface at the fault gate (net.ErrClosed) or inside the
+	// underlying pipe write (io.ErrClosedPipe); either way it must land
+	// mid-frame.
+	if n == 0 || n >= len(frame) {
+		t.Fatalf("sever did not land mid-frame: wrote %d of %d (err=%v)", n, len(frame), err)
+	}
+}
+
+func TestCutStallsReadsOfReverseTraffic(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	// Conn dialed 2→1: its reads carry 1→2 traffic.
+	c, peer := pipePair(t, in, 2, 1)
+
+	in.CutLink(1, 2)
+	readDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4)
+		_, err := c.Read(buf)
+		readDone <- err
+	}()
+	go func() { _, _ = peer.Write([]byte("ping")) }()
+	select {
+	case err := <-readDone:
+		t.Fatalf("read completed through a cut reverse link: err=%v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.HealLink(1, 2)
+	if err := <-readDone; err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestDialFailsWhileCut(t *testing.T) {
+	net1 := emunet.NewMemNetwork(nil)
+	defer net1.Close()
+	reg := metrics.NewRegistry()
+	in := New(reg)
+	defer in.Close()
+	net1.SetConnHook(in.Hook())
+
+	l, err := net1.Listen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(io.Discard, c) }()
+		}
+	}()
+
+	in.Blackhole(1, 2)
+	if _, err := net1.Dial(1, 2); !errors.Is(err, ErrLinkCut) {
+		t.Fatalf("dial through cut link: err=%v, want ErrLinkCut", err)
+	}
+	in.HealBlackhole(1, 2)
+	c, err := net1.Dial(1, 2)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	_ = c.Close()
+	if v := reg.CounterVec("stabilizer_faults_injected_total", "Fault events injected, by fault kind.", "kind").With(KindBlackhole.String()).Value(); v != 1 {
+		t.Fatalf("injected counter = %d, want 1", v)
+	}
+}
+
+func TestSpikeDelaysWrites(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	c, peer := pipePair(t, in, 1, 2)
+	go func() { _, _ = io.Copy(io.Discard, peer) }()
+
+	const spike = 60 * time.Millisecond
+	in.Spike(1, 2, spike)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < spike {
+		t.Fatalf("spiked write took %v, want ≥ %v", el, spike)
+	}
+	in.ClearSpike(1, 2, spike)
+	start = time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > spike {
+		t.Fatalf("write after ClearSpike took %v, want < %v", el, spike)
+	}
+}
+
+func TestRunnerAppliesAndHealsInOrder(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	sched := &Schedule{Seed: 1, Events: []Event{
+		{At: 10 * time.Millisecond, Dur: 30 * time.Millisecond, Kind: KindBlackhole, Nodes: []int{1, 2}},
+		{At: 20 * time.Millisecond, Kind: KindFlap, Nodes: []int{1, 3}},
+	}}
+	crashed := make(chan int, 1)
+	r := &Runner{Inj: in, Sched: sched, N: 3, Scale: 1,
+		Crash: func(n int) { crashed <- n }, Restart: func(int) {}}
+	done := make(chan struct{})
+	go func() { r.Run(nil); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("runner did not finish")
+	}
+	// After Run, every engaged fault has healed: dials must succeed.
+	if _, err := in.Hook()(1, 2, nopConn{}); err != nil {
+		t.Fatalf("link still cut after runner finished: %v", err)
+	}
+}
+
+// nopConn is a do-nothing net.Conn for hook-only tests.
+type nopConn struct{}
+
+func (nopConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (nopConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (nopConn) Close() error                     { return nil }
+func (nopConn) LocalAddr() net.Addr              { return nil }
+func (nopConn) RemoteAddr() net.Addr             { return nil }
+func (nopConn) SetDeadline(time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"sort"
+	"time"
+)
+
+// Runner walks a Schedule against wall time and applies each event to an
+// Injector, mapping virtual event times to wall times through Scale (the
+// same convention as emunet.Matrix.Scaled: wall = virtual / Scale).
+type Runner struct {
+	Inj   *Injector
+	Sched *Schedule
+	// N is the cluster size partitions are computed against.
+	N int
+	// Scale divides virtual times; ≤ 0 means 1 (faithful wall-clock).
+	Scale float64
+	// Crash and Restart handle KindCrashRestart events: Crash(node) runs
+	// at the event time, Restart(node) after the event's duration. Both
+	// run on the runner's goroutine; nil skips crash events.
+	Crash   func(node int)
+	Restart func(node int)
+	// Logf, when set, traces each applied action.
+	Logf func(format string, args ...any)
+}
+
+// action is one timed state change derived from an event.
+type action struct {
+	at   time.Duration // virtual
+	desc string
+	fn   func()
+}
+
+// Run applies the schedule, blocking until the last action has run or stop
+// is closed. Every engaged fault's heal action is part of the timeline, so
+// a completed Run leaves only severed connections behind (transports
+// redial); an interrupted Run may leave faults engaged — use
+// Injector.HealAll.
+func (r *Runner) Run(stop <-chan struct{}) {
+	scale := r.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var actions []action
+	for _, e := range r.Sched.Events {
+		e := e
+		switch e.Kind {
+		case KindPartition:
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.Partition(e.Nodes, r.N)
+				}},
+				action{e.At + e.Dur, "heal " + e.String(), func() {
+					r.Inj.HealPartition(e.Nodes, r.N)
+				}})
+		case KindFlap:
+			actions = append(actions, action{e.At, e.String(), func() {
+				r.Inj.Flap(e.Nodes[0], e.Nodes[1])
+			}})
+		case KindBlackhole:
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.Blackhole(e.Nodes[0], e.Nodes[1])
+				}},
+				action{e.At + e.Dur, "heal " + e.String(), func() {
+					r.Inj.HealBlackhole(e.Nodes[0], e.Nodes[1])
+				}})
+		case KindLatencySpike:
+			extra := time.Duration(float64(e.Extra) / scale)
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.Spike(e.Nodes[0], e.Nodes[1], extra)
+				}},
+				action{e.At + e.Dur, "heal " + e.String(), func() {
+					r.Inj.ClearSpike(e.Nodes[0], e.Nodes[1], extra)
+				}})
+		case KindCrashRestart:
+			if r.Crash == nil || r.Restart == nil {
+				continue
+			}
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.RecordFault(KindCrashRestart)
+					r.Crash(e.Nodes[0])
+				}},
+				action{e.At + e.Dur, "restart " + e.String(), func() {
+					r.Restart(e.Nodes[0])
+				}})
+		}
+	}
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].at < actions[j].at })
+
+	start := time.Now()
+	for _, a := range actions {
+		due := start.Add(time.Duration(float64(a.at) / scale))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(d):
+			}
+		} else {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		if r.Logf != nil {
+			r.Logf("faultinject: t=%-8s %s", time.Since(start).Round(time.Millisecond), a.desc)
+		}
+		a.fn()
+	}
+}

@@ -1,0 +1,294 @@
+// Package faultinject is the deterministic fault-injection layer: it turns
+// a seed into a replayable Schedule of network faults (partitions, link
+// flaps, one-way blackholes, latency spikes, node crash-and-restarts) and
+// applies them to a live emunet fabric through an Injector installed on the
+// fabric's dial path.
+//
+// Fault semantics follow TCP's, because the transport layer's FIFO
+// guarantee (paper §II-A) assumes lossless ordered connections: a fault
+// never silently drops bytes mid-stream. A cut link *stalls* — writes and
+// reads block, exactly like a dropped-packet window with no ACK clock —
+// until the fault heals (buffered bytes then flow, modelling
+// retransmission) or the connection is severed (the stall surfaces as a
+// connection error, modelling an RTO kill). Severing mid-frame is the
+// normal case: the injectable Conn chunks writes so a concurrently engaged
+// fault lands inside a frame, exercising the transport's resend and
+// reconnect-handshake paths.
+//
+// Everything is driven by explicit *rand.Rand sources: the same seed
+// reproduces the same Schedule byte for byte (see Schedule.String), and a
+// seeded fabric reproduces the same shaper jitter.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates fault event types.
+type Kind uint8
+
+const (
+	// KindPartition isolates a node set: every link crossing the set
+	// boundary is cut in both directions and live connections are severed.
+	KindPartition Kind = iota
+	// KindFlap severs both directions of one link instantly; redialing is
+	// allowed immediately (a transient TCP break).
+	KindFlap
+	// KindBlackhole cuts one direction of one link without severing:
+	// traffic from→to stalls silently until the fault heals.
+	KindBlackhole
+	// KindLatencySpike adds a fixed extra delay to one direction of one
+	// link for the fault's duration.
+	KindLatencySpike
+	// KindCrashRestart crashes a node (the harness closes it, losing all
+	// volatile state) and restarts it fresh after the fault's duration.
+	KindCrashRestart
+
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPartition:
+		return "partition"
+	case KindFlap:
+		return "flap"
+	case KindBlackhole:
+		return "blackhole"
+	case KindLatencySpike:
+		return "latency_spike"
+	case KindCrashRestart:
+		return "crash_restart"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// AllKinds lists every fault kind in canonical order.
+func AllKinds() []Kind {
+	return []Kind{KindPartition, KindFlap, KindBlackhole, KindLatencySpike, KindCrashRestart}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual-time offset from schedule start at which the
+	// fault engages.
+	At time.Duration
+	// Dur is how long the fault stays engaged; the heal (or restart)
+	// action runs at At+Dur. Zero for instantaneous faults (flaps).
+	Dur time.Duration
+	// Kind is the fault type.
+	Kind Kind
+	// Nodes are the fault's subjects: the isolated set for a partition,
+	// [a, b] for a flap, the directed [from, to] for blackholes and
+	// latency spikes, and [node] for a crash.
+	Nodes []int
+	// Extra is the added one-way delay of a latency spike.
+	Extra time.Duration
+}
+
+// String renders the event canonically.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%08dms %-13s nodes=%v", e.At.Milliseconds(), e.Kind, e.Nodes)
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%dms", e.Dur.Milliseconds())
+	}
+	if e.Extra > 0 {
+		fmt.Fprintf(&b, " extra=%dms", e.Extra.Milliseconds())
+	}
+	return b.String()
+}
+
+// Schedule is a seeded, virtual-time fault plan. Two schedules generated
+// from the same seed and GenConfig are identical, so a failing run's seed
+// replays the exact event sequence.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders the full schedule canonically, one event per line — the
+// replay fingerprint used by tests.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d events=%d\n", s.Seed, len(s.Events))
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fingerprint is a short stable hash of the canonical schedule rendering.
+func (s *Schedule) Fingerprint() string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Kinds returns the distinct fault kinds present, in canonical order.
+func (s *Schedule) Kinds() []Kind {
+	seen := make(map[Kind]bool)
+	for _, e := range s.Events {
+		seen[e.Kind] = true
+	}
+	var out []Kind
+	for _, k := range AllKinds() {
+		if seen[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// GenConfig parameterizes Generate.
+type GenConfig struct {
+	// N is the cluster size (1-based node indexes 1..N). Required, ≥ 2.
+	N int
+	// Crashable lists the nodes eligible for KindCrashRestart. Empty
+	// disables crash events even if the kind is enabled.
+	Crashable []int
+	// Horizon is the virtual-time span events are generated over
+	// (default 5s).
+	Horizon time.Duration
+	// MeanGap is the mean spacing between events (default Horizon/12).
+	MeanGap time.Duration
+	// MinDur and MaxDur bound fault durations (defaults 100ms and
+	// MeanGap×2).
+	MinDur, MaxDur time.Duration
+	// MaxSpike bounds the extra delay of latency spikes (default 50ms).
+	MaxSpike time.Duration
+	// Kinds restricts the fault types generated (default AllKinds).
+	Kinds []Kind
+}
+
+func (c GenConfig) normalized() GenConfig {
+	if c.Horizon <= 0 {
+		c.Horizon = 5 * time.Second
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = c.Horizon / 12
+	}
+	if c.MinDur <= 0 {
+		c.MinDur = 100 * time.Millisecond
+	}
+	if c.MaxDur <= 0 {
+		c.MaxDur = 2 * c.MeanGap
+	}
+	if c.MaxDur < c.MinDur {
+		c.MaxDur = c.MinDur
+	}
+	if c.MaxSpike <= 0 {
+		c.MaxSpike = 50 * time.Millisecond
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllKinds()
+	}
+	if len(c.Crashable) == 0 {
+		kept := c.Kinds[:0:0]
+		for _, k := range c.Kinds {
+			if k != KindCrashRestart {
+				kept = append(kept, k)
+			}
+		}
+		c.Kinds = kept
+	}
+	return c
+}
+
+// Generate builds a deterministic schedule from seed. The first len(Kinds)
+// events cycle through every enabled kind once, so any non-trivial horizon
+// exercises each fault type; later events draw kinds uniformly.
+func Generate(seed int64, cfg GenConfig) *Schedule {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed}
+	if cfg.N < 2 || len(cfg.Kinds) == 0 {
+		return s
+	}
+	// Crash windows per node: a node is not re-crashed while a previous
+	// crash's restart is still pending.
+	crashedUntil := make(map[int]time.Duration)
+
+	t := time.Duration(0)
+	for i := 0; ; i++ {
+		t += cfg.MeanGap/2 + time.Duration(rng.Int63n(int64(cfg.MeanGap)))
+		if t >= cfg.Horizon {
+			break
+		}
+		kind := cfg.Kinds[i%len(cfg.Kinds)]
+		if i >= len(cfg.Kinds) {
+			kind = cfg.Kinds[rng.Intn(len(cfg.Kinds))]
+		}
+		dur := cfg.MinDur + time.Duration(rng.Int63n(int64(cfg.MaxDur-cfg.MinDur)+1))
+		e := Event{At: t, Dur: dur, Kind: kind}
+		switch kind {
+		case KindPartition:
+			size := 1
+			if max := cfg.N / 2; max > 1 {
+				size += rng.Intn(max)
+			}
+			perm := rng.Perm(cfg.N)
+			for _, p := range perm[:size] {
+				e.Nodes = append(e.Nodes, p+1)
+			}
+			sort.Ints(e.Nodes)
+		case KindFlap:
+			a, b := pickPair(rng, cfg.N)
+			if a > b {
+				a, b = b, a
+			}
+			e.Nodes = []int{a, b}
+			e.Dur = 0
+		case KindBlackhole, KindLatencySpike:
+			from, to := pickPair(rng, cfg.N)
+			e.Nodes = []int{from, to}
+			if kind == KindLatencySpike {
+				// Draw from [MaxSpike/4, MaxSpike) so every spike is
+				// big enough to be observable against base latency.
+				floor := int64(cfg.MaxSpike) / 4
+				e.Extra = time.Duration(floor + rng.Int63n(int64(cfg.MaxSpike)-floor))
+			}
+		case KindCrashRestart:
+			node, ok := pickCrashable(rng, cfg.Crashable, crashedUntil, t)
+			if !ok {
+				continue // every crashable node is already down
+			}
+			e.Nodes = []int{node}
+			crashedUntil[node] = t + dur
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s
+}
+
+// pickPair draws an ordered pair of distinct 1-based node indexes.
+func pickPair(rng *rand.Rand, n int) (int, int) {
+	a := rng.Intn(n) + 1
+	b := rng.Intn(n-1) + 1
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// pickCrashable draws a crashable node that is currently up at time t.
+func pickCrashable(rng *rand.Rand, crashable []int, crashedUntil map[int]time.Duration, t time.Duration) (int, bool) {
+	up := make([]int, 0, len(crashable))
+	for _, n := range crashable {
+		if t >= crashedUntil[n] {
+			up = append(up, n)
+		}
+	}
+	if len(up) == 0 {
+		return 0, false
+	}
+	return up[rng.Intn(len(up))], true
+}

@@ -32,7 +32,9 @@ type Registry struct {
 	monitorFires *metrics.Counter
 	waiters      *metrics.Gauge
 	frontiers    *metrics.GaugeVec
-	onAdvance    func(key string, old, new uint64)
+	// onAdvance is copy-on-write: OnAdvance swaps in a fresh slice under
+	// mu, so a snapshot taken under mu stays safe to iterate after unlock.
+	onAdvance []func(key string, old, new uint64)
 }
 
 type predicate struct {
@@ -71,12 +73,19 @@ func (r *Registry) EnableMetrics(m *metrics.Registry) {
 		"Last computed stability frontier per predicate.", "predicate")
 }
 
-// OnAdvance installs a hook invoked with (key, old, new) after a predicate's
+// OnAdvance adds a hook invoked with (key, old, new) after a predicate's
 // frontier moves forward — outside the registry lock, before waiters are
 // released, so latency samples exist by the time WaitFor returns. The core
-// uses it to record stability latency. Call before Register; not safe to
-// call concurrently with use.
-func (r *Registry) OnAdvance(fn func(key string, old, new uint64)) { r.onAdvance = fn }
+// uses it to record stability latency; invariant checkers use it to watch
+// monotonicity. Hooks run in registration order and accumulate. Safe to
+// call on a live registry.
+func (r *Registry) OnAdvance(fn func(key string, old, new uint64)) {
+	r.mu.Lock()
+	hooks := make([]func(string, uint64, uint64), len(r.onAdvance), len(r.onAdvance)+1)
+	copy(hooks, r.onAdvance)
+	r.onAdvance = append(hooks, fn)
+	r.mu.Unlock()
+}
 
 // setFrontierGauge mirrors a predicate's frontier into its gauge.
 func (r *Registry) setFrontierGauge(key string, f uint64) {
@@ -148,10 +157,13 @@ func (r *Registry) Change(key, source string) error {
 	p.frontier = r.table.EvalLocked(prog)
 	newF := p.frontier
 	released := p.releaseWaitersLocked()
+	hooks := r.onAdvance
 	r.mu.Unlock()
 	r.setFrontierGauge(key, newF)
-	if r.onAdvance != nil && newF > old {
-		r.onAdvance(key, old, newF)
+	if newF > old {
+		for _, fn := range hooks {
+			fn(key, old, newF)
+		}
 	}
 	r.addWaiters(-len(released))
 	releaseAll(released)
@@ -327,6 +339,7 @@ func (r *Registry) Recompute() {
 		advances []advance
 	)
 	r.mu.Lock()
+	hooks := r.onAdvance
 	for _, p := range r.preds {
 		f := r.table.EvalLocked(p.prog)
 		if f <= p.frontier {
@@ -353,8 +366,8 @@ func (r *Registry) Recompute() {
 	// caller resumes.
 	for _, a := range advances {
 		r.setFrontierGauge(a.key, a.new)
-		if r.onAdvance != nil {
-			r.onAdvance(a.key, a.old, a.new)
+		for _, fn := range hooks {
+			fn(a.key, a.old, a.new)
 		}
 	}
 	r.addWaiters(-len(released))

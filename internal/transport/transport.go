@@ -135,9 +135,15 @@ type Transport struct {
 	peers map[int]*peerInstruments // keyed by peer index
 
 	// recvLast[p] is the highest contiguous data sequence received from
-	// peer p, advanced by CAS so the per-frame duplicate filter shares no
-	// lock across peers. Index 0 is unused (peers are 1-based).
+	// peer p. It is written under deliverMu[p] and read lock-free by
+	// snapshot getters and the reconnect handshake. Index 0 is unused
+	// (peers are 1-based).
 	recvLast []atomic.Uint64
+	// deliverMu[p] serializes the duplicate filter and the data upcall for
+	// peer p, so the Handler's per-peer FIFO contract holds even while a
+	// superseded connection from the same peer is still draining alongside
+	// its replacement. Per-peer, so peers never contend with each other.
+	deliverMu []sync.Mutex
 
 	recvMu   sync.Mutex
 	incoming map[int]net.Conn  // current accepted conn per peer
@@ -192,6 +198,7 @@ func New(cfg Config) (*Transport, error) {
 		links:     make(map[int]*link, cfg.N-1),
 		peers:     make(map[int]*peerInstruments, cfg.N-1),
 		recvLast:  make([]atomic.Uint64, cfg.N+1),
+		deliverMu: make([]sync.Mutex, cfg.N+1),
 		incoming:  make(map[int]net.Conn, cfg.N-1),
 		accepted:  make(map[net.Conn]bool, cfg.N-1),
 		lastHeard: make(map[int]time.Time, cfg.N-1),
@@ -461,9 +468,7 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		case *wire.Data:
 			t.dataRecv.Add(1)
 			ins.dataRecv.Inc()
-			if t.acceptData(from, m.Seq) {
-				t.cfg.Handler.HandleData(from, m)
-			}
+			t.deliverData(from, m)
 		case *wire.Ack:
 			ins.ackRecv.Inc()
 			t.cfg.Handler.HandleAck(m)
@@ -485,22 +490,23 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 	}
 }
 
-// acceptData advances the per-peer contiguous receive counter, filtering
-// duplicates caused by resend-after-reconnect. The transport guarantees
-// FIFO per connection, so sequences only move forward; the CAS loop keeps
-// the filter correct in the brief window where a superseded connection from
-// the same peer is still draining.
-func (t *Transport) acceptData(from int, seq uint64) bool {
-	c := &t.recvLast[from]
-	for {
-		cur := c.Load()
-		if seq <= cur {
-			return false
-		}
-		if c.CompareAndSwap(cur, seq) {
-			return true
-		}
+// deliverData filters duplicates caused by resend-after-reconnect and hands
+// fresh frames to the Handler, all under the peer's delivery mutex. The
+// mutex is what makes the Handler's per-peer FIFO promise real: during a
+// reconnect a superseded connection from the same peer can still be
+// draining frames alongside its replacement, and without serialization the
+// two goroutines could both pass the filter (for different sequences) and
+// race their upcalls out of order. Normal operation has one connection per
+// peer, so the lock is uncontended.
+func (t *Transport) deliverData(from int, d *wire.Data) {
+	mu := &t.deliverMu[from]
+	mu.Lock()
+	defer mu.Unlock()
+	if d.Seq <= t.recvLast[from].Load() {
+		return
 	}
+	t.recvLast[from].Store(d.Seq)
+	t.cfg.Handler.HandleData(from, d)
 }
 
 // --- liveness ---
