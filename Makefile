@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos bench bench-transport bench-transport-short
+.PHONY: check vet build test race chaos chaos-flow bench bench-transport bench-transport-short
 
 check: vet build race
 
@@ -21,6 +21,13 @@ race:
 # STABILIZER_CHAOS_SEED=<n> to replay a failure byte-for-byte.
 chaos:
 	STABILIZER_CHAOS_FULL=1 $(GO) test -v -run TestChaosSoak ./internal/chaos
+
+# chaos-flow is the bounded-memory variant: the same fault soak with
+# send-log caps, blocking admission, and stall detection engaged, plus the
+# end-to-end FlowDemo (blackholed peer, 64 KiB cap, majority fallback).
+# Replays the same way: STABILIZER_CHAOS_SEED=<n> make chaos-flow.
+chaos-flow:
+	STABILIZER_CHAOS_FULL=1 $(GO) test -v -run 'TestChaosSoakFlow|TestFlowDemo' ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

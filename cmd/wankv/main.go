@@ -9,6 +9,8 @@
 //	wankv -topology topo.json   # custom deployment
 //	wankv -timescale 5          # compress WAN latencies 5x
 //	wankv -metrics-addr :9090   # node 1's /metrics + /debug/stabilizer
+//	wankv -flow-max-bytes 65536 -flow-mode fail -stall-deadline 2s
+//	                            # bounded send logs + degraded-mode reporting
 //
 // Commands:
 //
@@ -21,6 +23,7 @@
 //	frontier [key]                   show stability frontiers
 //	predicates                       list registered predicates
 //	acks                             dump the ACK recorder for node 1
+//	health                           send-log pressure + stall blame for node 1
 //	help, quit
 package main
 
@@ -52,8 +55,24 @@ func run() error {
 		topoPath    = flag.String("topology", "", "topology JSON file (default: built-in EC2 Fig. 2)")
 		timescale   = flag.Float64("timescale", 10, "divide emulated WAN latencies by this factor")
 		metricsAddr = flag.String("metrics-addr", "", "serve node 1's /metrics and /debug/stabilizer on this address (e.g. :9090)")
+
+		flowMaxBytes   = flag.Int64("flow-max-bytes", 0, "cap each node's send log at this many buffered bytes (0 = unbounded)")
+		flowMaxEntries = flag.Int("flow-max-entries", 0, "cap each node's send log at this many buffered entries (0 = unbounded)")
+		flowMode       = flag.String("flow-mode", "block", "admission at the cap: 'block' (put waits) or 'fail' (put errors)")
+		stallDeadline  = flag.Duration("stall-deadline", 0, "declare a predicate stalled after its frontier sits still this long (0 = off)")
 	)
 	flag.Parse()
+	var mode stabilizer.FlowMode
+	switch *flowMode {
+	case "block":
+		mode = stabilizer.FlowBlock
+	case "fail":
+		mode = stabilizer.FlowFail
+	default:
+		return fmt.Errorf("bad -flow-mode %q (want block or fail)", *flowMode)
+	}
+	flow := stabilizer.FlowConfig{MaxBytes: *flowMaxBytes, MaxEntries: *flowMaxEntries, Mode: mode}
+	stall := stabilizer.StallConfig{Deadline: *stallDeadline}
 
 	topo := stabilizer.EC2Topology(1)
 	matrix := stabilizer.EC2Matrix()
@@ -74,7 +93,7 @@ func run() error {
 	nodes := make([]*stabilizer.Node, topo.N())
 	stores := make([]*wankv.Store, topo.N())
 	for i := 1; i <= topo.N(); i++ {
-		cfg := stabilizer.Config{Topology: topo.WithSelf(i), Network: network}
+		cfg := stabilizer.Config{Topology: topo.WithSelf(i), Network: network, Flow: flow, Stall: stall}
 		if i == 1 {
 			cfg.Metrics = reg
 		}
@@ -143,7 +162,7 @@ func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.No
 		return errQuit
 
 	case "help":
-		fmt.Println("put get mirror wait register change frontier predicates acks quit")
+		fmt.Println("put get mirror wait register change frontier predicates acks health quit")
 		return nil
 
 	case "put":
@@ -241,6 +260,29 @@ func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.No
 			d, _ := primary.AckValue(1, i, "delivered")
 			p, _ := primary.AckValue(1, i, "persisted")
 			fmt.Printf("%-12s %10d %10d %10d\n", name.Name, r, d, p)
+		}
+		return nil
+
+	case "health":
+		h := primary.Health()
+		cap := "unbounded"
+		if h.SendLogCapBytes > 0 {
+			cap = fmt.Sprintf("%d", h.SendLogCapBytes)
+		}
+		fmt.Printf("head=%d send-log: %d bytes / %d entries (cap %s) backpressured=%v blocked=%d shed=%d\n",
+			h.Head, h.SendLogBytes, h.SendLogEntries, cap, h.Backpressured, h.BlockedAppends, h.ShedAppends)
+		for _, p := range h.Predicates {
+			if !p.Stalled {
+				fmt.Printf("%-22s frontier=%d/%d ok\n", p.Key, p.Frontier, p.Head)
+				continue
+			}
+			fmt.Printf("%-22s frontier=%d/%d STALLED for %v\n",
+				p.Key, p.Frontier, p.Head, p.StalledFor.Round(time.Millisecond))
+			for _, b := range p.Blamed {
+				name, _ := topo.NodeAt(b.Peer)
+				fmt.Printf("    blames node %d (%s, %s/%s) ack=%d\n",
+					b.Peer, name.Name, b.AZ, b.Region, b.Ack)
+			}
 		}
 		return nil
 

@@ -48,6 +48,11 @@ type Options struct {
 	// scaled heartbeat RTT shrinks the bandwidth-delay product along with
 	// the emulated latencies.
 	Batch transport.BatchConfig
+	// Flow bounds every node's send log with admission control (byte and
+	// entry caps with hysteretic watermarks), so experiments can measure
+	// throughput under bounded memory. Zero value = unbounded (the
+	// pre-flow-control behavior).
+	Flow transport.FlowConfig
 }
 
 func (o Options) normalized() Options {
@@ -93,6 +98,7 @@ func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*
 			HeartbeatEvery: 100 * time.Millisecond,
 			PeerTimeout:    5 * time.Second,
 			Batch:          opts.Batch,
+			Flow:           opts.Flow,
 		}
 		if i == 1 {
 			cfg.Metrics = opts.Metrics

@@ -12,6 +12,7 @@ import (
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/faultinject"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/transport"
 )
 
 // Options parameterizes a soak run. The zero value (plus a Seed) is a
@@ -41,6 +42,21 @@ type Options struct {
 	// (defaults 25ms / 200ms — fast enough to trip during the soak).
 	HeartbeatEvery time.Duration
 	PeerTimeout    time.Duration
+	// Kinds restricts the fault kinds the schedule draws from (default all).
+	Kinds []faultinject.Kind
+	// Flow, when enabled, caps every node's send log and turns on the
+	// bounded-memory invariant: CrossCheck sweeps additionally assert no
+	// node's buffer exceeds the cap plus one payload.
+	Flow transport.FlowConfig
+	// Stall, when its Deadline is set, runs the nodes' stall monitors and
+	// turns on the degraded-mode honesty invariant: every stall report must
+	// blame only peers the schedule actually faulted.
+	Stall core.StallConfig
+	// AutoReclaim leaves send-log reclamation on (the soak default disables
+	// it so crash-restarted receivers can be resent the full prefix). A
+	// flow-capped soak needs it on — bounded memory requires truncation —
+	// and therefore must exclude KindCrashRestart via Kinds.
+	AutoReclaim bool
 	// Logf, when set, traces faults and crash/restart events.
 	Logf func(format string, args ...any)
 }
@@ -92,8 +108,13 @@ func (o Options) genConfig() faultinject.GenConfig {
 		N:         o.N,
 		Crashable: o.Crashable,
 		Horizon:   o.Horizon,
+		Kinds:     o.Kinds,
 	}
 }
+
+// soakPayload is the size of every pumped message; the bounded-memory sweep
+// uses it as the admission-control overshoot budget.
+const soakPayload = 96
 
 // convergencePred is the predicate every node must agree on at drain time.
 // The .delivered suffix matters: the row advances only after application
@@ -130,6 +151,32 @@ func Soak(o Options) (*Report, error) {
 	}
 
 	sched := faultinject.Generate(o.Seed, o.genConfig())
+	if o.AutoReclaim {
+		for _, k := range sched.Kinds() {
+			if k == faultinject.KindCrashRestart {
+				return nil, fmt.Errorf("chaos: an auto-reclaim soak cannot include crash_restart events " +
+					"(a restarted receiver needs the full prefix resent, which reclaim truncates); " +
+					"restrict Options.Kinds")
+			}
+		}
+	}
+	// Ground truth for the honesty invariant: the set of nodes any schedule
+	// event touches. A stall report may only blame these. A partition cuts
+	// every link crossing the set boundary, so both sides are affected — if
+	// the isolated set contains a sender, the peers left outside genuinely
+	// fall behind on its stream.
+	suspect := make(map[int]bool)
+	for _, e := range sched.Events {
+		if e.Kind == faultinject.KindPartition {
+			for i := 1; i <= o.N; i++ {
+				suspect[i] = true
+			}
+			continue
+		}
+		for _, n := range e.Nodes {
+			suspect[n] = true
+		}
+	}
 
 	// A lightly shaped fabric: enough latency that faults hit in-flight
 	// traffic, jitter to exercise the seeded shaper, and a bandwidth cap so
@@ -174,9 +221,12 @@ func Soak(o Options) (*Report, error) {
 			Network:        fabric,
 			HeartbeatEvery: o.HeartbeatEvery,
 			PeerTimeout:    o.PeerTimeout,
-			// Keep send buffers whole: a fresh-restarted receiver needs
-			// the full prefix resent, which reclaim would have truncated.
-			DisableAutoReclaim: true,
+			Flow:           o.Flow,
+			Stall:          o.Stall,
+			// Unless the soak opts into reclamation, keep send buffers
+			// whole: a fresh-restarted receiver needs the full prefix
+			// resent, which reclaim would have truncated.
+			DisableAutoReclaim: !o.AutoReclaim,
 			Epoch:              epochs[i],
 		})
 	}
@@ -185,6 +235,9 @@ func Soak(o Options) (*Report, error) {
 	// than the call gap after core.Open returns.
 	attach := func(n *core.Node) {
 		check.Attach(n)
+		if o.Stall.Deadline > 0 {
+			check.AttachStallHonesty(n, func(peer int) bool { return suspect[peer] })
+		}
 		n.OnDeliver(func(core.Message) { deliveries.Add(1) })
 	}
 	closeAll := func() {
@@ -227,7 +280,7 @@ func Soak(o Options) (*Report, error) {
 		pumps.Add(1)
 		go func(sn *core.Node) {
 			defer pumps.Done()
-			payload := make([]byte, 96)
+			payload := make([]byte, soakPayload)
 			tick := time.NewTicker(o.SendEvery)
 			defer tick.Stop()
 			for {
@@ -296,6 +349,9 @@ func Soak(o Options) (*Report, error) {
 			case <-tick.C:
 				mu.Lock()
 				check.CrossCheck(nodes)
+				if o.Flow.MaxBytes > 0 {
+					check.CheckBounded(nodes, o.Flow.MaxBytes, soakPayload)
+				}
 				mu.Unlock()
 			}
 		}
@@ -366,6 +422,9 @@ func Soak(o Options) (*Report, error) {
 	<-ccDone
 	mu.Lock()
 	check.CrossCheck(nodes)
+	if o.Flow.MaxBytes > 0 {
+		check.CheckBounded(nodes, o.Flow.MaxBytes, soakPayload)
+	}
 	// The checker's own FIFO counters must also have reached the heads:
 	// agreement on .delivered plus gap-free counting means every message
 	// was upcalled exactly once per incarnation.

@@ -6,7 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"stabilizer/internal/core"
 	"stabilizer/internal/faultinject"
+	"stabilizer/internal/transport"
 )
 
 // defaultSoakSeed is the pinned CI seed. Every failure message carries the
@@ -68,6 +70,102 @@ func TestSoakScheduleReplayIsIdentical(t *testing.T) {
 	}
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Fatalf("seed %d: fingerprints differ: %s vs %s", o.Seed, a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// flowSoakOptions is the flow-capped soak configuration: every node's send
+// log capped with blocking admission control, stall monitoring on, and
+// auto-reclaim enabled (bounded memory requires truncation) — which in turn
+// requires excluding crash_restart from the schedule.
+func flowSoakOptions(seed int64) Options {
+	var kinds []faultinject.Kind
+	for _, k := range faultinject.AllKinds() {
+		if k != faultinject.KindCrashRestart {
+			kinds = append(kinds, k)
+		}
+	}
+	return Options{
+		Seed:        seed,
+		Kinds:       kinds,
+		Flow:        transport.FlowConfig{MaxBytes: 16 << 10, Mode: transport.FlowBlock},
+		Stall:       core.StallConfig{Deadline: 300 * time.Millisecond},
+		AutoReclaim: true,
+	}
+}
+
+// TestChaosSoakFlow is the bounded-memory soak: random faults (crashes
+// excluded) against flow-capped nodes, with the checker's bounded-memory and
+// degraded-mode-honesty invariants armed alongside the original four.
+func TestChaosSoakFlow(t *testing.T) {
+	seed := soakSeed(t)
+	o := flowSoakOptions(seed)
+	o.Logf = t.Logf
+	switch {
+	case os.Getenv("STABILIZER_CHAOS_FULL") != "":
+		o.Horizon = 12 * time.Second
+	case testing.Short():
+		o.Horizon = 1500 * time.Millisecond
+	}
+	rep, err := Soak(o)
+	if err != nil {
+		if rep != nil {
+			t.Logf("schedule (fingerprint %s):\n%s", rep.Schedule.Fingerprint(), rep.Schedule)
+		}
+		t.Fatalf("flow soak failed — replay byte-for-byte with STABILIZER_CHAOS_SEED=%d:\n%v", seed, err)
+	}
+	for _, k := range rep.Schedule.Kinds() {
+		if k == faultinject.KindCrashRestart {
+			t.Fatalf("seed %d: flow soak schedule contains crash_restart:\n%s", seed, rep.Schedule)
+		}
+	}
+	t.Logf("flow soak passed: seed=%d fingerprint=%s heads=%v deliveries=%d kinds=%v",
+		seed, rep.Schedule.Fingerprint(), rep.Heads, rep.Deliveries, rep.Schedule.Kinds())
+}
+
+func TestSoakRejectsCrashWithAutoReclaim(t *testing.T) {
+	if _, err := Soak(Options{Seed: 1, AutoReclaim: true}); err == nil {
+		t.Fatal("Soak accepted auto-reclaim with crash_restart events in the schedule")
+	}
+}
+
+// TestFlowDemo runs the bounded-memory acceptance scenario end to end: cap
+// hit, stall blamed on exactly the blackholed peer, majority fallback
+// restores progress, memory stays bounded throughout.
+func TestFlowDemo(t *testing.T) {
+	seed := soakSeed(t)
+	o := FlowOptions{Seed: seed, Logf: t.Logf}
+	if testing.Short() {
+		o.Horizon = 1200 * time.Millisecond
+	}
+	rep, err := FlowDemo(o)
+	if err != nil {
+		t.Fatalf("flow demo failed — replay byte-for-byte with STABILIZER_CHAOS_SEED=%d:\n%v", seed, err)
+	}
+	if rep.BlockedAppends == 0 || rep.FallbackHead == 0 || rep.Head <= rep.FallbackHead {
+		t.Fatalf("degraded path not exercised: blocked=%d fallbackHead=%d head=%d",
+			rep.BlockedAppends, rep.FallbackHead, rep.Head)
+	}
+	if rep.StallReports == 0 {
+		t.Fatalf("no stall reports emitted")
+	}
+	t.Logf("flow demo passed: seed=%d fingerprint=%s victim=%d head=%d fallbackHead=%d maxLogBytes=%d blocked=%d stalls=%d",
+		seed, rep.Schedule.Fingerprint(), rep.Victim, rep.Head, rep.FallbackHead,
+		rep.MaxLogBytes, rep.BlockedAppends, rep.StallReports)
+}
+
+// TestFlowDemoScheduleReplayIsIdentical pins the acceptance requirement that
+// the same seed reproduces the flow demo's fault plan byte for byte.
+func TestFlowDemoScheduleReplayIsIdentical(t *testing.T) {
+	o := FlowOptions{Seed: soakSeed(t)}
+	a, b := o.Schedule(), o.Schedule()
+	if a.String() != b.String() {
+		t.Fatalf("seed %d: replayed schedule differs:\n%s\n--- vs ---\n%s", o.Seed, a, b)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("seed %d: fingerprints differ: %s vs %s", o.Seed, a.Fingerprint(), b.Fingerprint())
+	}
+	if v1, v2 := o.Victim(), o.Victim(); v1 != v2 {
+		t.Fatalf("seed %d: victim choice not deterministic: %d vs %d", o.Seed, v1, v2)
 	}
 }
 

@@ -14,10 +14,20 @@
 //  4. Convergence — once faults cease, every live node's view of every
 //     origin stream reaches the origin's head ("all WAN nodes reach the
 //     same conclusions eventually", §III-A).
+//  5. Bounded memory — with a send-log byte cap configured, no node's
+//     retransmission buffer exceeds the cap plus one in-flight append,
+//     no matter which peers stop draining it. Admission control, not
+//     fault-free weather, is what keeps memory bounded.
+//  6. Degraded-mode honesty — every stall report names only peers the
+//     harness knows to be faulted or genuinely behind, and never an empty
+//     set. Blaming a healthy peer would route an operator (or an automated
+//     fallback) at the wrong subsystem.
 //
 // Invariants 1 and 2 are asserted continuously from hooks on the live
-// nodes; invariant 3 by periodic CrossCheck sweeps; invariant 4 by the
-// harness at drain time via Violatef.
+// nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded rides the
+// same sweeps for invariant 5); invariant 4 by the harness at drain time
+// via Violatef; invariant 6 by AttachStallHonesty on each node's OnStall
+// stream.
 package chaos
 
 import (
@@ -195,6 +205,46 @@ func (c *Checker) CrossCheck(nodes []*core.Node) {
 			}
 		}
 	}
+}
+
+// CheckBounded sweeps invariant 5 over a snapshot of the cluster: no live
+// node's send-log bytes may exceed capBytes + slack. slack covers the one
+// append admission control lets through while the log sits just under the
+// cap (the cap is checked before the payload lands, so the overshoot is at
+// most one payload). nodes is 0-indexed with nil entries for crashed nodes.
+func (c *Checker) CheckBounded(nodes []*core.Node, capBytes, slack int64) {
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if b := n.BufferedBytes(); b > capBytes+slack {
+			c.Violatef("bounded-memory violation: node %d buffers %d send-log bytes > cap %d + slack %d",
+				i+1, b, capBytes, slack)
+		}
+	}
+}
+
+// AttachStallHonesty hooks invariant 6 into a node's degraded-mode reports:
+// every stall report must blame at least one peer, and only peers for which
+// allowed returns true — the harness supplies allowed from its ground-truth
+// knowledge of which peers the schedule faulted (or which are genuinely
+// behind). Call alongside Attach, once per incarnation.
+func (c *Checker) AttachStallHonesty(node *core.Node, allowed func(peer int) bool) {
+	self := node.Self()
+	node.OnStall(func(r core.StallReport) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if len(r.Peers) == 0 {
+			c.failf("stall report without blame: node %d predicate %q stalled at %d/%d naming no peers",
+				self, r.Predicate, r.Frontier, r.Head)
+		}
+		for _, p := range r.Peers {
+			if !allowed(p) {
+				c.failf("dishonest stall blame: node %d predicate %q blamed healthy peer %d (frontier %d/%d)",
+					self, r.Predicate, p, r.Frontier, r.Head)
+			}
+		}
+	})
 }
 
 // Delivered returns the checker's view of the highest contiguous sequence

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/faultinject"
+	"stabilizer/internal/transport"
+)
+
+// startFlowCluster is startCluster with admission control engaged and an
+// optional fault injector wired into the fabric's dial path.
+func startFlowCluster(t *testing.T, n int, inj *faultinject.Injector, cfg func(c *Config)) *cluster {
+	t.Helper()
+	topo := flatTopology(n)
+	c := &cluster{net: emunet.NewMemNetwork(nil)}
+	if inj != nil {
+		c.net.SetConnHook(inj.Hook())
+	}
+	for i := 1; i <= n; i++ {
+		conf := Config{
+			Topology:       topo.WithSelf(i),
+			Network:        c.net,
+			HeartbeatEvery: 10 * time.Millisecond,
+		}
+		if cfg != nil {
+			cfg(&conf)
+		}
+		node, err := Open(conf)
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	t.Cleanup(func() {
+		for _, node := range c.nodes {
+			_ = node.Close()
+		}
+		if inj != nil {
+			inj.Close()
+		}
+		_ = c.net.Close()
+	})
+	return c
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSendBlocksAtCapResumesAfterHeal is the end-to-end admission story: a
+// blackholed peer stops acking, auto-reclaim stalls, the bounded send log
+// fills, Send blocks — and healing the link drains the backlog, truncates,
+// and lets the blocked send complete.
+func TestSendBlocksAtCapResumesAfterHeal(t *testing.T) {
+	inj := faultinject.New(nil)
+	c := startFlowCluster(t, 3, inj, func(conf *Config) {
+		conf.Flow = transport.FlowConfig{MaxBytes: 2 << 10, Mode: transport.FlowBlock}
+		conf.Stall = StallConfig{Deadline: 100 * time.Millisecond}
+	})
+	sender := c.nodes[0]
+
+	// Warm up: make sure every link is live before cutting one, so the
+	// heal path exercises gate release on an established connection
+	// rather than a fresh redial.
+	if _, err := sender.Send([]byte("warmup")); err != nil {
+		t.Fatalf("warmup send: %v", err)
+	}
+	waitUntil(t, 5*time.Second, "warmup delivery", func() bool {
+		return c.nodes[1].RecvLast(1) >= 1 && c.nodes[2].RecvLast(1) >= 1
+	})
+
+	inj.Blackhole(1, 3)
+
+	const total = 12
+	payload := make([]byte, 256)
+	var sent atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if _, err := sender.SendCtx(context.Background(), payload); err != nil {
+				done <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+			sent.Add(1)
+		}
+		done <- nil
+	}()
+
+	// The cap is 8 payloads; with node 3 dark the reclaim frontier pins
+	// and the pump must wedge before finishing.
+	waitUntil(t, 5*time.Second, "send to block at the cap", func() bool {
+		return sender.Health().BlockedAppends >= 1
+	})
+	if got := sent.Load(); got >= total {
+		t.Fatalf("all %d sends completed through a full log", got)
+	}
+	if h := sender.Health(); !h.Backpressured {
+		t.Fatalf("health not backpressured while blocked: %+v", h)
+	}
+	// The stall monitor must name exactly the blackholed peer.
+	waitUntil(t, 5*time.Second, "stall blame on peer 3", func() bool {
+		for _, p := range sender.Health().Predicates {
+			if p.Key == ReclaimPredicateKey && p.Stalled {
+				return len(p.Blamed) == 1 && p.Blamed[0].Peer == 3
+			}
+		}
+		return false
+	})
+
+	inj.HealBlackhole(1, 3)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pump after heal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("pump never resumed after heal (sent %d/%d)", sent.Load(), total)
+	}
+
+	// Everyone converges and the latch clears once reclaim catches up.
+	head := sender.Health().Head
+	waitUntil(t, 10*time.Second, "receivers to drain", func() bool {
+		return c.nodes[1].RecvLast(1) >= head && c.nodes[2].RecvLast(1) >= head
+	})
+	waitUntil(t, 10*time.Second, "backpressure to clear", func() bool {
+		return !sender.Health().Backpressured
+	})
+}
+
+// TestSendFailFastReturnsErrBackpressure pins the fail-fast contract: at the
+// cap, Send sheds with ErrBackpressure instead of blocking.
+func TestSendFailFastReturnsErrBackpressure(t *testing.T) {
+	c := startFlowCluster(t, 2, nil, func(conf *Config) {
+		conf.Flow = transport.FlowConfig{MaxBytes: 2 << 10, Mode: transport.FlowFail}
+		conf.DisableAutoReclaim = true // nothing ever truncates
+	})
+	sender := c.nodes[0]
+
+	payload := make([]byte, 256)
+	for i := 0; i < 8; i++ {
+		if _, err := sender.Send(payload); err != nil {
+			t.Fatalf("send %d under cap: %v", i, err)
+		}
+	}
+	if _, err := sender.Send(payload); !errors.Is(err, transport.ErrBackpressure) {
+		t.Fatalf("send at cap: err=%v, want ErrBackpressure", err)
+	}
+	h := sender.Health()
+	if h.ShedAppends < 1 || !h.Backpressured {
+		t.Fatalf("health after shed: %+v", h)
+	}
+	// Fail-fast keeps the caller unblocked: the next attempt fails
+	// immediately too rather than queueing.
+	start := time.Now()
+	if _, err := sender.Send(payload); !errors.Is(err, transport.ErrBackpressure) {
+		t.Fatalf("repeat send at cap: err=%v", err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("fail-fast send took %v", el)
+	}
+}
+
+// TestSendCtxCancelUnblocksPromptly pins cancellation: a Send blocked on a
+// full log must return context.Canceled promptly, not wait for space.
+func TestSendCtxCancelUnblocksPromptly(t *testing.T) {
+	c := startFlowCluster(t, 2, nil, func(conf *Config) {
+		conf.Flow = transport.FlowConfig{MaxBytes: 2 << 10, Mode: transport.FlowBlock}
+		conf.DisableAutoReclaim = true
+	})
+	sender := c.nodes[0]
+
+	payload := make([]byte, 256)
+	for i := 0; i < 8; i++ {
+		if _, err := sender.Send(payload); err != nil {
+			t.Fatalf("send %d under cap: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sender.SendCtx(ctx, payload)
+		done <- err
+	}()
+	waitUntil(t, 5*time.Second, "send to block", func() bool {
+		return sender.Health().BlockedAppends >= 1
+	})
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled send: err=%v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked send ignored cancellation")
+	}
+	if el := time.Since(start); el > 200*time.Millisecond {
+		t.Fatalf("canceled send returned after %v, want prompt", el)
+	}
+}

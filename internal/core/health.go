@@ -1,0 +1,392 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"stabilizer/internal/metrics"
+)
+
+// StallConfig tunes degraded-mode stall detection: when a registered
+// predicate's frontier lags the local send head and has not advanced for
+// Deadline, the node reports the predicate stalled and names the peers
+// holding it back (blame attribution). The zero value disables detection.
+type StallConfig struct {
+	// Deadline is how long a lagging frontier may sit still before the
+	// predicate is declared stalled (0 disables the monitor).
+	Deadline time.Duration
+	// CheckEvery is the monitor sweep period (default Deadline/4,
+	// floor 5ms).
+	CheckEvery time.Duration
+}
+
+func (s StallConfig) normalized() StallConfig {
+	if s.Deadline <= 0 {
+		return StallConfig{}
+	}
+	if s.CheckEvery <= 0 {
+		s.CheckEvery = s.Deadline / 4
+	}
+	if s.CheckEvery < 5*time.Millisecond {
+		s.CheckEvery = 5 * time.Millisecond
+	}
+	return s
+}
+
+// StallReport is the degraded-mode notification delivered to OnStall hooks
+// when a predicate stalls or its blamed peer set changes.
+type StallReport struct {
+	// Predicate is the stalled predicate's key (the reserved reclaim
+	// predicate included — a stalled reclaim is what pins the send log).
+	Predicate string
+	// Frontier is the stuck frontier; Head the local send cursor it lags.
+	Frontier uint64
+	Head     uint64
+	// Since is when the frontier last moved (or first lagged).
+	Since time.Time
+	// Peers are the blamed peer indexes, ascending: exactly the dependent
+	// peers whose predicate-read ack cells sit at or below Frontier, i.e.
+	// the ones whose advance would move it.
+	Peers []int
+}
+
+// PeerLag describes one blamed peer inside a Health snapshot.
+type PeerLag struct {
+	Peer   int
+	AZ     string
+	Region string
+	// Ack is the lowest recorder-cell value the predicate reads from this
+	// peer (how far behind Head it is).
+	Ack uint64
+}
+
+// PredicateHealth is one predicate's entry in a Health snapshot.
+type PredicateHealth struct {
+	Key      string
+	Frontier uint64
+	Head     uint64
+	Stalled  bool
+	// StalledFor is how long the predicate has been stalled (0 unless
+	// Stalled).
+	StalledFor time.Duration
+	// Blamed lists the peers holding the frontier back, ascending by index
+	// (nil unless Stalled).
+	Blamed []PeerLag
+}
+
+// Health is a point-in-time degraded-mode snapshot: send-log occupancy and
+// admission-control pressure plus per-predicate stall state with blame.
+type Health struct {
+	Self int
+	// Head is the highest locally assigned sequence.
+	Head uint64
+	// SendLogBytes/SendLogEntries describe the retransmission buffer;
+	// SendLogCapBytes is the configured cap (0 = unbounded).
+	SendLogBytes    int64
+	SendLogEntries  int
+	SendLogCapBytes int64
+	// Backpressured is true while the admission latch is engaged;
+	// BlockedAppends/ShedAppends count appends that waited / were rejected.
+	Backpressured  bool
+	BlockedAppends int64
+	ShedAppends    int64
+	// Predicates holds one entry per registered predicate (reclaim
+	// included), sorted by key.
+	Predicates []PredicateHealth
+}
+
+// predStall is the monitor's per-predicate bookkeeping.
+type predStall struct {
+	lastFrontier uint64
+	lastChange   time.Time
+	stalled      bool
+	since        time.Time
+	blamed       []int
+}
+
+// stallState is the node's stall-monitor state, split out of Node so the
+// hot data plane never touches it.
+type stallState struct {
+	mu     sync.Mutex
+	preds  map[string]*predStall
+	hooks  []func(StallReport)
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	cfg    StallConfig
+	gauge  *metrics.GaugeVec // stabilizer_frontier_stalled{predicate,peer}
+	byZone *metrics.GaugeVec // stabilizer_frontier_stalled_peers{az,region}
+	// zoneSet tracks which (az,region) children currently exist so sweeps
+	// can zero rollups whose count dropped.
+	zoneSet map[[2]string]bool
+}
+
+// initStallState wires the stall monitor's metric families and, when a
+// deadline is configured, starts the sweep goroutine.
+func (n *Node) initStallState(cfg StallConfig, mreg *metrics.Registry) {
+	st := &stallState{
+		preds:   make(map[string]*predStall),
+		stop:    make(chan struct{}),
+		cfg:     cfg.normalized(),
+		zoneSet: make(map[[2]string]bool),
+	}
+	st.gauge = mreg.GaugeVec("stabilizer_frontier_stalled",
+		"1 while the predicate's frontier is stalled with this peer blamed.",
+		"predicate", "peer")
+	st.byZone = mreg.GaugeVec("stabilizer_frontier_stalled_peers",
+		"Currently blamed (predicate, peer) stall pairs whose peer is in this zone.",
+		"az", "region")
+	n.stall = st
+	if st.cfg.Deadline <= 0 {
+		return
+	}
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		tick := time.NewTicker(st.cfg.CheckEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-st.stop:
+				return
+			case <-tick.C:
+				n.checkStalls(n.nowFn())
+			}
+		}
+	}()
+}
+
+// stopStallMonitor halts the sweep goroutine (idempotent close path).
+func (n *Node) stopStallMonitor() {
+	st := n.stall
+	if st == nil || st.cfg.Deadline <= 0 {
+		return
+	}
+	close(st.stop)
+	st.wg.Wait()
+}
+
+// OnStall registers fn to receive degraded-mode notifications: it fires when
+// a predicate first stalls and again whenever a stalled predicate's blamed
+// peer set changes. fn runs on the monitor goroutine; keep it short or hand
+// off. Requires Config.Stall.Deadline > 0 for the monitor to run.
+func (n *Node) OnStall(fn func(StallReport)) {
+	st := n.stall
+	st.mu.Lock()
+	st.hooks = append(st.hooks, fn)
+	st.mu.Unlock()
+}
+
+// blamePeers names the dependent peers holding key's frontier at f: those
+// whose predicate-read ack cells are ≤ f. Peers strictly ahead of f cannot
+// be the binding constraint, so healthy-but-slightly-lagging peers are never
+// over-blamed.
+func (n *Node) blamePeers(key string, f uint64) []int {
+	cells, err := n.registry.Cells(key)
+	if err != nil {
+		return nil
+	}
+	table := n.selfTable()
+	seen := make(map[int]bool, len(cells))
+	var peers []int
+	for _, c := range cells {
+		if c.Node == n.topo.Self || seen[c.Node] {
+			continue
+		}
+		if table.Value(c.Node, c.Type) <= f {
+			seen[c.Node] = true
+			peers = append(peers, c.Node)
+		}
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// peerLagFor builds the Health view of one blamed peer.
+func (n *Node) peerLagFor(key string, peer int) PeerLag {
+	node := n.topo.Nodes[peer-1]
+	lag := PeerLag{Peer: peer, AZ: node.AZ, Region: node.Region}
+	cells, err := n.registry.Cells(key)
+	if err != nil {
+		return lag
+	}
+	table := n.selfTable()
+	first := true
+	for _, c := range cells {
+		if c.Node != peer {
+			continue
+		}
+		if v := table.Value(c.Node, c.Type); first || v < lag.Ack {
+			lag.Ack = v
+			first = false
+		}
+	}
+	return lag
+}
+
+// checkStalls is one monitor sweep: classify every registered predicate as
+// healthy or stalled, attribute blame, fire hooks on transitions, and
+// refresh the stall gauges and their per-zone rollups.
+func (n *Node) checkStalls(now time.Time) {
+	st := n.stall
+	head := n.log.Head()
+	keys := n.registry.Keys()
+	var reports []StallReport
+
+	st.mu.Lock()
+	live := make(map[string]bool, len(keys))
+	for _, key := range keys {
+		f, err := n.registry.Frontier(key)
+		if err != nil {
+			continue
+		}
+		live[key] = true
+		ps := st.preds[key]
+		if ps == nil {
+			ps = &predStall{lastFrontier: f, lastChange: now}
+			st.preds[key] = ps
+		}
+		if f != ps.lastFrontier {
+			ps.lastFrontier = f
+			ps.lastChange = now
+		}
+		if f >= head {
+			// Nothing outstanding: an idle predicate is never stalled, and
+			// resetting the clock here means a later burst of sends gets a
+			// full deadline before blame.
+			ps.lastChange = now
+		}
+		lagging := f < head && now.Sub(ps.lastChange) >= st.cfg.Deadline
+		switch {
+		case lagging && !ps.stalled:
+			ps.stalled = true
+			ps.since = ps.lastChange
+			ps.blamed = n.blamePeers(key, f)
+			for _, p := range ps.blamed {
+				st.gauge.With(key, strconv.Itoa(p)).Set(1)
+			}
+			reports = append(reports, StallReport{
+				Predicate: key, Frontier: f, Head: head,
+				Since: ps.since, Peers: append([]int(nil), ps.blamed...),
+			})
+		case lagging && ps.stalled:
+			blamed := n.blamePeers(key, f)
+			if !equalInts(blamed, ps.blamed) {
+				for _, p := range ps.blamed {
+					st.gauge.Delete(key, strconv.Itoa(p))
+				}
+				ps.blamed = blamed
+				for _, p := range blamed {
+					st.gauge.With(key, strconv.Itoa(p)).Set(1)
+				}
+				reports = append(reports, StallReport{
+					Predicate: key, Frontier: f, Head: head,
+					Since: ps.since, Peers: append([]int(nil), blamed...),
+				})
+			}
+		case !lagging && ps.stalled:
+			ps.stalled = false
+			for _, p := range ps.blamed {
+				st.gauge.Delete(key, strconv.Itoa(p))
+			}
+			ps.blamed = nil
+		}
+	}
+	// Drop state for predicates that were removed, clearing their gauges.
+	for key, ps := range st.preds {
+		if live[key] {
+			continue
+		}
+		for _, p := range ps.blamed {
+			st.gauge.Delete(key, strconv.Itoa(p))
+		}
+		delete(st.preds, key)
+	}
+	n.refreshZoneRollupLocked()
+	hooks := make([]func(StallReport), len(st.hooks))
+	copy(hooks, st.hooks)
+	st.mu.Unlock()
+
+	for _, r := range reports {
+		for _, fn := range hooks {
+			fn(r)
+		}
+	}
+}
+
+// refreshZoneRollupLocked recounts blamed (predicate, peer) pairs per
+// (az, region) and mirrors the counts into the rollup gauge, zeroing zones
+// whose count dropped to nothing. Caller holds st.mu.
+func (n *Node) refreshZoneRollupLocked() {
+	st := n.stall
+	counts := make(map[[2]string]int)
+	for _, ps := range st.preds {
+		if !ps.stalled {
+			continue
+		}
+		for _, p := range ps.blamed {
+			node := n.topo.Nodes[p-1]
+			counts[[2]string{node.AZ, node.Region}]++
+		}
+	}
+	for zone := range st.zoneSet {
+		if _, ok := counts[zone]; !ok {
+			st.byZone.With(zone[0], zone[1]).Set(0)
+			delete(st.zoneSet, zone)
+		}
+	}
+	for zone, c := range counts {
+		st.byZone.With(zone[0], zone[1]).Set(int64(c))
+		st.zoneSet[zone] = true
+	}
+}
+
+// Health returns a degraded-mode snapshot: send-log occupancy and
+// admission-control pressure, plus per-predicate stall state with blame
+// attribution (populated by the stall monitor when Config.Stall is set).
+func (n *Node) Health() Health {
+	st := n.stall
+	head := n.log.Head()
+	h := Health{
+		Self:            n.topo.Self,
+		Head:            head,
+		SendLogBytes:    n.log.Bytes(),
+		SendLogEntries:  n.log.Len(),
+		SendLogCapBytes: n.log.Flow().MaxBytes,
+		Backpressured:   n.log.Full(),
+		BlockedAppends:  n.log.BlockedAppends(),
+		ShedAppends:     n.log.ShedAppends(),
+	}
+	now := n.nowFn()
+	st.mu.Lock()
+	for _, key := range n.registry.Keys() { // Keys() is sorted
+		f, err := n.registry.Frontier(key)
+		if err != nil {
+			continue
+		}
+		ph := PredicateHealth{Key: key, Frontier: f, Head: head}
+		if ps := st.preds[key]; ps != nil && ps.stalled {
+			ph.Stalled = true
+			ph.StalledFor = now.Sub(ps.since)
+			for _, p := range ps.blamed {
+				ph.Blamed = append(ph.Blamed, n.peerLagFor(key, p))
+			}
+		}
+		h.Predicates = append(h.Predicates, ph)
+	}
+	st.mu.Unlock()
+	return h
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -107,6 +107,15 @@ type Config struct {
 	// Batch tunes the transport's data-plane batching (RTT-adaptive batch
 	// byte budgets per link); zero values pick the transport defaults.
 	Batch transport.BatchConfig
+	// Flow bounds the send log with admission control (byte/entry caps and
+	// high/low watermarks); the zero value keeps the log unbounded.
+	Flow transport.FlowConfig
+	// Stall configures degraded-mode stall detection and blame attribution
+	// (see StallConfig); the zero value disables the monitor.
+	Stall StallConfig
+	// DialTimeout bounds each transport connect attempt, handshake
+	// included; zero picks the transport default (2s).
+	DialTimeout time.Duration
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -134,6 +143,7 @@ type Node struct {
 
 	metrics   *coreMetrics
 	sendTimes sendTimes
+	stall     *stallState
 
 	mu            sync.Mutex
 	deliverFns    []DeliverFunc
@@ -175,7 +185,7 @@ func Open(cfg Config) (*Node, error) {
 		firstSeq = cfg.Checkpoint.NextSeq
 		selfTable.Restore(cfg.Checkpoint.SelfAcks)
 	}
-	log := transport.NewSendLog(firstSeq)
+	log := transport.NewSendLogFlow(firstSeq, cfg.Flow)
 
 	mreg := cfg.Metrics
 	if mreg == nil {
@@ -213,7 +223,7 @@ func Open(cfg Config) (*Node, error) {
 		selfTable.EnsureType(typ, topo.Self, head)
 	}
 
-	tr, err := transport.New(transport.Config{
+	tcfg := transport.Config{
 		Self:           topo.Self,
 		N:              n,
 		Network:        cfg.Network,
@@ -224,11 +234,16 @@ func Open(cfg Config) (*Node, error) {
 		Epoch:          cfg.Epoch,
 		Metrics:        mreg,
 		Batch:          cfg.Batch,
-	})
+		DialTimeout:    cfg.DialTimeout,
+	}
+	self := topo.Nodes[topo.Self-1]
+	tcfg.TopoTags.AZ, tcfg.TopoTags.Region = self.AZ, self.Region
+	tr, err := transport.New(tcfg)
 	if err != nil {
 		return nil, err
 	}
 	node.tr = tr
+	node.initStallState(cfg.Stall, mreg)
 
 	if !cfg.DisableAutoReclaim && n > 1 {
 		if err := registry.Register(ReclaimPredicateKey, "MIN($ALLWNODES)"); err != nil {
@@ -254,6 +269,7 @@ func (n *Node) Close() error {
 	if n.closed.Swap(true) {
 		return nil
 	}
+	n.stopStallMonitor()
 	if n.reclaimCancel != nil {
 		n.reclaimCancel()
 	}
@@ -294,11 +310,41 @@ func (n *Node) SendNoCopy(payload []byte) (uint64, error) {
 	return n.sendOwned(payload)
 }
 
-func (n *Node) sendOwned(payload []byte) (uint64, error) {
-	sentAt := n.nowFn().UnixNano()
-	seq, err := n.log.Append(payload, sentAt)
-	if err != nil {
+// SendCtx is Send with cancellation: when Config.Flow blocks the append at
+// the send-log cap, a done ctx aborts the wait with ctx.Err(). In fail-fast
+// mode it returns transport.ErrBackpressure immediately instead.
+func (n *Node) SendCtx(ctx context.Context, payload []byte) (uint64, error) {
+	if n.closed.Load() {
 		return 0, ErrClosed
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return n.sendOwnedCtx(ctx, buf)
+}
+
+// SendNoCopyCtx combines SendNoCopy and SendCtx: no defensive copy, and a
+// done ctx aborts a backpressure-blocked append with ctx.Err().
+func (n *Node) SendNoCopyCtx(ctx context.Context, payload []byte) (uint64, error) {
+	if n.closed.Load() {
+		return 0, ErrClosed
+	}
+	return n.sendOwnedCtx(ctx, payload)
+}
+
+func (n *Node) sendOwned(payload []byte) (uint64, error) {
+	return n.sendOwnedCtx(nil, payload)
+}
+
+func (n *Node) sendOwnedCtx(ctx context.Context, payload []byte) (uint64, error) {
+	sentAt := n.nowFn().UnixNano()
+	seq, err := n.log.AppendCtx(ctx, payload, sentAt)
+	if err != nil {
+		if errors.Is(err, transport.ErrLogClosed) {
+			return 0, ErrClosed
+		}
+		// ErrBackpressure (fail-fast mode) and context errors (cancelled
+		// blocking append) pass through so callers can shed or retry.
+		return 0, err
 	}
 	n.sendTimes.record(seq, sentAt)
 	n.metrics.sends.Inc()
@@ -421,6 +467,22 @@ func (n *Node) ChangePredicate(key, source string) error {
 		return fmt.Errorf("%w: %q", ErrReservedKey, key)
 	}
 	return n.registry.Change(key, source)
+}
+
+// ChangeReclaimPredicate swaps the reserved reclaim predicate at runtime —
+// the degraded-mode escape hatch: when a stalled peer pins the reclaim
+// frontier and admission control has capped the send log, falling back to a
+// weaker predicate (e.g. a majority KTH_MIN) lets reclaim advance and
+// appends resume. Caveat: entries truncated under the weaker rule are gone
+// from the retransmission buffer, so a peer excluded by the fallback that
+// later heals will observe a gap in this node's stream and must recover out
+// of band (snapshot/state transfer). Returns an error when auto-reclaim is
+// disabled (no reclaim predicate is registered).
+func (n *Node) ChangeReclaimPredicate(source string) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	return n.registry.Change(ReclaimPredicateKey, source)
 }
 
 // RemovePredicate deletes the predicate under key.

@@ -161,6 +161,33 @@ func (p *Program) DependsOn() []int {
 	return out
 }
 
+// Cell is one (node, stability type) recorder-table coordinate a program
+// reads.
+type Cell struct {
+	Node int
+	Type uint16
+}
+
+// Cells lists the distinct recorder-table cells the program loads, in
+// first-load order. Stall blame attribution uses it to ask, per dependent
+// peer, which ack value the predicate actually consumed.
+func (p *Program) Cells() []Cell {
+	seen := make(map[Cell]struct{}, len(p.instrs))
+	var out []Cell
+	for _, in := range p.instrs {
+		if in.op != opLoad {
+			continue
+		}
+		c := Cell{Node: int(in.a), Type: uint16(in.b)}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		out = append(out, c)
+	}
+	return out
+}
+
 // Len returns the number of instructions (tooling/diagnostics).
 func (p *Program) Len() int { return len(p.instrs) }
 

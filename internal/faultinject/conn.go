@@ -11,6 +11,11 @@ import (
 // on the wire, the rest stalls or dies with the connection.
 const writeChunk = 4 << 10
 
+// readChunk bounds the bytes read per receive-throttle delay: a SlowReceiver
+// fault charges its per-chunk delay for at most this many bytes, capping the
+// throttled direction's drain rate at readChunk/delay.
+const readChunk = 4 << 10
+
 // Conn is the injectable connection wrapper the Injector's Hook installs on
 // every dialed connection. Its reads and writes consult the injector's
 // fault state: a cut direction stalls them (no bytes lost — TCP semantics),
@@ -23,6 +28,10 @@ type Conn struct {
 	// severed is set by the injector under inj.mu; once true every
 	// operation fails with net.ErrClosed.
 	severed bool
+	// closed is set under inj.mu when Close runs, so operations stalled in
+	// a fault gate wake and fail instead of outliving their connection — a
+	// closed socket aborts blocked I/O even while the link is dark.
+	closed bool
 
 	closeOnce sync.Once
 }
@@ -66,9 +75,19 @@ func (c *Conn) Write(p []byte) (int, error) {
 // reads carry), then reads from the underlying connection. Bytes already
 // buffered below when a cut engages may still be delivered — matching a
 // real one-way blackhole, which cannot recall packets past the bottleneck.
+// A SlowReceiver fault on that direction charges its delay per readChunk
+// bytes: the read is clipped to one chunk and sleeps first, bounding the
+// drain rate regardless of the caller's buffer size.
 func (c *Conn) Read(p []byte) (int, error) {
-	if err := c.inj.gateRead(c); err != nil {
+	d, err := c.inj.gateRead(c)
+	if err != nil {
 		return 0, err
+	}
+	if d > 0 {
+		time.Sleep(d)
+		if len(p) > readChunk {
+			p = p[:readChunk]
+		}
 	}
 	return c.base.Read(p)
 }

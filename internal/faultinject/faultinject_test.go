@@ -201,6 +201,48 @@ func TestSpikeDelaysWrites(t *testing.T) {
 	}
 }
 
+func TestSlowReceiverThrottlesReads(t *testing.T) {
+	in := New(nil)
+	defer in.Close()
+	// Conn dialed 2→1: its reads carry 1→2 traffic, the throttled direction.
+	c, peer := pipePair(t, in, 2, 1)
+
+	payload := make([]byte, 3*readChunk)
+	go func() {
+		_, _ = peer.Write(payload)
+	}()
+
+	const slow = 20 * time.Millisecond
+	in.SlowReceiver(1, 2, slow)
+	start := time.Now()
+	buf := make([]byte, len(payload))
+	total := 0
+	for total < len(payload) {
+		n, err := c.Read(buf[total:])
+		if err != nil {
+			t.Fatalf("throttled read: %v", err)
+		}
+		if n > readChunk {
+			t.Fatalf("throttled read returned %d bytes, want ≤ %d per chunk", n, readChunk)
+		}
+		total += n
+	}
+	// Three chunks at ≥ slow each; allow scheduler slop on the floor.
+	if el := time.Since(start); el < 3*slow-slow/2 {
+		t.Fatalf("throttled drain of %d bytes took %v, want ≥ ~%v", total, el, 3*slow)
+	}
+	in.ClearSlowReceiver(1, 2, slow)
+
+	go func() { _, _ = peer.Write(payload[:4]) }()
+	start = time.Now()
+	if _, err := c.Read(buf[:4]); err != nil {
+		t.Fatalf("read after clear: %v", err)
+	}
+	if el := time.Since(start); el > slow {
+		t.Fatalf("read after ClearSlowReceiver took %v, want < %v", el, slow)
+	}
+}
+
 func TestRunnerAppliesAndHealsInOrder(t *testing.T) {
 	in := New(nil)
 	defer in.Close()

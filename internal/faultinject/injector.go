@@ -28,6 +28,7 @@ type Injector struct {
 	cond   sync.Cond
 	cut    map[pair]int             // stall refcount per directed pair
 	delay  map[pair][]time.Duration // extra write delays (stack; max applies)
+	slow   map[pair][]time.Duration // per-chunk read delays (stack; max applies)
 	conns  map[pair]map[*Conn]struct{}
 	closed bool
 
@@ -45,6 +46,7 @@ func New(reg *metrics.Registry) *Injector {
 	in := &Injector{
 		cut:   make(map[pair]int),
 		delay: make(map[pair][]time.Duration),
+		slow:  make(map[pair][]time.Duration),
 		conns: make(map[pair]map[*Conn]struct{}),
 		injected: reg.CounterVec("stabilizer_faults_injected_total",
 			"Fault events injected, by fault kind.", "kind"),
@@ -215,13 +217,47 @@ func (in *Injector) ClearSpike(from, to int, d time.Duration) {
 	in.mu.Unlock()
 }
 
-// HealAll lifts every cut and spike (severed connections stay dead — their
-// transports redial). Faults cease; convergence checking may begin.
+// SlowReceiver throttles the receive side of the directed from→to link:
+// every read chunk carrying that traffic pays d of extra delay until
+// ClearSlowReceiver. Overlapping throttles compose: the largest applies.
+func (in *Injector) SlowReceiver(from, to int, d time.Duration) {
+	in.RecordFault(KindSlowReceiver)
+	in.mu.Lock()
+	if len(in.slow[pair{from, to}]) == 0 {
+		in.active.Add(1)
+	}
+	in.slow[pair{from, to}] = append(in.slow[pair{from, to}], d)
+	in.mu.Unlock()
+}
+
+// ClearSlowReceiver removes one SlowReceiver(from, to, d).
+func (in *Injector) ClearSlowReceiver(from, to int, d time.Duration) {
+	in.mu.Lock()
+	ds := in.slow[pair{from, to}]
+	for i, v := range ds {
+		if v == d {
+			ds = append(ds[:i], ds[i+1:]...)
+			break
+		}
+	}
+	if len(ds) == 0 {
+		delete(in.slow, pair{from, to})
+		in.active.Add(-1)
+	} else {
+		in.slow[pair{from, to}] = ds
+	}
+	in.mu.Unlock()
+}
+
+// HealAll lifts every cut, spike and receive throttle (severed connections
+// stay dead — their transports redial). Faults cease; convergence checking
+// may begin.
 func (in *Injector) HealAll() {
 	in.mu.Lock()
-	n := int64(len(in.cut) + len(in.delay))
+	n := int64(len(in.cut) + len(in.delay) + len(in.slow))
 	in.cut = make(map[pair]int)
 	in.delay = make(map[pair][]time.Duration)
+	in.slow = make(map[pair][]time.Duration)
 	in.active.Add(-n)
 	in.mu.Unlock()
 	in.cond.Broadcast()
@@ -232,9 +268,10 @@ func (in *Injector) HealAll() {
 func (in *Injector) Close() {
 	in.mu.Lock()
 	in.closed = true
-	n := int64(len(in.cut) + len(in.delay))
+	n := int64(len(in.cut) + len(in.delay) + len(in.slow))
 	in.cut = make(map[pair]int)
 	in.delay = make(map[pair][]time.Duration)
+	in.slow = make(map[pair][]time.Duration)
 	in.active.Add(-n)
 	pairs := make([]pair, 0, len(in.conns))
 	for p := range in.conns {
@@ -262,9 +299,11 @@ func (in *Injector) takeConnsLocked(pairs ...pair) []*Conn {
 	return out
 }
 
-// unregister drops a closed conn from the registry.
+// unregister drops a closed conn from the registry and wakes any of its
+// operations stalled in a fault gate (they fail with net.ErrClosed).
 func (in *Injector) unregister(c *Conn) {
 	in.mu.Lock()
+	c.closed = true
 	if set := in.conns[pair{c.from, c.to}]; set != nil {
 		delete(set, c)
 		if len(set) == 0 {
@@ -272,6 +311,7 @@ func (in *Injector) unregister(c *Conn) {
 		}
 	}
 	in.mu.Unlock()
+	in.cond.Broadcast()
 }
 
 // gateWrite blocks while the conn's forward direction is cut, then returns
@@ -280,10 +320,10 @@ func (in *Injector) unregister(c *Conn) {
 func (in *Injector) gateWrite(c *Conn) (time.Duration, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for in.cut[pair{c.from, c.to}] > 0 && !c.severed && !in.closed {
+	for in.cut[pair{c.from, c.to}] > 0 && !c.severed && !c.closed && !in.closed {
 		in.cond.Wait()
 	}
-	if c.severed || in.closed {
+	if c.severed || c.closed || in.closed {
 		return 0, net.ErrClosed
 	}
 	var d time.Duration
@@ -296,15 +336,22 @@ func (in *Injector) gateWrite(c *Conn) (time.Duration, error) {
 }
 
 // gateRead blocks while the conn's reverse direction (the traffic its reads
-// carry) is cut.
-func (in *Injector) gateRead(c *Conn) error {
+// carry) is cut, then returns the per-chunk receive throttle currently
+// engaged on that direction.
+func (in *Injector) gateRead(c *Conn) (time.Duration, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for in.cut[pair{c.to, c.from}] > 0 && !c.severed && !in.closed {
+	for in.cut[pair{c.to, c.from}] > 0 && !c.severed && !c.closed && !in.closed {
 		in.cond.Wait()
 	}
-	if c.severed || in.closed {
-		return net.ErrClosed
+	if c.severed || c.closed || in.closed {
+		return 0, net.ErrClosed
 	}
-	return nil
+	var d time.Duration
+	for _, v := range in.slow[pair{c.to, c.from}] {
+		if v > d {
+			d = v
+		}
+	}
+	return d, nil
 }

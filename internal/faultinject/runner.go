@@ -74,6 +74,15 @@ func (r *Runner) Run(stop <-chan struct{}) {
 				action{e.At + e.Dur, "heal " + e.String(), func() {
 					r.Inj.ClearSpike(e.Nodes[0], e.Nodes[1], extra)
 				}})
+		case KindSlowReceiver:
+			extra := time.Duration(float64(e.Extra) / scale)
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.SlowReceiver(e.Nodes[0], e.Nodes[1], extra)
+				}},
+				action{e.At + e.Dur, "heal " + e.String(), func() {
+					r.Inj.ClearSlowReceiver(e.Nodes[0], e.Nodes[1], extra)
+				}})
 		case KindCrashRestart:
 			if r.Crash == nil || r.Restart == nil {
 				continue

@@ -1,8 +1,8 @@
 // Package faultinject is the deterministic fault-injection layer: it turns
 // a seed into a replayable Schedule of network faults (partitions, link
-// flaps, one-way blackholes, latency spikes, node crash-and-restarts) and
-// applies them to a live emunet fabric through an Injector installed on the
-// fabric's dial path.
+// flaps, one-way blackholes, latency spikes, node crash-and-restarts,
+// slow-receiver throttles) and applies them to a live emunet fabric through
+// an Injector installed on the fabric's dial path.
 //
 // Fault semantics follow TCP's, because the transport layer's FIFO
 // guarantee (paper §II-A) assumes lossless ordered connections: a fault
@@ -48,6 +48,11 @@ const (
 	// KindCrashRestart crashes a node (the harness closes it, losing all
 	// volatile state) and restarts it fresh after the fault's duration.
 	KindCrashRestart
+	// KindSlowReceiver throttles the receive side of one directed link:
+	// every read chunk carrying from→to traffic pays an extra delay, so
+	// the receiver drains far slower than the sender produces — the
+	// backpressure fault the flow-control layer exists for.
+	KindSlowReceiver
 
 	numKinds
 )
@@ -65,6 +70,8 @@ func (k Kind) String() string {
 		return "latency_spike"
 	case KindCrashRestart:
 		return "crash_restart"
+	case KindSlowReceiver:
+		return "slow_receiver"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -72,7 +79,7 @@ func (k Kind) String() string {
 
 // AllKinds lists every fault kind in canonical order.
 func AllKinds() []Kind {
-	return []Kind{KindPartition, KindFlap, KindBlackhole, KindLatencySpike, KindCrashRestart}
+	return []Kind{KindPartition, KindFlap, KindBlackhole, KindLatencySpike, KindCrashRestart, KindSlowReceiver}
 }
 
 // Event is one scheduled fault.
@@ -247,12 +254,13 @@ func Generate(seed int64, cfg GenConfig) *Schedule {
 			}
 			e.Nodes = []int{a, b}
 			e.Dur = 0
-		case KindBlackhole, KindLatencySpike:
+		case KindBlackhole, KindLatencySpike, KindSlowReceiver:
 			from, to := pickPair(rng, cfg.N)
 			e.Nodes = []int{from, to}
-			if kind == KindLatencySpike {
-				// Draw from [MaxSpike/4, MaxSpike) so every spike is
-				// big enough to be observable against base latency.
+			if kind != KindBlackhole {
+				// Draw from [MaxSpike/4, MaxSpike) so every spike (or
+				// per-chunk receive throttle) is big enough to be
+				// observable against base latency.
 				floor := int64(cfg.MaxSpike) / 4
 				e.Extra = time.Duration(floor + rng.Int63n(int64(cfg.MaxSpike)-floor))
 			}

@@ -90,6 +90,16 @@ func (s *Service) RegisterTableIII() error {
 // Like the paper's put, the call is locally stable on return; use Wait (or
 // BackupWait) to block until the chosen consistency model holds.
 func (s *Service) Backup(name string, data []byte) (Result, error) {
+	return s.BackupCtx(context.Background(), name, data)
+}
+
+// BackupCtx is Backup with cancellation for bounded-memory deployments
+// (core.Config.Flow): a chunk put blocked on a full send log aborts with
+// ctx.Err(); in fail-fast mode it surfaces transport.ErrBackpressure so the
+// caller can shed and retry. The manifest is written last, so an aborted
+// backup is invisible to Restore (ErrNotBackedUp) rather than corrupt —
+// retrying the same name simply overwrites the orphaned chunks.
+func (s *Service) BackupCtx(ctx context.Context, name string, data []byte) (Result, error) {
 	chunks := (len(data) + s.chunkSize - 1) / s.chunkSize
 	if chunks == 0 {
 		chunks = 1 // empty file still gets a manifest + one empty chunk
@@ -101,7 +111,7 @@ func (s *Service) Backup(name string, data []byte) (Result, error) {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		pr, err := s.kv.Put(chunkKey(name, i), data[lo:hi])
+		pr, err := s.kv.PutCtx(ctx, chunkKey(name, i), data[lo:hi])
 		if err != nil {
 			return Result{}, fmt.Errorf("filebackup: chunk %d: %w", i, err)
 		}
@@ -114,7 +124,7 @@ func (s *Service) Backup(name string, data []byte) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("filebackup: manifest: %w", err)
 	}
-	pr, err := s.kv.Put(metaKey(name), meta)
+	pr, err := s.kv.PutCtx(ctx, metaKey(name), meta)
 	if err != nil {
 		return Result{}, fmt.Errorf("filebackup: manifest put: %w", err)
 	}
@@ -134,7 +144,7 @@ func (s *Service) Wait(ctx context.Context, res Result, predicateKey string) err
 // holds — the paper's "drop a file, wait until it reaches a majority of
 // WAN data centers before allowing access" workflow.
 func (s *Service) BackupWait(ctx context.Context, name string, data []byte, predicateKey string) (Result, error) {
-	res, err := s.Backup(name, data)
+	res, err := s.BackupCtx(ctx, name, data)
 	if err != nil {
 		return Result{}, err
 	}

@@ -12,6 +12,7 @@ import (
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/predlib"
+	"stabilizer/internal/transport"
 	"stabilizer/internal/wankv"
 )
 
@@ -176,5 +177,48 @@ func TestChangePredicatePlumbing(t *testing.T) {
 	}
 	if err := e.svc.ChangePredicate("unknown-key", "MIN($1)"); err == nil {
 		t.Fatal("changing unknown predicate succeeded")
+	}
+}
+
+// TestBackupShedsUnderBackpressure pins the bounded-memory contract: with a
+// fail-fast send-log cap, an oversized backup surfaces ErrBackpressure and
+// the aborted backup stays invisible to Restore (the manifest is written
+// last), so shedding never leaves a corrupt file.
+func TestBackupShedsUnderBackpressure(t *testing.T) {
+	topo := config.EC2Topology(1)
+	network := emunet.NewMemNetwork(nil)
+	var nodes []*core.Node
+	var stores []*wankv.Store
+	for i := 1; i <= topo.N(); i++ {
+		n, err := core.Open(core.Config{
+			Topology: topo.WithSelf(i),
+			Network:  network,
+			Flow:     transport.FlowConfig{MaxBytes: 16 << 10, Mode: transport.FlowFail},
+			// Keep the log pinned so the test is deterministic: nothing
+			// ever truncates, the cap must trip.
+			DisableAutoReclaim: true,
+		})
+		if err != nil {
+			t.Fatalf("open node %d: %v", i, err)
+		}
+		nodes = append(nodes, n)
+		stores = append(stores, wankv.New(n))
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+		_ = network.Close()
+	})
+	svc := New(stores[0])
+
+	// 64 KB of chunks against a 16 KB cap: some chunk put must shed.
+	data := make([]byte, 64<<10)
+	_, err := svc.Backup("too-big", data)
+	if !errors.Is(err, transport.ErrBackpressure) {
+		t.Fatalf("oversized backup: err=%v, want ErrBackpressure", err)
+	}
+	if _, err := svc.Restore(1, "too-big"); !errors.Is(err, ErrNotBackedUp) {
+		t.Fatalf("aborted backup visible to restore: err=%v, want ErrNotBackedUp", err)
 	}
 }

@@ -158,6 +158,19 @@ func (r *Registry) Change(key, source string) error {
 	newF := p.frontier
 	released := p.releaseWaitersLocked()
 	hooks := r.onAdvance
+	// A swap to a weaker predicate can advance the frontier immediately;
+	// monitors must hear about it just like a Recompute advance, or state
+	// keyed to the frontier (send-log reclaim, most importantly) would wait
+	// for an ACK that may never come — e.g. the degraded-mode fallback that
+	// swaps reclaim to a majority predicate precisely because the full set
+	// has stopped acking.
+	var fns []MonitorFunc
+	if newF > old && len(p.monitors) > 0 {
+		fns = make([]MonitorFunc, 0, len(p.monitors))
+		for _, fn := range p.monitors {
+			fns = append(fns, fn)
+		}
+	}
 	r.mu.Unlock()
 	r.setFrontierGauge(key, newF)
 	if newF > old {
@@ -167,6 +180,12 @@ func (r *Registry) Change(key, source string) error {
 	}
 	r.addWaiters(-len(released))
 	releaseAll(released)
+	for _, fn := range fns {
+		fn(newF)
+	}
+	if len(fns) > 0 && r.monitorFires != nil {
+		r.monitorFires.Add(int64(len(fns)))
+	}
 	return nil
 }
 
@@ -235,6 +254,19 @@ func (r *Registry) DependsOn(key string) ([]int, error) {
 		return nil, fmt.Errorf("%w: %q", ErrPredUnknown, key)
 	}
 	return p.prog.DependsOn(), nil
+}
+
+// Cells returns the recorder-table cells the predicate under key reads,
+// in first-load order. Stall blame attribution compares each dependent
+// peer's cell value against the stalled frontier.
+func (r *Registry) Cells(key string) ([]dsl.Cell, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.preds[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPredUnknown, key)
+	}
+	return p.prog.Cells(), nil
 }
 
 // Frontier returns the last computed stability frontier of key.

@@ -20,6 +20,11 @@ var (
 	ErrNotFound   = errors.New("kvstore: key not found")
 	ErrNoVersion  = errors.New("kvstore: no version at requested point")
 	ErrStoreDirty = errors.New("kvstore: load requires an empty store")
+	// ErrReadOnly is returned by writes while the store is in its degraded
+	// read-only state: a WAL append failed, so accepting further writes
+	// would let memory diverge from what a recovery could replay. Reads
+	// keep working; ClearReadOnly re-arms writes once the disk is fixed.
+	ErrReadOnly = errors.New("kvstore: store is read-only after a wal write failure")
 )
 
 // Version is one immutable revision of an object.
@@ -40,6 +45,9 @@ type Store struct {
 	nextVer uint64
 	wal     *WAL
 	now     func() time.Time
+	// readOnly is the degraded state entered when a WAL append fails:
+	// writes are refused (ErrReadOnly) until ClearReadOnly.
+	readOnly bool
 }
 
 // Option configures a Store.
@@ -72,11 +80,15 @@ func (s *Store) Put(key string, value []byte) (uint64, error) {
 	copy(buf, value)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return 0, ErrReadOnly
+	}
 	ver := s.nextVer
 	ts := s.now()
 	if s.wal != nil {
 		if err := s.wal.appendPut(key, buf, ver, ts); err != nil {
-			return 0, fmt.Errorf("kvstore: wal append: %w", err)
+			s.readOnly = true
+			return 0, err
 		}
 	}
 	s.nextVer++
@@ -162,6 +174,22 @@ func (s *Store) LatestVersion() uint64 {
 	return s.nextVer - 1
 }
 
+// ReadOnly reports whether the store is in its degraded read-only state.
+func (s *Store) ReadOnly() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.readOnly
+}
+
+// ClearReadOnly re-arms writes after the WAL's failure cause is fixed (disk
+// space freed, volume remounted). The failed write was never applied in
+// memory, so clearing is safe: the next write re-attempts the WAL first.
+func (s *Store) ClearReadOnly() {
+	s.mu.Lock()
+	s.readOnly = false
+	s.mu.Unlock()
+}
+
 // ErrStaleVersion is returned by Apply for out-of-order replicated updates.
 var ErrStaleVersion = errors.New("kvstore: stale replicated version")
 
@@ -174,13 +202,17 @@ func (s *Store) Apply(key string, value []byte, ver uint64, ts time.Time) error 
 	copy(buf, value)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	vs := s.objects[key]
 	if len(vs) > 0 && vs[len(vs)-1].Num >= ver {
 		return fmt.Errorf("%w: %q@%d after %d", ErrStaleVersion, key, ver, vs[len(vs)-1].Num)
 	}
 	if s.wal != nil {
 		if err := s.wal.appendPut(key, buf, ver, ts); err != nil {
-			return fmt.Errorf("kvstore: wal append: %w", err)
+			s.readOnly = true
+			return err
 		}
 	}
 	s.objects[key] = append(vs, Version{Value: buf, Num: ver, Time: ts})

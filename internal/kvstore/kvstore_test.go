@@ -314,3 +314,58 @@ func TestConcurrentPuts(t *testing.T) {
 		}
 	}
 }
+
+func TestWALWriteFaultEntersReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	s := New(WithWAL(w))
+	if _, err := s.Put("a", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk fills: the put fails with the typed error carrying the cause, and
+	// the store degrades to read-only.
+	diskFull := errors.New("no space left on device")
+	w.SetWriteFault(diskFull)
+	if _, err := s.Put("a", []byte("v2")); !errors.Is(err, ErrWALWrite) || !errors.Is(err, diskFull) {
+		t.Fatalf("put with write fault: err=%v, want ErrWALWrite wrapping cause", err)
+	}
+	if !s.ReadOnly() {
+		t.Fatal("store not read-only after wal write failure")
+	}
+
+	// Degraded mode: writes fail fast, reads keep serving.
+	if _, err := s.Put("b", []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("put while read-only: err=%v, want ErrReadOnly", err)
+	}
+	if err := s.Apply("b", []byte("x"), 99, time.Now()); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("apply while read-only: err=%v, want ErrReadOnly", err)
+	}
+	if v, err := s.Get("a"); err != nil || string(v.Value) != "v1" {
+		t.Fatalf("read while read-only: %q, %v", v.Value, err)
+	}
+
+	// The failed write was never applied, so recovery sees only v1.
+	w.SetWriteFault(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadWAL(path)
+	if err != nil || len(recs) != 1 || string(recs[0].Value) != "v1" {
+		t.Fatalf("recovered %d records (%v), want exactly v1", len(recs), err)
+	}
+
+	// Disk fixed: clearing read-only re-arms writes end to end.
+	s.ClearReadOnly()
+	if _, err := s.Put("a", []byte("v3")); err != nil {
+		t.Fatalf("put after ClearReadOnly: %v", err)
+	}
+	if v, _ := s.Get("a"); string(v.Value) != "v3" {
+		t.Fatalf("latest after recovery = %q, want v3", v.Value)
+	}
+}

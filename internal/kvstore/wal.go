@@ -28,7 +28,16 @@ type WAL struct {
 	f    *os.File
 	bw   *bufio.Writer
 	sync bool
+	// fault, when non-nil, makes every append fail with it (wrapped in
+	// ErrWALWrite) before touching the file — the disk-full fault hook.
+	fault error
 }
+
+// ErrWALWrite wraps every error from appending to the log, so callers can
+// distinguish "the disk failed" (degrade to read-only, keep serving reads)
+// from bad-input errors without matching on platform-specific causes. The
+// original cause stays in the chain for errors.Is (e.g. syscall.ENOSPC).
+var ErrWALWrite = errors.New("kvstore: wal write failed")
 
 // Record is one recovered WAL entry.
 type Record struct {
@@ -76,19 +85,33 @@ func (w *WAL) appendPut(key string, value []byte, ver uint64, ts time.Time) erro
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.fault != nil {
+		return fmt.Errorf("%w: %w", ErrWALWrite, w.fault)
+	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrWALWrite, err)
 	}
 	if _, err := w.bw.Write(body); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrWALWrite, err)
 	}
 	if w.sync {
 		if err := w.bw.Flush(); err != nil {
-			return err
+			return fmt.Errorf("%w: %w", ErrWALWrite, err)
 		}
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("%w: %w", ErrWALWrite, err)
+		}
 	}
 	return nil
+}
+
+// SetWriteFault makes every subsequent append fail with cause (wrapped in
+// ErrWALWrite) without touching the file — the fault-injection hook for
+// disk-full and similar persistent write failures. nil clears the fault.
+func (w *WAL) SetWriteFault(cause error) {
+	w.mu.Lock()
+	w.fault = cause
+	w.mu.Unlock()
 }
 
 // Flush forces buffered records to the OS.

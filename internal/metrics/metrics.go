@@ -272,6 +272,29 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// GaugeFuncVec returns the labeled callback-gauge family named name. Each
+// child's value is computed at exposition time, like GaugeFunc, but carries
+// label values — used for topology rollups (az/region tags) over externally
+// owned state.
+func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
+	return &GaugeFuncVec{f: r.family(name, help, TypeGaugeFunc, labels, HistogramOpts{})}
+}
+
+// GaugeFuncVec is a family of callback gauges distinguished by label values.
+type GaugeFuncVec struct{ f *Family }
+
+// Set installs fn as the callback for the given label values, replacing any
+// previous callback for the same tuple.
+func (v *GaugeFuncVec) Set(fn func() float64, values ...string) {
+	ch := v.f.get(values, func() *child { return &child{} })
+	v.f.mu.Lock()
+	ch.fn = fn
+	v.f.mu.Unlock()
+}
+
+// Delete drops the child for the given label values.
+func (v *GaugeFuncVec) Delete(values ...string) { v.f.delete(values) }
+
 // Histogram returns the unlabeled histogram named name.
 func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
 	return r.HistogramVec(name, help, opts).With()

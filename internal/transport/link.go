@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"errors"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,17 @@ const maxAppQueue = 4096
 // ErrAppQueueFull is returned when a link's application-message queue is
 // saturated.
 var ErrAppQueueFull = errors.New("transport: app queue full")
+
+// errDialTimeout is returned by a connect attempt that exceeded
+// Config.DialTimeout (dial plus handshake).
+var errDialTimeout = errors.New("transport: dial timeout")
+
+// Reconnect backoff bounds: the mean sleep doubles from the floor to the
+// ceiling, with full jitter applied per attempt.
+const (
+	backoffFloor = 50 * time.Millisecond
+	backoffCeil  = 2 * time.Second
+)
 
 // ackKey identifies one coalescing slot in a link's ACK outbox.
 type ackKey struct {
@@ -76,6 +88,10 @@ type link struct {
 	// scratch is the handshake frame buffer, reused across redials.
 	// Run goroutine only.
 	scratch []byte
+	// rng drives the reconnect backoff jitter. Seeded from the link's
+	// identity so seeded chaos runs replay the same sleep sequence.
+	// Run goroutine only.
+	rng *rand.Rand
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -89,6 +105,7 @@ func newLink(t *Transport, peer int) *link {
 		acks:     make(map[ackKey]uint64),
 		sent:     make(map[ackKey]uint64),
 		dirtySet: make(map[ackKey]struct{}),
+		rng:      rand.New(rand.NewSource(int64(t.cfg.Self)<<16 | int64(peer))),
 	}
 	l.cond.L = &l.mu
 	return l
@@ -181,7 +198,7 @@ func (l *link) close() {
 // run is the link's lifetime loop: dial, handshake, stream, reconnect.
 func (l *link) run() {
 	defer l.t.wg.Done()
-	backoff := 50 * time.Millisecond
+	backoff := backoffFloor
 	connected := false
 	for {
 		if l.isClosed() {
@@ -189,11 +206,18 @@ func (l *link) run() {
 		}
 		conn, lastSeq, err := l.dial()
 		if err != nil {
-			if !l.sleep(backoff) {
+			// Full jitter: sleep uniformly in [floor, backoff] instead of
+			// exactly backoff, so the cluster's links don't re-dial in
+			// lockstep after a partition heals and hammer the same instant.
+			d := backoffFloor
+			if span := int64(backoff - backoffFloor); span > 0 {
+				d += time.Duration(l.rng.Int63n(span + 1))
+			}
+			if !l.sleep(d) {
 				return
 			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
+			if backoff *= 2; backoff > backoffCeil {
+				backoff = backoffCeil
 			}
 			continue
 		}
@@ -202,7 +226,7 @@ func (l *link) run() {
 			l.ins.reconn.Inc()
 		}
 		connected = true
-		backoff = 50 * time.Millisecond
+		backoff = backoffFloor
 		l.resetSent()
 		l.stream(conn, lastSeq+1)
 		_ = conn.Close()
@@ -225,29 +249,66 @@ func (l *link) sleep(d time.Duration) bool {
 	}
 }
 
-// dial connects and handshakes, returning the peer's last received
-// contiguous data sequence.
+// dial connects and handshakes within Config.DialTimeout, returning the
+// peer's last received contiguous data sequence. Both the connect and the
+// handshake round trip run in a goroutine: a black-holed fabric dial, or a
+// peer that accepts but never answers the Hello, cannot hang the run loop.
+// The in-flight connection is handed out on connCh as soon as it exists, so
+// an abandoning caller can close it — which aborts a handshake stalled in a
+// fault gate or a dead network, letting the goroutine finish.
 func (l *link) dial() (net.Conn, uint64, error) {
-	conn, err := l.t.cfg.Network.Dial(l.t.cfg.Self, l.peer)
-	if err != nil {
-		return nil, 0, err
+	timeout := l.t.cfg.DialTimeout
+	connCh := make(chan net.Conn, 1)
+	resCh := make(chan dialResult, 1)
+	go func() {
+		conn, err := l.t.cfg.Network.Dial(l.t.cfg.Self, l.peer)
+		if err != nil {
+			resCh <- dialResult{err: err}
+			return
+		}
+		connCh <- conn
+		// A deadline as defense in depth: on transports whose reads honor it
+		// the handshake self-aborts even if nobody reaps the attempt.
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		frame := wire.AppendFrame(nil, &wire.Hello{From: uint16(l.t.cfg.Self), Epoch: l.t.cfg.Epoch})
+		if _, err := conn.Write(frame); err != nil {
+			resCh <- dialResult{conn: conn, err: err}
+			return
+		}
+		r := wire.NewReader(conn)
+		msg, err := r.Next()
+		if err != nil {
+			resCh <- dialResult{conn: conn, err: err}
+			return
+		}
+		ack, ok := msg.(*wire.HelloAck)
+		if !ok {
+			resCh <- dialResult{conn: conn, err: errors.New("transport: handshake: unexpected frame")}
+			return
+		}
+		_ = conn.SetDeadline(time.Time{})
+		resCh <- dialResult{conn: conn, r: r, lastSeq: ack.LastSeq}
+	}()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var res dialResult
+	select {
+	case res = <-resCh:
+	case <-timer.C:
+		go reapDial(connCh, resCh)
+		return nil, 0, errDialTimeout
+	case <-l.t.stop:
+		go reapDial(connCh, resCh)
+		return nil, 0, net.ErrClosed
 	}
-	l.scratch = wire.AppendFrame(l.scratch[:0], &wire.Hello{From: uint16(l.t.cfg.Self), Epoch: l.t.cfg.Epoch})
-	if _, err := conn.Write(l.scratch); err != nil {
-		_ = conn.Close()
-		return nil, 0, err
+	if res.err != nil {
+		if res.conn != nil {
+			_ = res.conn.Close()
+		}
+		return nil, 0, res.err
 	}
-	r := wire.NewReader(conn)
-	msg, err := r.Next()
-	if err != nil {
-		_ = conn.Close()
-		return nil, 0, err
-	}
-	ack, ok := msg.(*wire.HelloAck)
-	if !ok {
-		_ = conn.Close()
-		return nil, 0, errors.New("transport: handshake: unexpected frame")
-	}
+	conn, r := res.conn, res.r
 	l.connMu.Lock()
 	l.conn = conn
 	l.connMu.Unlock()
@@ -268,7 +329,32 @@ func (l *link) dial() (net.Conn, uint64, error) {
 			}
 		}
 	}()
-	return conn, ack.LastSeq, nil
+	return conn, res.lastSeq, nil
+}
+
+// dialResult carries a completed dial-and-handshake back to the run loop.
+type dialResult struct {
+	conn    net.Conn
+	r       *wire.Reader
+	lastSeq uint64
+	err     error
+}
+
+// reapDial cleans up an abandoned dial attempt: it closes the in-flight
+// connection as soon as it exists (aborting a handshake stalled inside it),
+// then waits for the dial goroutine's final result so nothing leaks.
+func reapDial(connCh <-chan net.Conn, resCh <-chan dialResult) {
+	for {
+		select {
+		case c := <-connCh:
+			_ = c.Close()
+		case res := <-resCh:
+			if res.conn != nil {
+				_ = res.conn.Close()
+			}
+			return
+		}
+	}
 }
 
 // observeEcho matches a heartbeat echo against the newest heartbeat written

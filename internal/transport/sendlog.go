@@ -9,12 +9,80 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
+
+	"stabilizer/internal/metrics"
 )
 
 // ErrLogClosed is returned by send-log operations after Close.
 var ErrLogClosed = errors.New("transport: send log closed")
+
+// ErrBackpressure is returned by Append in FlowFail mode while the send log
+// is above its high watermark: the slowest unreclaimed peer has put the node
+// into admission control and the caller should shed load, retry later, or
+// fall back to a weaker predicate (see core.Node.Health for blame).
+var ErrBackpressure = errors.New("transport: send log backpressure")
+
+// FlowMode selects what Append does once the send log hits its high
+// watermark.
+type FlowMode uint8
+
+const (
+	// FlowBlock makes Append wait (context-aware via AppendCtx) until
+	// reclaim truncates the log back below the low watermark.
+	FlowBlock FlowMode = iota
+	// FlowFail makes Append return ErrBackpressure immediately.
+	FlowFail
+)
+
+// String implements fmt.Stringer.
+func (m FlowMode) String() string {
+	if m == FlowFail {
+		return "fail"
+	}
+	return "block"
+}
+
+// FlowConfig bounds the send log so a partitioned or slow peer cannot grow
+// the retransmission buffer without limit. The zero value disables admission
+// control entirely (the pre-flow-control behavior: an unbounded log).
+//
+// Admission control is hysteretic: once either cap is reached the log is
+// "full" and stays full until reclaim brings it back under the low
+// watermarks (LowFrac x cap), so appenders don't thrash at the boundary.
+// Caps are checked before the entry is added, so the buffer can exceed
+// MaxBytes by at most one payload — "cap plus one message", never unbounded.
+type FlowConfig struct {
+	// MaxBytes is the high watermark on buffered payload bytes (0 = no
+	// byte cap).
+	MaxBytes int64
+	// MaxEntries is the high watermark on buffered entries (0 = no entry
+	// cap).
+	MaxEntries int
+	// LowFrac positions the low watermark as a fraction of each cap
+	// (default 0.5; clamped to (0, 1]).
+	LowFrac float64
+	// Mode picks blocking or fail-fast admission (default FlowBlock).
+	Mode FlowMode
+}
+
+// Enabled reports whether any cap is configured.
+func (f FlowConfig) Enabled() bool { return f.MaxBytes > 0 || f.MaxEntries > 0 }
+
+func (f FlowConfig) normalized() FlowConfig {
+	if f.LowFrac <= 0 || f.LowFrac > 1 {
+		f.LowFrac = 0.5
+	}
+	return f
+}
+
+// lowBytes returns the byte low watermark (0 when no byte cap).
+func (f FlowConfig) lowBytes() int64 { return int64(float64(f.MaxBytes) * f.LowFrac) }
+
+// lowEntries returns the entry low watermark (0 when no entry cap).
+func (f FlowConfig) lowEntries() int { return int(float64(f.MaxEntries) * f.LowFrac) }
 
 // LogEntry is one sequenced data message buffered for (re)transmission.
 type LogEntry struct {
@@ -39,6 +107,22 @@ type SendLog struct {
 	entries []LogEntry
 	bytes   int64
 	closed  bool
+
+	// Flow control (admission) state. full latches once a cap is hit and
+	// clears only below the low watermarks (hysteresis). spaceCh is the
+	// wakeup channel for blocked appenders: created on demand, closed and
+	// dropped when space frees, so each stall round gets a fresh channel.
+	flow    FlowConfig
+	full    bool
+	spaceCh chan struct{}
+	waiting int   // appenders currently blocked
+	blocked int64 // total appends that had to wait
+	shed    int64 // total appends rejected with ErrBackpressure
+
+	// Optional backpressure counters, set by the transport when metrics are
+	// enabled (same-package wiring; nil-safe).
+	mBlocked *metrics.Counter
+	mShed    *metrics.Counter
 }
 
 // NewSendLog returns an empty log whose first assigned sequence is
@@ -52,20 +136,114 @@ func NewSendLog(firstSeq uint64) *SendLog {
 	return l
 }
 
+// NewSendLogFlow is NewSendLog with admission control configured.
+func NewSendLogFlow(firstSeq uint64, flow FlowConfig) *SendLog {
+	l := NewSendLog(firstSeq)
+	l.flow = flow.normalized()
+	return l
+}
+
 // Append assigns the next sequence number to payload and buffers it.
 // The payload is retained by reference; callers must not mutate it.
+// Under a configured FlowConfig in FlowBlock mode a full log makes Append
+// wait (without deadline — use AppendCtx for cancellation) until reclaim
+// frees space; in FlowFail mode it returns ErrBackpressure instead.
 func (l *SendLog) Append(payload []byte, sentUnixNano int64) (uint64, error) {
+	return l.AppendCtx(nil, payload, sentUnixNano)
+}
+
+// AppendCtx is Append with cancellation: a blocked append returns ctx.Err()
+// promptly when ctx is done. A nil ctx blocks until space frees or the log
+// closes.
+func (l *SendLog) AppendCtx(ctx context.Context, payload []byte, sentUnixNano int64) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrLogClosed
+	}
+	if l.overLocked() {
+		if l.flow.Mode == FlowFail {
+			l.shed++
+			c := l.mShed
+			l.mu.Unlock()
+			if c != nil {
+				c.Inc()
+			}
+			return 0, ErrBackpressure
+		}
+		l.blocked++
+		if c := l.mBlocked; c != nil {
+			c.Inc()
+		}
+		for l.overLocked() {
+			ch := l.spaceCh
+			if ch == nil {
+				ch = make(chan struct{})
+				l.spaceCh = ch
+			}
+			l.waiting++
+			l.mu.Unlock()
+			var err error
+			if ctx == nil {
+				<-ch
+			} else {
+				select {
+				case <-ch:
+				case <-ctx.Done():
+					err = ctx.Err()
+				}
+			}
+			l.mu.Lock()
+			l.waiting--
+			if err != nil {
+				l.mu.Unlock()
+				return 0, err
+			}
+			if l.closed {
+				l.mu.Unlock()
+				return 0, ErrLogClosed
+			}
+		}
 	}
 	seq := l.next
 	l.next++
 	l.entries = append(l.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
 	l.bytes += int64(len(payload))
+	l.mu.Unlock()
 	l.cond.Broadcast()
 	return seq, nil
+}
+
+// overLocked reports whether admission control currently gates appends,
+// updating the hysteretic full latch from the live byte/entry counts.
+func (l *SendLog) overLocked() bool {
+	fc := &l.flow
+	if fc.MaxBytes <= 0 && fc.MaxEntries <= 0 {
+		return false
+	}
+	live := len(l.entries) - l.off
+	if (fc.MaxBytes > 0 && l.bytes >= fc.MaxBytes) ||
+		(fc.MaxEntries > 0 && live >= fc.MaxEntries) {
+		l.full = true
+	} else if l.full {
+		if (fc.MaxBytes <= 0 || l.bytes <= fc.lowBytes()) &&
+			(fc.MaxEntries <= 0 || live <= fc.lowEntries()) {
+			l.full = false
+		}
+	}
+	return l.full
+}
+
+// releaseSpaceLocked refreshes the hysteretic latch from the live counts
+// and wakes blocked appenders once it clears. It runs on every reclaim —
+// not just when appenders are waiting — so Full() tracks truncation in
+// fail-fast mode too, where nothing blocks and the next admission check
+// may be arbitrarily far away.
+func (l *SendLog) releaseSpaceLocked() {
+	if !l.overLocked() && l.spaceCh != nil {
+		close(l.spaceCh)
+		l.spaceCh = nil
+	}
 }
 
 // Next blocks until the entry with sequence seq is available, then returns
@@ -160,6 +338,7 @@ func (l *SendLog) TruncateThrough(seq uint64) {
 		l.entries = l.entries[:n]
 		l.off = 0
 	}
+	l.releaseSpaceLocked()
 }
 
 // compactThreshold is the minimum dead-prefix length before TruncateThrough
@@ -201,10 +380,59 @@ func (l *SendLog) Len() int {
 	return len(l.entries) - l.off
 }
 
+// Flow returns the admission-control configuration (zero when unbounded).
+func (l *SendLog) Flow() FlowConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flow
+}
+
+// Full reports whether the admission latch is currently engaged.
+func (l *SendLog) Full() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Read-only view: don't recompute the latch here, just report it.
+	return l.full
+}
+
+// Waiting returns the number of appenders currently blocked on space.
+func (l *SendLog) Waiting() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiting
+}
+
+// BlockedAppends returns the total appends that had to wait for space.
+func (l *SendLog) BlockedAppends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.blocked
+}
+
+// ShedAppends returns the total appends rejected with ErrBackpressure.
+func (l *SendLog) ShedAppends() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shed
+}
+
+// setBackpressureCounters wires optional metrics counters for blocked and
+// shed appends (transport-internal).
+func (l *SendLog) setBackpressureCounters(blocked, shed *metrics.Counter) {
+	l.mu.Lock()
+	l.mBlocked = blocked
+	l.mShed = shed
+	l.mu.Unlock()
+}
+
 // Close wakes all blocked readers with ErrLogClosed.
 func (l *SendLog) Close() {
 	l.mu.Lock()
 	l.closed = true
+	if l.spaceCh != nil {
+		close(l.spaceCh)
+		l.spaceCh = nil
+	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
 }

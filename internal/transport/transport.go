@@ -63,6 +63,17 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Batch tunes the data-plane batch writer; zero values pick defaults.
 	Batch BatchConfig
+	// DialTimeout bounds each connect attempt, handshake included, so a
+	// black-holed peer cannot hang a link's run loop (default 2s).
+	DialTimeout time.Duration
+	// TopoTags optionally labels the node-level sendlog/backpressure
+	// families with the local availability zone and region so registries
+	// aggregating many nodes can roll them up (empty strings omit no
+	// labels — the families always carry az/region, possibly blank).
+	TopoTags struct {
+		AZ     string
+		Region string
+	}
 }
 
 // BatchConfig tunes how each outgoing link batches data frames. The batch
@@ -193,6 +204,9 @@ func New(cfg Config) (*Transport, error) {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	cfg.Batch = cfg.Batch.normalized()
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
 	t := &Transport{
 		cfg:       cfg,
 		links:     make(map[int]*link, cfg.N-1),
@@ -215,6 +229,26 @@ func New(cfg Config) (*Transport, error) {
 	fdTrips := m.CounterVec("stabilizer_transport_failure_detector_trips_total", "Failure detector suspicions raised per peer.", "peer")
 	hbRTT := m.HistogramVec("stabilizer_transport_heartbeat_rtt_seconds", "Heartbeat echo round-trip time per peer.", metrics.LatencyOpts, "peer")
 	up := m.GaugeVec("stabilizer_transport_peer_up", "1 while the peer is considered alive.", "peer")
+
+	// Node-level send-log occupancy and backpressure families, tagged with
+	// the local topology so multi-node registries can roll them up by
+	// AZ/region. GaugeFuncs read the log directly at exposition time.
+	log, az, region := cfg.Log, cfg.TopoTags.AZ, cfg.TopoTags.Region
+	m.GaugeFuncVec("stabilizer_transport_sendlog_bytes",
+		"Payload bytes buffered in the send log awaiting global reclaim.",
+		"az", "region").Set(func() float64 { return float64(log.Bytes()) }, az, region)
+	m.GaugeFuncVec("stabilizer_transport_sendlog_entries",
+		"Entries buffered in the send log awaiting global reclaim.",
+		"az", "region").Set(func() float64 { return float64(log.Len()) }, az, region)
+	m.GaugeFuncVec("stabilizer_transport_sendlog_cap_bytes",
+		"Configured send-log byte cap (0 = unbounded).",
+		"az", "region").Set(func() float64 { return float64(log.Flow().MaxBytes) }, az, region)
+	m.GaugeFuncVec("stabilizer_transport_backpressure_waiters",
+		"Appends currently blocked on send-log admission control.",
+		"az", "region").Set(func() float64 { return float64(log.Waiting()) }, az, region)
+	bp := m.CounterVec("stabilizer_transport_backpressure_total",
+		"Appends gated by send-log admission control, by outcome.", "outcome")
+	log.setBackpressureCounters(bp.With("blocked"), bp.With("shed"))
 	for p := 1; p <= cfg.N; p++ {
 		if p == cfg.Self {
 			continue

@@ -104,6 +104,28 @@ func (w *Store) Put(key string, value []byte) (PutResult, error) {
 	return PutResult{Seq: seq, Version: ver}, nil
 }
 
+// PutCtx is Put with cancellation: when the node's send log is bounded
+// (core.Config.Flow) and full, a blocked put aborts with ctx.Err() once ctx
+// is done; in fail-fast mode it returns transport.ErrBackpressure
+// immediately. The version is committed to the local pool either way — only
+// replication is refused — so callers shedding load should retry the same
+// key rather than treat the write as lost.
+func (w *Store) PutCtx(ctx context.Context, key string, value []byte) (PutResult, error) {
+	ver, err := w.local().Put(key, value)
+	if err != nil {
+		return PutResult{}, err
+	}
+	v, err := w.local().GetVersion(key, ver)
+	if err != nil {
+		return PutResult{}, err
+	}
+	seq, err := w.node.SendNoCopyCtx(ctx, encodeUpdate(key, value, ver, v.Time))
+	if err != nil {
+		return PutResult{}, err
+	}
+	return PutResult{Seq: seq, Version: ver}, nil
+}
+
 // PutWait is Put followed by WaitStable under the named predicate: the
 // write returns only once it satisfies the chosen consistency model.
 func (w *Store) PutWait(ctx context.Context, key string, value []byte, predicateKey string) (PutResult, error) {

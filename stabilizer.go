@@ -39,6 +39,7 @@ import (
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/transport"
 )
 
 // Re-exported core types: the root package is a thin facade over
@@ -72,6 +73,25 @@ type (
 	// TopologyNode is one WAN node entry.
 	TopologyNode = config.Node
 
+	// FlowConfig bounds the send log with admission control (byte/entry
+	// caps with hysteretic high/low watermarks); set via Config.Flow.
+	FlowConfig = transport.FlowConfig
+	// FlowMode picks blocking or fail-fast admission.
+	FlowMode = transport.FlowMode
+	// StallConfig arms the degraded-mode stall monitor; set via
+	// Config.Stall.
+	StallConfig = core.StallConfig
+	// StallReport is one stall notification with blame attribution
+	// (see Node.OnStall).
+	StallReport = core.StallReport
+	// Health is a degraded-mode snapshot: send-log occupancy, admission
+	// pressure, and per-predicate stall state (see Node.Health).
+	Health = core.Health
+	// PredicateHealth is one predicate's stall view inside Health.
+	PredicateHealth = core.PredicateHealth
+	// PeerLag describes one blamed peer inside PredicateHealth.
+	PeerLag = core.PeerLag
+
 	// Network is the fabric abstraction nodes dial through.
 	Network = emunet.Network
 	// Link is one directed link's latency/bandwidth profile.
@@ -79,6 +99,19 @@ type (
 	// Matrix holds a deployment's link profiles.
 	Matrix = emunet.Matrix
 )
+
+// Admission modes for FlowConfig.Mode.
+const (
+	// FlowBlock makes Send wait for reclaimed space when the log is full
+	// (SendCtx for cancellation).
+	FlowBlock = transport.FlowBlock
+	// FlowFail makes Send return ErrBackpressure when the log is full.
+	FlowFail = transport.FlowFail
+)
+
+// ErrBackpressure is returned by Send in FlowFail mode when the bounded
+// send log is full: the caller sheds load instead of queueing unbounded.
+var ErrBackpressure = transport.ErrBackpressure
 
 // Open starts a Stabilizer node and connects it to its peers.
 func Open(cfg Config) (*Node, error) { return core.Open(cfg) }
