@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos chaos-flow bench bench-transport bench-transport-short
+.PHONY: check vet build test race examples chaos chaos-flow bench bench-transport bench-transport-short
 
 check: vet build race
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# examples builds every runnable program under examples/ — they are the
+# documented entry points, so a facade change that breaks one fails here.
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
 
 # chaos runs the full-horizon fault-injection soak (the default `go test`
 # run only gets the -short bounded variant). Pin the fault schedule with

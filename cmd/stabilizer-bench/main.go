@@ -34,7 +34,8 @@ func run() error {
 		timescale   = flag.Float64("timescale", 1, "divide emulated latencies by this factor (1 = faithful wall-clock)")
 		fabric      = flag.String("fabric", "mem", "network fabric: mem or tcp")
 		short       = flag.Bool("short", false, "shrink workloads for a quick pass")
-		metricsAddr = flag.String("metrics-addr", "", "serve each experiment's node-1 /metrics on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve every experiment node's /metrics on this address (e.g. :9090)")
+		pprofOn     = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
 	)
 	flag.Parse()
 
@@ -45,14 +46,20 @@ func run() error {
 		Short:     *short,
 	}
 	if *metricsAddr != "" {
+		var sopts []metrics.ServeOption
+		if *pprofOn {
+			sopts = append(sopts, metrics.WithPprof())
+		}
 		reg := metrics.NewRegistry()
 		opts.Metrics = reg
-		srv, err := metrics.Serve(*metricsAddr, reg, nil)
+		srv, err := metrics.Serve(*metricsAddr, reg, nil, sopts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Printf("serving /metrics on %s\n", srv.Addr)
+	} else if *pprofOn {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 
 	type exp struct {

@@ -8,7 +8,9 @@
 //	wankv                       # Fig. 2 EC2 topology, Table I links
 //	wankv -topology topo.json   # custom deployment
 //	wankv -timescale 5          # compress WAN latencies 5x
-//	wankv -metrics-addr :9090   # node 1's /metrics + /debug/stabilizer
+//	wankv -metrics-addr :9090   # every node's /metrics + /debug/stabilizer
+//	wankv -metrics-addr :9090 -pprof
+//	                            # plus /debug/pprof on the same port
 //	wankv -flow-max-bytes 65536 -flow-mode fail -stall-deadline 2s
 //	                            # bounded send logs + degraded-mode reporting
 //
@@ -54,7 +56,8 @@ func run() error {
 	var (
 		topoPath    = flag.String("topology", "", "topology JSON file (default: built-in EC2 Fig. 2)")
 		timescale   = flag.Float64("timescale", 10, "divide emulated WAN latencies by this factor")
-		metricsAddr = flag.String("metrics-addr", "", "serve node 1's /metrics and /debug/stabilizer on this address (e.g. :9090)")
+		metricsAddr = flag.String("metrics-addr", "", "serve every node's /metrics and /debug/stabilizer on this address (e.g. :9090)")
+		pprofOn     = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
 
 		flowMaxBytes   = flag.Int64("flow-max-bytes", 0, "cap each node's send log at this many buffered bytes (0 = unbounded)")
 		flowMaxEntries = flag.Int("flow-max-entries", 0, "cap each node's send log at this many buffered entries (0 = unbounded)")
@@ -87,25 +90,26 @@ func run() error {
 	network := stabilizer.NewMemNetwork(matrix.Scaled(*timescale))
 	defer network.Close()
 
-	// Metrics families are node-scoped, so the registry is attached to
-	// node 1 only — the node the interactive commands drive.
+	// One cluster boots every topology entry in-process; every node
+	// shares the registry, instrumenting under its own node label, so a
+	// single scrape covers the whole emulated deployment.
 	reg := stabilizer.NewMetricsRegistry()
-	nodes := make([]*stabilizer.Node, topo.N())
+	cluster, err := stabilizer.OpenCluster(stabilizer.ClusterConfig{
+		Topology: topo,
+		Network:  network,
+		Metrics:  reg,
+		Flow:     flow,
+		Stall:    stall,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
 	stores := make([]*wankv.Store, topo.N())
 	for i := 1; i <= topo.N(); i++ {
-		cfg := stabilizer.Config{Topology: topo.WithSelf(i), Network: network, Flow: flow, Stall: stall}
-		if i == 1 {
-			cfg.Metrics = reg
-		}
-		n, err := stabilizer.Open(cfg)
-		if err != nil {
-			return err
-		}
-		defer n.Close()
-		nodes[i-1] = n
-		stores[i-1] = wankv.New(n)
+		stores[i-1] = wankv.New(cluster.Node(i))
 	}
-	primary := nodes[0]
+	primary := cluster.Node(1)
 	kv := stores[0]
 	for name, src := range stabilizer.TableIII(topo) {
 		if err := primary.RegisterPredicate(name, src); err != nil {
@@ -113,14 +117,22 @@ func run() error {
 		}
 	}
 	if *metricsAddr != "" {
+		var opts []stabilizer.ServeOption
+		if *pprofOn {
+			opts = append(opts, stabilizer.WithPprof())
+		}
 		srv, err := stabilizer.ServeMetrics(*metricsAddr, reg, map[string]http.Handler{
-			"/debug/stabilizer": debugHandler(primary),
-		})
+			"/debug/stabilizer": debugHandler(cluster),
+		}, opts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("wankv: serving /metrics and /debug/stabilizer on %s\n", srv.Addr)
+		extras := "/metrics and /debug/stabilizer"
+		if *pprofOn {
+			extras += " and /debug/pprof"
+		}
+		fmt.Printf("wankv: serving %s on %s\n", extras, srv.Addr)
 	}
 
 	fmt.Printf("wankv: %d WAN nodes up; node 1 (%s) is yours. Type 'help'.\n",
@@ -146,13 +158,27 @@ func run() error {
 
 var errQuit = fmt.Errorf("quit")
 
-// debugHandler serves a node's DebugSnapshot as indented JSON.
-func debugHandler(n *stabilizer.Node) http.Handler {
+// debugHandler serves DebugSnapshots as indented JSON — every live node
+// keyed by id, or a single node with ?node=<id>.
+func debugHandler(cluster *stabilizer.Cluster) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(n.DebugSnapshot())
+		if q := r.URL.Query().Get("node"); q != "" {
+			id, err := strconv.Atoi(q)
+			if err != nil || cluster.Node(id) == nil {
+				http.Error(w, fmt.Sprintf("unknown node %q", q), http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(cluster.Node(id).DebugSnapshot())
+			return
+		}
+		snaps := make(map[string]stabilizer.DebugSnapshot)
+		for _, n := range cluster.Nodes() {
+			snaps[strconv.Itoa(n.Self())] = n.DebugSnapshot()
+		}
+		_ = enc.Encode(snaps)
 	})
 }
 

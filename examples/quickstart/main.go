@@ -39,26 +39,23 @@ func run() error {
 	network := stabilizer.NewMemNetwork(matrix)
 	defer network.Close()
 
-	// One node per data center (in one process for the demo; in a real
-	// deployment each runs in its own data center).
-	var nodes []*stabilizer.Node
-	for i := 1; i <= topo.N(); i++ {
-		n, err := stabilizer.Open(stabilizer.Config{
-			Topology: topo.WithSelf(i),
-			Network:  network,
-		})
-		if err != nil {
-			return err
-		}
-		defer n.Close()
-		nodes = append(nodes, n)
+	// One node per data center, booted together as a cluster (in one
+	// process for the demo; in a real deployment each runs in its own
+	// data center via stabilizer.Open).
+	cluster, err := stabilizer.OpenCluster(stabilizer.ClusterConfig{
+		Topology: topo,
+		Network:  network,
+	})
+	if err != nil {
+		return err
 	}
-	frankfurt := nodes[0]
+	defer cluster.Close()
+	frankfurt := cluster.Node(1)
 
 	// Receivers print what they mirror.
-	for i, n := range nodes[1:] {
-		name := topo.Nodes[i+1].Name
-		n.OnDeliver(func(m stabilizer.Message) {
+	for i := 2; i <= topo.N(); i++ {
+		name := topo.Nodes[i-1].Name
+		cluster.Node(i).OnDeliver(func(m stabilizer.Message) {
 			log.Printf("[%s] mirrored message %d: %q", name, m.Seq, m.Payload)
 		})
 	}

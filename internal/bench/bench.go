@@ -37,10 +37,11 @@ type Options struct {
 	// Short shrinks workloads for use under `go test -short` and
 	// testing.B iteration.
 	Short bool
-	// Metrics, when set, is attached to node 1 of every cluster an
-	// experiment starts, so a live /metrics endpoint can watch the run.
-	// Families are get-or-create, so successive clusters accumulate into
-	// the same counters.
+	// Metrics, when set, is shared by every node of every cluster an
+	// experiment starts: each node instruments through its own
+	// node-labeled group, so a live /metrics endpoint watches the whole
+	// run. Families are get-or-create, so successive clusters accumulate
+	// into the same counters.
 	Metrics *metrics.Registry
 	// Batch overrides the data-plane batching knobs on every node the
 	// experiment starts (zero value = transport defaults). Note the
@@ -82,40 +83,34 @@ func (o Options) rescale(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * o.TimeScale)
 }
 
-// cluster is a set of core nodes sharing one fabric.
+// cluster wraps a core.Cluster plus the fabric it runs over.
 type cluster struct {
-	nodes []*core.Node
-	net   emunet.Network
+	cl  *core.Cluster
+	net emunet.Network
 }
 
-// startCluster opens one node per topology entry.
+// startCluster boots the whole topology in-process on the chosen fabric.
 func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*cluster, error) {
-	c := &cluster{net: opts.network(matrix)}
-	for i := 1; i <= topo.N(); i++ {
-		cfg := core.Config{
-			Topology:       topo.WithSelf(i),
-			Network:        c.net,
-			HeartbeatEvery: 100 * time.Millisecond,
-			PeerTimeout:    5 * time.Second,
-			Batch:          opts.Batch,
-			Flow:           opts.Flow,
-		}
-		if i == 1 {
-			cfg.Metrics = opts.Metrics
-		}
-		n, err := core.Open(cfg)
-		if err != nil {
-			c.close()
-			return nil, fmt.Errorf("bench: open node %d: %w", i, err)
-		}
-		c.nodes = append(c.nodes, n)
+	net := opts.network(matrix)
+	cl, err := core.OpenCluster(core.ClusterConfig{
+		Topology:       topo,
+		Network:        net,
+		Metrics:        opts.Metrics,
+		HeartbeatEvery: 100 * time.Millisecond,
+		PeerTimeout:    5 * time.Second,
+		Batch:          opts.Batch,
+		Flow:           opts.Flow,
+	})
+	if err != nil {
+		_ = net.Close()
+		return nil, fmt.Errorf("bench: open cluster: %w", err)
 	}
-	return c, nil
+	return &cluster{cl: cl, net: net}, nil
 }
 
 func (c *cluster) close() {
-	for _, n := range c.nodes {
-		_ = n.Close()
+	if c.cl != nil {
+		_ = c.cl.Close()
 	}
 	if c.net != nil {
 		_ = c.net.Close()
@@ -123,7 +118,7 @@ func (c *cluster) close() {
 }
 
 // node returns the 1-based node.
-func (c *cluster) node(i int) *core.Node { return c.nodes[i-1] }
+func (c *cluster) node(i int) *core.Node { return c.cl.Node(i) }
 
 // --- small stat helpers ---
 

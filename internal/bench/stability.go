@@ -8,13 +8,10 @@ import (
 )
 
 // stabilityHistogram returns a node's stability-latency histogram for one
-// predicate — the same stabilizer_stability_latency_seconds family the
-// /metrics endpoint exposes. Families are get-or-create, so this resolves
-// to the histogram the node's frontier hook has been observing into.
+// predicate — the same stabilizer_stability_latency_seconds child the
+// /metrics endpoint exposes under the node's label.
 func stabilityHistogram(n *core.Node, pred string) *metrics.Histogram {
-	return n.Metrics().HistogramVec("stabilizer_stability_latency_seconds",
-		"Send to predicate-frontier crossing, per predicate key.",
-		metrics.LatencyOpts, "predicate").With(pred)
+	return n.StabilityLatencyHistogram(pred)
 }
 
 // stabilityQuantile reads the q-quantile stability latency of pred from

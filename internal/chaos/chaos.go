@@ -57,6 +57,10 @@ type Options struct {
 	// flow-capped soak needs it on — bounded memory requires truncation —
 	// and therefore must exclude KindCrashRestart via Kinds.
 	AutoReclaim bool
+	// Metrics, when set, is the registry shared by every node of the soak
+	// cluster (node-labeled families); scraping it while the soak runs is
+	// itself a race test of the registry. Nil keeps a private registry.
+	Metrics *metrics.Registry
 	// Logf, when set, traces faults and crash/restart events.
 	Logf func(format string, args ...any)
 }
@@ -207,32 +211,10 @@ func Soak(o Options) (*Report, error) {
 	check := NewChecker(o.N, o.Senders)
 	var deliveries atomic.Int64
 
-	// Cluster state. mu serializes crash/restart against CrossCheck sweeps
-	// and the final convergence reads; nodes[i-1] == nil marks node i down.
-	var (
-		mu     sync.Mutex
-		nodes  = make([]*core.Node, o.N)
-		epochs = make([]uint64, o.N+1)
-	)
-	open := func(i int) (*core.Node, error) {
-		epochs[i]++
-		return core.Open(core.Config{
-			Topology:       topo.WithSelf(i),
-			Network:        fabric,
-			HeartbeatEvery: o.HeartbeatEvery,
-			PeerTimeout:    o.PeerTimeout,
-			Flow:           o.Flow,
-			Stall:          o.Stall,
-			// Unless the soak opts into reclamation, keep send buffers
-			// whole: a fresh-restarted receiver needs the full prefix
-			// resent, which reclaim would have truncated.
-			DisableAutoReclaim: !o.AutoReclaim,
-			Epoch:              epochs[i],
-		})
-	}
-	// attach must run before the node's peers can deliver anything; the
-	// fabric's 2ms one-way latency guarantees a handshake takes longer
-	// than the call gap after core.Open returns.
+	// attach must run before the node's peers can deliver anything. At
+	// boot no sender is pumping yet; after a restart the fabric's 2ms
+	// one-way latency guarantees a reconnect handshake takes longer than
+	// the call gap after Restart returns.
 	attach := func(n *core.Node) {
 		check.Attach(n)
 		if o.Stall.Deadline > 0 {
@@ -240,29 +222,45 @@ func Soak(o Options) (*Report, error) {
 		}
 		n.OnDeliver(func(core.Message) { deliveries.Add(1) })
 	}
-	closeAll := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, n := range nodes {
-			if n != nil {
-				_ = n.Close()
-			}
-		}
-	}
-	defer closeAll()
 
-	for i := 1; i <= o.N; i++ {
-		n, err := open(i)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: open node %d: %w", i, err)
-		}
+	// mu serializes crash/restart (and their checker bookkeeping) against
+	// CrossCheck sweeps and the final convergence reads.
+	var mu sync.Mutex
+	cl, err := core.OpenCluster(core.ClusterConfig{
+		Topology:       topo,
+		Network:        fabric,
+		Metrics:        o.Metrics,
+		HeartbeatEvery: o.HeartbeatEvery,
+		PeerTimeout:    o.PeerTimeout,
+		Flow:           o.Flow,
+		Stall:          o.Stall,
+		// Unless the soak opts into reclamation, keep send buffers whole:
+		// a fresh-restarted receiver needs the full prefix resent, which
+		// reclaim would have truncated.
+		DisableAutoReclaim: !o.AutoReclaim,
+		// Epoch 1 for first incarnations; Cluster.Restart bumps from there.
+		Configure: func(_ int, cfg *core.Config) { cfg.Epoch = 1 },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open cluster: %w", err)
+	}
+	defer cl.Close()
+	for _, n := range cl.Nodes() {
 		attach(n)
-		nodes[i-1] = n
+	}
+	// liveNodes rebuilds the checker's positional view: index i-1 holds
+	// node i, nil while crashed.
+	liveNodes := func() []*core.Node {
+		out := make([]*core.Node, o.N)
+		for i := 1; i <= o.N; i++ {
+			out[i-1] = cl.Node(i)
+		}
+		return out
 	}
 
 	maj := o.N/2 + 1
 	for _, s := range o.Senders {
-		sn := nodes[s-1]
+		sn := cl.Node(s)
 		if err := sn.RegisterPredicate("all", "MIN($ALLWNODES)"); err != nil {
 			return nil, fmt.Errorf("chaos: register 'all' on node %d: %w", s, err)
 		}
@@ -276,7 +274,7 @@ func Soak(o Options) (*Report, error) {
 	pumpStop := make(chan struct{})
 	var pumps sync.WaitGroup
 	for _, s := range o.Senders {
-		sn := nodes[s-1]
+		sn := cl.Node(s)
 		pumps.Add(1)
 		go func(sn *core.Node) {
 			defer pumps.Done()
@@ -299,19 +297,18 @@ func Soak(o Options) (*Report, error) {
 	crash := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
-		n := nodes[i-1]
-		if n == nil {
-			return
+		// Cluster.Crash closes the node but hands back the dead handle:
+		// its receive high water is monotone within the incarnation, so
+		// reading it after Close yields the incarnation's final value.
+		dead, err := cl.Crash(i)
+		if err != nil {
+			return // already down
 		}
-		_ = n.Close()
-		// Read the high water AFTER Close: it is monotone within the
-		// incarnation, so this is the incarnation's final value.
 		hw := make(map[int]uint64, len(o.Senders))
 		for _, s := range o.Senders {
-			hw[s] = n.RecvLast(s)
+			hw[s] = dead.RecvLast(s)
 		}
 		check.RecordCrash(i, hw)
-		nodes[i-1] = nil
 		if o.Logf != nil {
 			o.Logf("chaos: crashed node %d, high water %v", i, hw)
 		}
@@ -319,19 +316,18 @@ func Soak(o Options) (*Report, error) {
 	restart := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
-		if nodes[i-1] != nil {
+		if cl.Node(i) != nil {
 			return
 		}
 		check.RecordRestart(i)
-		n, err := open(i)
+		n, err := cl.Restart(i)
 		if err != nil {
 			check.Violatef("restart node %d: %v", i, err)
 			return
 		}
 		attach(n)
-		nodes[i-1] = n
 		if o.Logf != nil {
-			o.Logf("chaos: restarted node %d (epoch %d)", i, epochs[i])
+			o.Logf("chaos: restarted node %d", i)
 		}
 	}
 
@@ -348,9 +344,10 @@ func Soak(o Options) (*Report, error) {
 				return
 			case <-tick.C:
 				mu.Lock()
-				check.CrossCheck(nodes)
+				live := liveNodes()
+				check.CrossCheck(live)
 				if o.Flow.MaxBytes > 0 {
-					check.CheckBounded(nodes, o.Flow.MaxBytes, soakPayload)
+					check.CheckBounded(live, o.Flow.MaxBytes, soakPayload)
 				}
 				mu.Unlock()
 			}
@@ -369,24 +366,22 @@ func Soak(o Options) (*Report, error) {
 
 	heads := make(map[int]uint64, len(o.Senders))
 	for _, s := range o.Senders {
-		heads[s] = nodes[s-1].NextSeq() - 1
+		heads[s] = cl.Node(s).NextSeq() - 1
 	}
 
-	// Invariant 4: with faults healed, every live node's evaluation of the
-	// convergence predicate over every sender's stream must reach that
-	// stream's head.
+	// Invariant 4: with faults healed, every node must be back up and its
+	// evaluation of the convergence predicate over every sender's stream
+	// must reach that stream's head.
 	converged := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
+		if len(cl.Nodes()) != o.N {
+			return false
+		}
 		for _, s := range o.Senders {
-			for _, n := range nodes {
-				if n == nil {
-					return false
-				}
-				f, err := n.EvalFor(s, convergencePred)
-				if err != nil || f < heads[s] {
-					return false
-				}
+			f, err := cl.EvalAllFor(s, convergencePred)
+			if err != nil || f < heads[s] {
+				return false
 			}
 		}
 		return true
@@ -403,7 +398,7 @@ func Soak(o Options) (*Report, error) {
 		mu.Lock()
 		var lines []string
 		for _, s := range o.Senders {
-			for i, n := range nodes {
+			for i, n := range liveNodes() {
 				if n == nil {
 					lines = append(lines, fmt.Sprintf("node %d: down", i+1))
 					continue
@@ -421,16 +416,17 @@ func Soak(o Options) (*Report, error) {
 	close(ccStop)
 	<-ccDone
 	mu.Lock()
-	check.CrossCheck(nodes)
+	final := liveNodes()
+	check.CrossCheck(final)
 	if o.Flow.MaxBytes > 0 {
-		check.CheckBounded(nodes, o.Flow.MaxBytes, soakPayload)
+		check.CheckBounded(final, o.Flow.MaxBytes, soakPayload)
 	}
 	// The checker's own FIFO counters must also have reached the heads:
 	// agreement on .delivered plus gap-free counting means every message
 	// was upcalled exactly once per incarnation.
 	if ok {
 		for _, s := range o.Senders {
-			for i, n := range nodes {
+			for i, n := range final {
 				if n == nil || i+1 == s {
 					continue
 				}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stabilizer/internal/config"
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
+	"stabilizer/internal/transport"
+)
+
+// ClusterConfig parameterizes OpenCluster. One config describes a whole
+// in-process deployment: which of the topology's nodes to boot here, the
+// fabric they share, and the knobs applied uniformly to every node.
+// Per-node divergence (a Persister on the primary, a restored Checkpoint,
+// per-node flow caps) goes through the Configure hook.
+type ClusterConfig struct {
+	// Topology is the WAN deployment; required. Its Self field is ignored
+	// — the cluster derives a per-node topology for every booted node.
+	Topology *config.Topology
+	// Network is the fabric every node dials and listens through; required.
+	Network emunet.Network
+	// Nodes lists the 1-based indices to boot in this process. Nil or
+	// empty boots the whole topology. Duplicates and out-of-range indices
+	// are rejected.
+	Nodes []int
+	// Metrics is the registry shared by every booted node: each node
+	// instruments through its own node-labeled group view, so one scrape
+	// of this registry sees the whole in-process deployment. Nil creates
+	// a private registry (reachable via Cluster.Metrics).
+	Metrics *metrics.Registry
+	// HeartbeatEvery and PeerTimeout tune failure detection on every
+	// node; zero values pick transport defaults.
+	HeartbeatEvery time.Duration
+	PeerTimeout    time.Duration
+	// Batch, Flow, Stall and DialTimeout apply to every node; see Config.
+	Batch       transport.BatchConfig
+	Flow        transport.FlowConfig
+	Stall       StallConfig
+	DialTimeout time.Duration
+	// DisableAutoReclaim keeps every node's send buffer forever (tests,
+	// ablations).
+	DisableAutoReclaim bool
+	// Configure, when set, runs on each node's Config after the shared
+	// fields above are applied and before the node boots — the hook for
+	// anything per-node: Persister, Checkpoint, Epoch, or overriding a
+	// shared knob for one node. It also runs on Restart, so restart-aware
+	// state (epochs, checkpoints) can be re-derived there.
+	Configure func(node int, cfg *Config)
+}
+
+// Cluster owns a set of in-process Stabilizer nodes booted from one
+// topology — the paper's evaluation shape (§VI: many WAN nodes per machine
+// over emulated links) as a first-class handle. All nodes share one
+// metrics registry with node-labeled families, and cluster-wide helpers
+// (Health, WaitAllFor, Close with ordered drain) replace per-node loops.
+type Cluster struct {
+	topo *config.Topology
+	reg  *metrics.Registry
+	ids  []int // boot order, ascending
+
+	mkCfg func(id int) Config
+
+	mu     sync.Mutex
+	nodes  map[int]*Node
+	epochs map[int]uint64
+	closed bool
+}
+
+// OpenCluster boots the requested subset of a topology's nodes in this
+// process and wires them into one shared registry. On any boot failure the
+// already-started nodes are closed and the error returned.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("core: ClusterConfig.Topology is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("core: ClusterConfig.Network is required")
+	}
+	topo := cfg.Topology.Clone()
+	n := topo.N()
+
+	ids := cfg.Nodes
+	if len(ids) == 0 {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+	} else {
+		ids = append([]int(nil), ids...)
+		sort.Ints(ids)
+		for i, id := range ids {
+			if id < 1 || id > n {
+				return nil, fmt.Errorf("core: cluster node %d out of range [1,%d]", id, n)
+			}
+			if i > 0 && ids[i-1] == id {
+				return nil, fmt.Errorf("core: duplicate cluster node %d", id)
+			}
+		}
+	}
+
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	mkCfg := func(id int) Config {
+		c := Config{
+			Topology:           topo.WithSelf(id),
+			Network:            cfg.Network,
+			HeartbeatEvery:     cfg.HeartbeatEvery,
+			PeerTimeout:        cfg.PeerTimeout,
+			Metrics:            reg,
+			Batch:              cfg.Batch,
+			Flow:               cfg.Flow,
+			Stall:              cfg.Stall,
+			DialTimeout:        cfg.DialTimeout,
+			DisableAutoReclaim: cfg.DisableAutoReclaim,
+		}
+		if cfg.Configure != nil {
+			cfg.Configure(id, &c)
+		}
+		return c
+	}
+
+	cl := &Cluster{
+		topo:   topo,
+		reg:    reg,
+		ids:    ids,
+		mkCfg:  mkCfg,
+		nodes:  make(map[int]*Node, len(ids)),
+		epochs: make(map[int]uint64, len(ids)),
+	}
+	for _, id := range ids {
+		ncfg := mkCfg(id)
+		node, err := openNode(ncfg)
+		if err != nil {
+			_ = cl.Close()
+			return nil, fmt.Errorf("core: open cluster node %d: %w", id, err)
+		}
+		cl.nodes[id] = node
+		cl.epochs[id] = ncfg.Epoch
+	}
+	return cl, nil
+}
+
+// Node returns the handle for the 1-based node id, or nil when the id was
+// not booted here or is currently crashed.
+func (c *Cluster) Node(id int) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[id]
+}
+
+// Nodes returns the live node handles in ascending id order.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, id := range c.ids {
+		if n := c.nodes[id]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// IDs returns the node indices this cluster was asked to boot (crashed ones
+// included), ascending.
+func (c *Cluster) IDs() []int { return append([]int(nil), c.ids...) }
+
+// Metrics returns the registry shared by every node in the cluster.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// Topology returns a copy of the cluster's topology.
+func (c *Cluster) Topology() *config.Topology { return c.topo.Clone() }
+
+// Health snapshots every live node's Health, in ascending id order.
+func (c *Cluster) Health() []Health {
+	nodes := c.Nodes()
+	out := make([]Health, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.Health())
+	}
+	return out
+}
+
+// Crash closes the node and removes it from the live set, keeping its dead
+// handle available to the caller for post-mortem reads (RecvLast and other
+// snapshot getters stay valid on a closed node). Restart brings the id
+// back with a bumped epoch.
+func (c *Cluster) Crash(id int) (*Node, error) {
+	c.mu.Lock()
+	node := c.nodes[id]
+	delete(c.nodes, id)
+	c.mu.Unlock()
+	if node == nil {
+		return nil, fmt.Errorf("core: cluster node %d is not running", id)
+	}
+	return node, node.Close()
+}
+
+// Restart reboots a crashed node with the next epoch. The node's Config is
+// rebuilt (the Configure hook runs again) so restart-aware callers can
+// re-derive checkpoints there.
+func (c *Cluster) Restart(id int) (*Node, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.nodes[id] != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: cluster node %d is already running", id)
+	}
+	known := false
+	for _, i := range c.ids {
+		known = known || i == id
+	}
+	if !known {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: node %d is not part of this cluster", id)
+	}
+	c.epochs[id]++
+	epoch := c.epochs[id]
+	c.mu.Unlock()
+
+	cfg := c.mkCfg(id)
+	cfg.Epoch = epoch
+	node, err := openNode(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restart cluster node %d: %w", id, err)
+	}
+	c.mu.Lock()
+	c.nodes[id] = node
+	c.mu.Unlock()
+	return node, nil
+}
+
+// Close drains the cluster: nodes shut down in reverse boot order (later
+// nodes first, so earlier ones — conventionally the primaries — observe
+// their peers leaving before going down themselves). Idempotent; returns
+// the first close error.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	var down []*Node
+	for i := len(c.ids) - 1; i >= 0; i-- {
+		if n := c.nodes[c.ids[i]]; n != nil {
+			down = append(down, n)
+			delete(c.nodes, c.ids[i])
+		}
+	}
+	c.mu.Unlock()
+	var first error
+	for _, n := range down {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitAllFor blocks until every live node that has the named predicate
+// registered sees its stability frontier reach seq. It errors immediately
+// when no live node knows the predicate.
+func (c *Cluster) WaitAllFor(ctx context.Context, seq uint64, key string) error {
+	var targets []*Node
+	for _, n := range c.Nodes() {
+		if _, err := n.PredicateSource(key); err == nil {
+			targets = append(targets, n)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("core: no live cluster node has predicate %q", key)
+	}
+	errs := make(chan error, len(targets))
+	for _, n := range targets {
+		go func(n *Node) { errs <- n.WaitFor(ctx, seq, key) }(n)
+	}
+	for range targets {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitAllReceive polls until every live node other than origin has received
+// origin's stream through seq, or ctx expires.
+func (c *Cluster) WaitAllReceive(ctx context.Context, origin int, seq uint64) error {
+	for {
+		done := true
+		for _, n := range c.Nodes() {
+			if n.Self() == origin {
+				continue
+			}
+			if n.RecvLast(origin) < seq {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// EvalAllFor evaluates source against origin's stream on every live node
+// and returns the minimum — the frontier the whole in-process deployment
+// agrees on. Crashed nodes are skipped; with no live nodes it errors.
+func (c *Cluster) EvalAllFor(origin int, source string) (uint64, error) {
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return 0, errors.New("core: no live cluster nodes")
+	}
+	var min uint64
+	for i, n := range nodes {
+		v, err := n.EvalFor(origin, source)
+		if err != nil {
+			return 0, fmt.Errorf("core: eval on node %d: %w", n.Self(), err)
+		}
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min, nil
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"stabilizer/internal/emunet"
+	"stabilizer/internal/metrics"
+)
+
+func openTestCluster(t *testing.T, n int, nodes []int) (*Cluster, *metrics.Registry) {
+	t.Helper()
+	net := emunet.NewMemNetwork(nil)
+	reg := metrics.NewRegistry()
+	cl, err := OpenCluster(ClusterConfig{
+		Topology:       flatTopology(n),
+		Network:        net,
+		Nodes:          nodes,
+		Metrics:        reg,
+		HeartbeatEvery: 20 * time.Millisecond,
+	})
+	if err != nil {
+		net.Close()
+		t.Fatalf("open cluster: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = cl.Close()
+		_ = net.Close()
+	})
+	return cl, reg
+}
+
+// TestClusterSharedRegistryExposesEveryNode is the tentpole acceptance
+// check: one registry, one scrape, every in-process node visible through
+// node-labeled families.
+func TestClusterSharedRegistryExposesEveryNode(t *testing.T) {
+	cl, reg := openTestCluster(t, 3, nil)
+	if got := len(cl.Nodes()); got != 3 {
+		t.Fatalf("live nodes = %d, want 3", got)
+	}
+
+	sender := cl.Node(1)
+	if err := sender.RegisterPredicate("all", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		seq, err := sender.Send([]byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.WaitAllFor(ctx, last, "all"); err != nil {
+		t.Fatalf("WaitAllFor: %v", err)
+	}
+	if err := cl.WaitAllReceive(ctx, 1, last); err != nil {
+		t.Fatalf("WaitAllReceive: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for id := 1; id <= 3; id++ {
+		want := fmt.Sprintf(`stabilizer_core_next_seq{node="%d"}`, id)
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+	// The sender's sends and a receiver's deliveries live in the same
+	// family, distinguished only by node label.
+	fam := reg.Find("stabilizer_core_sends_total")
+	if fam == nil {
+		t.Fatal("stabilizer_core_sends_total missing")
+	}
+	byNode := map[string]float64{}
+	for _, m := range fam.Metrics {
+		byNode[m.Labels["node"]] = m.Value
+	}
+	if byNode["1"] != 10 {
+		t.Errorf("node 1 sends = %v, want 10", byNode["1"])
+	}
+
+	// EvalAllFor agrees with the awaited frontier. WaitAllFor only proved
+	// node 1's frontier (the predicate is registered there); the other
+	// nodes' ACK tables converge asynchronously, so poll.
+	for {
+		f, err := cl.EvalAllFor(1, "MIN($ALLWNODES)")
+		if err != nil {
+			t.Fatalf("EvalAllFor: %v", err)
+		}
+		if f >= last {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("EvalAllFor stuck at %d, want >= %d", f, last)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Cluster-wide health covers every node.
+	if h := cl.Health(); len(h) != 3 {
+		t.Errorf("Health() returned %d entries, want 3", len(h))
+	}
+}
+
+func TestClusterPartialBoot(t *testing.T) {
+	cl, _ := openTestCluster(t, 3, []int{1, 2})
+	if cl.Node(3) != nil {
+		t.Fatal("node 3 booted despite partial subset")
+	}
+	if got := cl.IDs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("IDs = %v, want [1 2]", got)
+	}
+	// A majority predicate over the booted pair still stabilizes even with
+	// node 3 absent.
+	sender := cl.Node(1)
+	if err := sender.RegisterPredicate("pair", "KTH_MIN(2, $ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sender.Send([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sender.WaitFor(ctx, seq, "pair"); err != nil {
+		t.Fatalf("pair predicate did not stabilize on partial cluster: %v", err)
+	}
+}
+
+func TestClusterRejectsBadNodeSets(t *testing.T) {
+	net := emunet.NewMemNetwork(nil)
+	defer net.Close()
+	for _, nodes := range [][]int{{1, 1}, {0}, {4}, {2, 3, 2}} {
+		_, err := OpenCluster(ClusterConfig{
+			Topology: flatTopology(3),
+			Network:  net,
+			Nodes:    nodes,
+		})
+		if err == nil {
+			t.Errorf("OpenCluster(%v) succeeded, want rejection", nodes)
+		}
+	}
+}
+
+func TestClusterCloseOrderedIdempotent(t *testing.T) {
+	cl, _ := openTestCluster(t, 3, nil)
+	if err := cl.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if cl.Node(1) != nil || len(cl.Nodes()) != 0 {
+		t.Fatal("nodes still live after Close")
+	}
+	if _, err := cl.Restart(1); err == nil {
+		t.Fatal("Restart succeeded on a closed cluster")
+	}
+}
+
+func TestClusterCrashRestart(t *testing.T) {
+	cl, _ := openTestCluster(t, 3, nil)
+	sender := cl.Node(1)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		seq, err := sender.Send([]byte("pre-crash"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = seq
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.WaitAllReceive(ctx, 1, last); err != nil {
+		t.Fatal(err)
+	}
+
+	dead, err := cl.Crash(2)
+	if err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if cl.Node(2) != nil {
+		t.Fatal("crashed node still listed live")
+	}
+	// Post-mortem read on the dead handle: its receive high-water is what
+	// the chaos checker feeds RecordCrash.
+	if got := dead.RecvLast(1); got != last {
+		t.Errorf("dead handle RecvLast = %d, want %d", got, last)
+	}
+	if _, err := cl.Crash(2); err == nil {
+		t.Fatal("double crash succeeded")
+	}
+
+	if _, err := cl.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if cl.Node(2) == nil {
+		t.Fatal("restarted node not listed live")
+	}
+	if _, err := cl.Restart(2); err == nil {
+		t.Fatal("restart of a running node succeeded")
+	}
+	// The restarted node catches back up on the sender's stream.
+	seq, err := sender.Send([]byte("post-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WaitAllReceive(ctx, 1, seq); err != nil {
+		t.Fatalf("restarted node never caught up: %v", err)
+	}
+}
+
+func TestClusterWaitAllForUnknownPredicate(t *testing.T) {
+	cl, _ := openTestCluster(t, 2, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := cl.WaitAllFor(ctx, 1, "nope"); err == nil {
+		t.Fatal("WaitAllFor on unregistered predicate succeeded")
+	}
+}
+
+// TestClusterConfigureHook checks per-node divergence flows through the
+// hook — here, disabling auto-reclaim on one node only.
+func TestClusterConfigureHook(t *testing.T) {
+	net := emunet.NewMemNetwork(nil)
+	defer net.Close()
+	var seen []int
+	cl, err := OpenCluster(ClusterConfig{
+		Topology:       flatTopology(2),
+		Network:        net,
+		HeartbeatEvery: 20 * time.Millisecond,
+		Configure: func(id int, cfg *Config) {
+			seen = append(seen, id)
+			cfg.Epoch = uint64(10 + id)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("Configure ran for %v, want [1 2]", seen)
+	}
+}

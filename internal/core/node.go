@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -157,8 +158,47 @@ type Node struct {
 	nowFn  func() time.Time
 }
 
-// Open starts a Stabilizer node and connects it to its peers.
+// Open starts a single Stabilizer node and connects it to its peers. It is
+// a thin wrapper over OpenCluster booting exactly Topology.Self; processes
+// hosting several WAN nodes should call OpenCluster directly so all of them
+// share one node-labeled metrics registry.
 func Open(cfg Config) (*Node, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("core: Config.Topology is required")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("core: Config.Network is required")
+	}
+	self := cfg.Topology.Self
+	cl, err := OpenCluster(ClusterConfig{
+		Topology:           cfg.Topology,
+		Network:            cfg.Network,
+		Nodes:              []int{self},
+		Metrics:            cfg.Metrics,
+		HeartbeatEvery:     cfg.HeartbeatEvery,
+		PeerTimeout:        cfg.PeerTimeout,
+		Batch:              cfg.Batch,
+		Flow:               cfg.Flow,
+		Stall:              cfg.Stall,
+		DialTimeout:        cfg.DialTimeout,
+		DisableAutoReclaim: cfg.DisableAutoReclaim,
+		Configure: func(id int, c *Config) {
+			// Per-node state only a single-node caller can supply.
+			c.Persister = cfg.Persister
+			c.Checkpoint = cfg.Checkpoint
+			c.Epoch = cfg.Epoch
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl.Node(self), nil
+}
+
+// openNode boots one node. cfg.Metrics, when set, is the registry shared by
+// the process: openNode derives this node's group view from it, so every
+// family the node touches carries a node label.
+func openNode(cfg Config) (*Node, error) {
 	if cfg.Topology == nil {
 		return nil, errors.New("core: Config.Topology is required")
 	}
@@ -191,6 +231,10 @@ func Open(cfg Config) (*Node, error) {
 	if mreg == nil {
 		mreg = metrics.NewRegistry()
 	}
+	// Everything this node instruments — core, frontier, transport, stall
+	// families — goes through the node-labeled view, so any number of
+	// in-process nodes can share one registry and one scrape.
+	mreg = mreg.NodeGroup(strconv.Itoa(topo.Self))
 
 	node := &Node{
 		topo:         topo,
@@ -238,6 +282,10 @@ func Open(cfg Config) (*Node, error) {
 	}
 	self := topo.Nodes[topo.Self-1]
 	tcfg.TopoTags.AZ, tcfg.TopoTags.Region = self.AZ, self.Region
+	tcfg.PeerTags = make(map[int]transport.TopoTag, n)
+	for i, tn := range topo.Nodes {
+		tcfg.PeerTags[i+1] = transport.TopoTag{AZ: tn.AZ, Region: tn.Region}
+	}
 	tr, err := transport.New(tcfg)
 	if err != nil {
 		return nil, err

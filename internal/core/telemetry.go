@@ -144,6 +144,14 @@ func (n *Node) DebugSnapshot() DebugSnapshot {
 	return d
 }
 
-// Metrics returns the node's metrics registry (the one from Config.Metrics,
-// or the private registry created at Open).
+// Metrics returns the node's view of its metrics registry: the registry
+// from Config.Metrics (or the private one created at Open) seen through
+// this node's group, so families resolved here carry the node label.
 func (n *Node) Metrics() *metrics.Registry { return n.metrics.reg }
+
+// StabilityLatencyHistogram returns the node's headline stability-latency
+// histogram for the given predicate key (the child is created on first
+// use). It is the series SLO monitors and the bench harness read.
+func (n *Node) StabilityLatencyHistogram(key string) *metrics.Histogram {
+	return n.metrics.stabLatency.With(key)
+}

@@ -116,7 +116,7 @@ func TestStabilityLatencyHistogram(t *testing.T) {
 	if err := reg.WritePrometheus(&sb); err != nil {
 		t.Fatalf("write prometheus: %v", err)
 	}
-	if !strings.Contains(sb.String(), `stabilizer_stability_latency_seconds_count{predicate="maj"} 5`) {
+	if !strings.Contains(sb.String(), `stabilizer_stability_latency_seconds_count{node="1",predicate="maj"} 5`) {
 		t.Errorf("prometheus output missing labeled stability-latency count:\n%s", sb.String())
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,18 +51,13 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 					m.Labels[ln] = ch.labels[i]
 				}
 			}
-			switch {
-			case ch.c != nil:
-				m.Value = float64(ch.c.Value())
-			case ch.g != nil:
-				m.Value = float64(ch.g.Value())
-			case ch.fn != nil:
-				m.Value = ch.fn()
-			case ch.h != nil:
+			if ch.h != nil {
 				snap := ch.h.Snapshot()
 				m.Histogram = &snap
 				m.P50 = ch.h.Quantile(0.50)
 				m.P99 = ch.h.Quantile(0.99)
+			} else {
+				m.Value = ch.value()
 			}
 			fs.Metrics = append(fs.Metrics, m)
 		}
@@ -80,16 +76,27 @@ func (r *Registry) Find(name string) *FamilySnapshot {
 	return nil
 }
 
-// sortedChildren returns the family's children ordered by label values.
+// sortedChildren returns the family's children ordered by label values,
+// collected across the family's shards.
 func (f *Family) sortedChildren() []*child {
-	f.mu.RLock()
-	keys := append([]string(nil), f.order...)
-	out := make([]*child, 0, len(keys))
-	sort.Strings(keys)
-	for _, k := range keys {
-		out = append(out, f.children[k])
+	type kv struct {
+		k  string
+		ch *child
 	}
-	f.mu.RUnlock()
+	var all []kv
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.RLock()
+		for k, ch := range sh.children {
+			all = append(all, kv{k, ch})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	out := make([]*child, len(all))
+	for i := range all {
+		out[i] = all[i].ch
+	}
 	return out
 }
 
@@ -109,15 +116,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
 		for _, ch := range children {
-			switch {
-			case ch.c != nil:
-				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", float64(ch.c.Value()))
-			case ch.g != nil:
-				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", float64(ch.g.Value()))
-			case ch.fn != nil:
-				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", ch.fn())
-			case ch.h != nil:
+			if ch.h != nil {
 				writeHistogram(bw, f.name, f.labelNames, ch.labels, ch.h)
+			} else {
+				writeSample(bw, f.name, f.labelNames, ch.labels, "", "", ch.value())
 			}
 		}
 	}
@@ -207,12 +209,38 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// ServeOption customizes the mux built by Serve.
+type ServeOption func(*serveConfig)
+
+type serveConfig struct {
+	pprof bool
+}
+
+// WithPprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// metrics mux, so live runs can correlate CPU/alloc profiles with metric
+// spikes without opening a second port. Off by default: profiles expose
+// internals and profiling costs CPU, so deployments opt in per endpoint.
+func WithPprof() ServeOption {
+	return func(c *serveConfig) { c.pprof = true }
+}
+
 // Serve binds addr and serves reg at /metrics in the background, plus any
 // extra handlers (path → handler). It returns once the listener is bound;
 // callers Close the returned server on shutdown.
-func Serve(addr string, reg *Registry, extra map[string]http.Handler) (*http.Server, error) {
+func Serve(addr string, reg *Registry, extra map[string]http.Handler, opts ...ServeOption) (*http.Server, error) {
+	var cfg serveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	for path, h := range extra {
 		mux.Handle(path, h)
 	}

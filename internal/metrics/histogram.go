@@ -86,6 +86,26 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// CountLe returns the number of observations whose bucket upper bound is at
+// most v (in base units) — the cumulative count of every bucket entirely at
+// or below v. It is the primitive behind SLO good-event counting: with a
+// threshold on a bucket boundary it is exact, otherwise it conservatively
+// excludes the bucket straddling v.
+func (h *Histogram) CountLe(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	var cum int64
+	for i := 0; i < len(h.counts)-1; i++ {
+		ub := int64(1) << uint(i+h.opts.MinPow)
+		if ub > v {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
 // Sum returns the sum of observations in base units.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 

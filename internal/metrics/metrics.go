@@ -3,11 +3,37 @@
 // Gauge primitives, a fixed-bucket log-scale Histogram (suited to latencies
 // in nanoseconds and sizes in bytes), and a Registry of named families with
 // optional labels. Exposition (Prometheus text format, JSON, HTTP) lives in
-// expose.go.
+// expose.go; the in-process SLO burn-rate monitor in slo.go.
 //
 // Hot-path rule: resolve labeled children once (Vec.With) and keep the
 // returned pointer; Inc/Add/Set/Observe on a resolved child is a single
 // atomic operation with no allocation and no map lookup.
+//
+// # Registry groups
+//
+// A Registry value is a view over a shared store of families. Group derives
+// a new view that injects constant base labels into every family created or
+// resolved through it:
+//
+//	root := metrics.NewRegistry()
+//	n3 := root.Group("node", "3")
+//	n3.Counter("stabilizer_core_sends_total", "...").Inc()
+//	// root now exposes stabilizer_core_sends_total{node="3"} 1
+//
+// Groups are how one process hosting many Stabilizer nodes shares a single
+// registry: each node instruments through its own node-labeled group, and
+// one /metrics scrape sees every node. All views over the same root expose
+// the same families; a family's label schema is the group's base labels
+// followed by the caller's labels, and re-registering a name with a
+// different schema panics (it is a programming error).
+//
+// # Sharding
+//
+// The family store and each family's children are lock-striped: names and
+// label tuples hash to independent shards so concurrent child resolution
+// from many in-process nodes does not serialize on one mutex. Resolved
+// children are plain atomics, so striping only matters on the resolution
+// and exposition paths.
 package metrics
 
 import (
@@ -87,12 +113,40 @@ type child struct {
 	labels []string // label values, parallel to family.labelNames
 	c      *Counter
 	g      *Gauge
-	fn     func() float64
 	h      *Histogram
+	// fn is atomic so GaugeFunc callbacks can be replaced on a live
+	// registry (a restarted in-process node re-binds its closures) while
+	// exposition reads them lock-free.
+	fn atomic.Pointer[func() float64]
+}
+
+// value evaluates the child for exposition.
+func (ch *child) value() float64 {
+	switch {
+	case ch.c != nil:
+		return float64(ch.c.Value())
+	case ch.g != nil:
+		return float64(ch.g.Value())
+	default:
+		if fn := ch.fn.Load(); fn != nil {
+			return (*fn)()
+		}
+		return 0
+	}
+}
+
+// famShardCount stripes each family's children; must be a power of two.
+const famShardCount = 16
+
+// famShard is one stripe of a family's children.
+type famShard struct {
+	mu       sync.RWMutex
+	children map[string]*child
 }
 
 // Family is a named group of metric instances sharing a type, help string
-// and label schema.
+// and label schema. Children are lock-striped by label tuple so many
+// in-process nodes resolving children of the same family do not contend.
 type Family struct {
 	name       string
 	help       string
@@ -100,9 +154,7 @@ type Family struct {
 	labelNames []string
 	hopts      HistogramOpts
 
-	mu       sync.RWMutex
-	children map[string]*child
-	order    []string // insertion-ordered child keys, sorted at exposition
+	shards [famShardCount]famShard
 }
 
 // Name returns the family name.
@@ -115,6 +167,19 @@ func (f *Family) Type() MetricType { return f.typ }
 // text, making the join unambiguous.
 func labelKey(values []string) string { return strings.Join(values, "\xff") }
 
+// fnv32 is the FNV-1a hash used to pick shards.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func (f *Family) shard(key string) *famShard {
+	return &f.shards[fnv32(key)&(famShardCount-1)]
+}
+
 // get returns the child for values, creating it with mk on first use.
 func (f *Family) get(values []string, mk func() *child) *child {
 	if len(values) != len(f.labelNames) {
@@ -122,91 +187,181 @@ func (f *Family) get(values []string, mk func() *child) *child {
 			f.name, len(f.labelNames), len(values)))
 	}
 	k := labelKey(values)
-	f.mu.RLock()
-	ch := f.children[k]
-	f.mu.RUnlock()
+	sh := f.shard(k)
+	sh.mu.RLock()
+	ch := sh.children[k]
+	sh.mu.RUnlock()
 	if ch != nil {
 		return ch
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if ch = f.children[k]; ch != nil {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ch = sh.children[k]; ch != nil {
 		return ch
 	}
 	ch = mk()
 	ch.labels = append([]string(nil), values...)
-	f.children[k] = ch
-	f.order = append(f.order, k)
+	if sh.children == nil {
+		sh.children = make(map[string]*child)
+	}
+	sh.children[k] = ch
 	return ch
+}
+
+// setFn installs fn as the callback of the child for values.
+func (f *Family) setFn(values []string, fn func() float64) {
+	ch := f.get(values, func() *child { return &child{} })
+	ch.fn.Store(&fn)
 }
 
 // delete removes the child for values (no-op when absent).
 func (f *Family) delete(values []string) {
 	k := labelKey(values)
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.children[k]; !ok {
-		return
+	sh := f.shard(k)
+	sh.mu.Lock()
+	delete(sh.children, k)
+	sh.mu.Unlock()
+}
+
+// withBase prepends a view's base label values to caller values.
+func withBase(base, values []string) []string {
+	if len(base) == 0 {
+		return values
 	}
-	delete(f.children, k)
-	for i, o := range f.order {
-		if o == k {
-			f.order = append(f.order[:i], f.order[i+1:]...)
-			break
-		}
-	}
+	out := make([]string, 0, len(base)+len(values))
+	out = append(out, base...)
+	return append(out, values...)
 }
 
 // CounterVec is a family of counters distinguished by label values.
-type CounterVec struct{ f *Family }
+type CounterVec struct {
+	f    *Family
+	base []string
+}
 
 // With returns the counter for the given label values, creating it on first
 // use. Hot paths should call With once and retain the result.
 func (v *CounterVec) With(values ...string) *Counter {
-	return v.f.get(values, func() *child { return &child{c: &Counter{}} }).c
+	return v.f.get(withBase(v.base, values), func() *child { return &child{c: &Counter{}} }).c
 }
 
 // Delete drops the child for the given label values.
-func (v *CounterVec) Delete(values ...string) { v.f.delete(values) }
+func (v *CounterVec) Delete(values ...string) { v.f.delete(withBase(v.base, values)) }
 
 // GaugeVec is a family of gauges distinguished by label values.
-type GaugeVec struct{ f *Family }
+type GaugeVec struct {
+	f    *Family
+	base []string
+}
 
 // With returns the gauge for the given label values, creating it on first use.
 func (v *GaugeVec) With(values ...string) *Gauge {
-	return v.f.get(values, func() *child { return &child{g: &Gauge{}} }).g
+	return v.f.get(withBase(v.base, values), func() *child { return &child{g: &Gauge{}} }).g
 }
 
 // Delete drops the child for the given label values.
-func (v *GaugeVec) Delete(values ...string) { v.f.delete(values) }
+func (v *GaugeVec) Delete(values ...string) { v.f.delete(withBase(v.base, values)) }
 
 // HistogramVec is a family of histograms distinguished by label values.
-type HistogramVec struct{ f *Family }
+type HistogramVec struct {
+	f    *Family
+	base []string
+}
 
 // With returns the histogram for the given label values, creating it on
 // first use.
 func (v *HistogramVec) With(values ...string) *Histogram {
-	return v.f.get(values, func() *child { return &child{h: newHistogram(v.f.hopts)} }).h
+	f := v.f
+	return f.get(withBase(v.base, values), func() *child { return &child{h: newHistogram(f.hopts)} }).h
 }
 
 // Delete drops the child for the given label values.
-func (v *HistogramVec) Delete(values ...string) { v.f.delete(values) }
+func (v *HistogramVec) Delete(values ...string) { v.f.delete(withBase(v.base, values)) }
 
-// Registry holds metric families keyed by name. Lookups are get-or-create:
-// fetching an existing family with a compatible schema returns it, letting
-// independent components share families; an incompatible re-registration
-// panics (it is a programming error).
-type Registry struct {
+// GaugeFuncVec is a family of callback gauges distinguished by label values.
+type GaugeFuncVec struct {
+	f    *Family
+	base []string
+}
+
+// Set installs fn as the callback for the given label values, replacing any
+// previous callback for the same tuple. Safe on a live registry.
+func (v *GaugeFuncVec) Set(fn func() float64, values ...string) {
+	v.f.setFn(withBase(v.base, values), fn)
+}
+
+// Delete drops the child for the given label values.
+func (v *GaugeFuncVec) Delete(values ...string) { v.f.delete(withBase(v.base, values)) }
+
+// regShardCount stripes the family store; must be a power of two.
+const regShardCount = 16
+
+// regShard is one stripe of the family store.
+type regShard struct {
 	mu   sync.RWMutex
 	fams map[string]*Family
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{fams: make(map[string]*Family)}
+// registryRoot is the store shared by every view derived from one
+// NewRegistry call.
+type registryRoot struct {
+	shards [regShardCount]regShard
 }
 
-// family gets or creates a family, validating schema compatibility.
+// Registry is a view over a shared store of metric families. The view
+// returned by NewRegistry has no base labels; Group derives views that
+// inject constant labels (e.g. node identity) into every family they touch.
+// Lookups are get-or-create: fetching an existing family with a compatible
+// schema returns it, letting independent components share families; an
+// incompatible re-registration panics (it is a programming error).
+type Registry struct {
+	root       *registryRoot
+	baseNames  []string
+	baseValues []string
+}
+
+// NewRegistry returns an empty registry (a root view with no base labels).
+func NewRegistry() *Registry {
+	root := &registryRoot{}
+	for i := range root.shards {
+		root.shards[i].fams = make(map[string]*Family)
+	}
+	return &Registry{root: root}
+}
+
+// Group returns a view of r whose families all carry the given constant
+// label pairs ("name", "value", ...) in addition to r's own base labels.
+// Families created through the group expose the base labels first; every
+// Vec resolved through it injects the base values automatically. Views are
+// cheap handles — derive one per in-process node and share the root.
+func (r *Registry) Group(pairs ...string) *Registry {
+	if len(pairs)%2 != 0 {
+		panic("metrics: Group wants name/value pairs")
+	}
+	names := append([]string(nil), r.baseNames...)
+	values := append([]string(nil), r.baseValues...)
+	for i := 0; i < len(pairs); i += 2 {
+		if !validName(pairs[i]) {
+			panic(fmt.Sprintf("metrics: invalid group label name %q", pairs[i]))
+		}
+		names = append(names, pairs[i])
+		values = append(values, pairs[i+1])
+	}
+	return &Registry{root: r.root, baseNames: names, baseValues: values}
+}
+
+// NodeGroup is the conventional per-node group: it tags every family with a
+// node label carrying id (a 1-based WAN node index rendered in decimal).
+func (r *Registry) NodeGroup(id string) *Registry { return r.Group("node", id) }
+
+// BaseLabels returns the view's base label names and values (nil for a
+// root view).
+func (r *Registry) BaseLabels() (names, values []string) {
+	return append([]string(nil), r.baseNames...), append([]string(nil), r.baseValues...)
+}
+
+// family gets or creates a family, validating schema compatibility. The
+// family's label schema is the view's base labels followed by labels.
 func (r *Registry) family(name, help string, typ MetricType, labels []string, hopts HistogramOpts) *Family {
 	if !validName(name) {
 		panic(fmt.Sprintf("metrics: invalid family name %q", name))
@@ -216,60 +371,63 @@ func (r *Registry) family(name, help string, typ MetricType, labels []string, ho
 			panic(fmt.Sprintf("metrics: invalid label name %q in family %q", l, name))
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if f, ok := r.fams[name]; ok {
-		if f.typ != typ || len(f.labelNames) != len(labels) {
-			panic(fmt.Sprintf("metrics: family %q re-registered with a different schema", name))
-		}
-		for i := range labels {
-			if f.labelNames[i] != labels[i] {
-				panic(fmt.Sprintf("metrics: family %q re-registered with different labels", name))
+	full := withBase(r.baseNames, labels)
+	sh := &r.root.shards[fnv32(name)&(regShardCount-1)]
+	sh.mu.RLock()
+	f := sh.fams[name]
+	sh.mu.RUnlock()
+	if f == nil {
+		sh.mu.Lock()
+		if f = sh.fams[name]; f == nil {
+			f = &Family{
+				name:       name,
+				help:       help,
+				typ:        typ,
+				labelNames: append([]string(nil), full...),
+				hopts:      hopts.normalized(),
 			}
+			sh.fams[name] = f
 		}
-		return f
+		sh.mu.Unlock()
 	}
-	f := &Family{
-		name:       name,
-		help:       help,
-		typ:        typ,
-		labelNames: append([]string(nil), labels...),
-		hopts:      hopts.normalized(),
-		children:   make(map[string]*child),
+	if f.typ != typ || len(f.labelNames) != len(full) {
+		panic(fmt.Sprintf("metrics: family %q re-registered with a different schema", name))
 	}
-	r.fams[name] = f
+	for i := range full {
+		if f.labelNames[i] != full[i] {
+			panic(fmt.Sprintf("metrics: family %q re-registered with different labels", name))
+		}
+	}
 	return f
 }
 
-// Counter returns the unlabeled counter named name.
+// Counter returns the counter named name carrying only the view's base
+// labels.
 func (r *Registry) Counter(name, help string) *Counter {
 	return r.CounterVec(name, help).With()
 }
 
 // CounterVec returns the labeled counter family named name.
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
-	return &CounterVec{f: r.family(name, help, TypeCounter, labels, HistogramOpts{})}
+	return &CounterVec{f: r.family(name, help, TypeCounter, labels, HistogramOpts{}), base: r.baseValues}
 }
 
-// Gauge returns the unlabeled gauge named name.
+// Gauge returns the gauge named name carrying only the view's base labels.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.GaugeVec(name, help).With()
 }
 
 // GaugeVec returns the labeled gauge family named name.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
-	return &GaugeVec{f: r.family(name, help, TypeGauge, labels, HistogramOpts{})}
+	return &GaugeVec{f: r.family(name, help, TypeGauge, labels, HistogramOpts{}), base: r.baseValues}
 }
 
 // GaugeFunc registers a gauge whose value is computed by fn at exposition
 // time (for cheap reads of externally owned state, e.g. buffer sizes).
-// Re-registering the same name replaces the callback.
+// Re-registering the same name under the same view replaces the callback.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.family(name, help, TypeGaugeFunc, nil, HistogramOpts{})
-	ch := f.get(nil, func() *child { return &child{} })
-	f.mu.Lock()
-	ch.fn = fn
-	f.mu.Unlock()
+	f.setFn(r.baseValues, fn)
 }
 
 // GaugeFuncVec returns the labeled callback-gauge family named name. Each
@@ -277,42 +435,32 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // label values — used for topology rollups (az/region tags) over externally
 // owned state.
 func (r *Registry) GaugeFuncVec(name, help string, labels ...string) *GaugeFuncVec {
-	return &GaugeFuncVec{f: r.family(name, help, TypeGaugeFunc, labels, HistogramOpts{})}
+	return &GaugeFuncVec{f: r.family(name, help, TypeGaugeFunc, labels, HistogramOpts{}), base: r.baseValues}
 }
 
-// GaugeFuncVec is a family of callback gauges distinguished by label values.
-type GaugeFuncVec struct{ f *Family }
-
-// Set installs fn as the callback for the given label values, replacing any
-// previous callback for the same tuple.
-func (v *GaugeFuncVec) Set(fn func() float64, values ...string) {
-	ch := v.f.get(values, func() *child { return &child{} })
-	v.f.mu.Lock()
-	ch.fn = fn
-	v.f.mu.Unlock()
-}
-
-// Delete drops the child for the given label values.
-func (v *GaugeFuncVec) Delete(values ...string) { v.f.delete(values) }
-
-// Histogram returns the unlabeled histogram named name.
+// Histogram returns the histogram named name carrying only the view's base
+// labels.
 func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
 	return r.HistogramVec(name, help, opts).With()
 }
 
 // HistogramVec returns the labeled histogram family named name.
 func (r *Registry) HistogramVec(name, help string, opts HistogramOpts, labels ...string) *HistogramVec {
-	return &HistogramVec{f: r.family(name, help, TypeHistogram, labels, opts)}
+	return &HistogramVec{f: r.family(name, help, TypeHistogram, labels, opts), base: r.baseValues}
 }
 
-// families returns the registered families sorted by name.
+// families returns the registered families sorted by name. Every view over
+// the same root sees the same set.
 func (r *Registry) families() []*Family {
-	r.mu.RLock()
-	out := make([]*Family, 0, len(r.fams))
-	for _, f := range r.fams {
-		out = append(out, f)
+	var out []*Family
+	for i := range r.root.shards {
+		sh := &r.root.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.fams {
+			out = append(out, f)
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOConfig describes a latency service-level objective over one histogram:
+// "Objective of observations complete within Threshold". The monitor
+// evaluates it with the multiwindow burn-rate method (a short and a long
+// lookback must both burn error budget faster than Burn× the sustainable
+// rate before an alert fires), which is the in-process equivalent of the
+// Prometheus rules shipped in examples/alerts/stability-slo.rules.yml.
+type SLOConfig struct {
+	// Name identifies the SLO in alerts (e.g. the predicate key).
+	Name string
+	// Threshold is the latency goal in the histogram's base units
+	// (nanoseconds for LatencyOpts histograms). Observations at or below
+	// it count as good. Exact when it lands on a power-of-two bucket
+	// boundary; otherwise the straddling bucket counts as bad
+	// (conservative).
+	Threshold int64
+	// Objective is the target good fraction in (0,1), e.g. 0.999.
+	Objective float64
+	// ShortWindow and LongWindow are the two burn lookbacks. The long
+	// window decides that real budget is being spent; the short window
+	// makes the alert resolve quickly once the burn stops. Defaults:
+	// 1m and 10m.
+	ShortWindow, LongWindow time.Duration
+	// Burn is the burn-rate threshold: an alert needs both windows to
+	// consume budget at ≥ Burn× the rate that would exactly exhaust it
+	// over the SLO period. Default 10.
+	Burn float64
+	// CheckEvery is the sampling interval. Default ShortWindow/4.
+	CheckEvery time.Duration
+	// OnAlert is called on every transition (firing and resolving).
+	// Called from the monitor goroutine; keep it fast or hand off.
+	OnAlert func(BurnAlert)
+}
+
+func (c SLOConfig) normalized() (SLOConfig, error) {
+	if c.Threshold <= 0 {
+		return c, fmt.Errorf("metrics: SLO %q: Threshold must be > 0", c.Name)
+	}
+	if !(c.Objective > 0 && c.Objective < 1) {
+		return c, fmt.Errorf("metrics: SLO %q: Objective must be in (0,1)", c.Name)
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = time.Minute
+	}
+	if c.LongWindow <= 0 {
+		c.LongWindow = 10 * time.Minute
+	}
+	if c.LongWindow < c.ShortWindow {
+		return c, fmt.Errorf("metrics: SLO %q: LongWindow < ShortWindow", c.Name)
+	}
+	if c.Burn <= 0 {
+		c.Burn = 10
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = c.ShortWindow / 4
+	}
+	return c, nil
+}
+
+// BurnAlert is one alert transition from an SLOMonitor.
+type BurnAlert struct {
+	// Name echoes SLOConfig.Name.
+	Name string
+	// Firing is true when the alert starts and false when it resolves.
+	Firing bool
+	// ShortBurn and LongBurn are the burn rates that triggered the
+	// transition (multiples of the sustainable budget-spend rate).
+	ShortBurn, LongBurn float64
+	// At is the evaluation time of the transition.
+	At time.Time
+}
+
+// sloSample is one (time, total, good) reading of the target histogram.
+type sloSample struct {
+	at    time.Time
+	total int64
+	good  int64
+}
+
+// SLOMonitor watches a Histogram and fires multiwindow burn-rate alerts
+// against an SLOConfig. It samples counts rather than recomputing
+// quantiles, so a check costs a few atomic loads regardless of traffic.
+type SLOMonitor struct {
+	cfg  SLOConfig
+	hist *Histogram
+
+	mu      sync.Mutex
+	samples []sloSample // ring, oldest first, bounded by LongWindow
+	firing  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSLOMonitor starts a monitor over h. Close it to stop the background
+// sampler.
+func NewSLOMonitor(h *Histogram, cfg SLOConfig) (*SLOMonitor, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("metrics: SLO %q: nil histogram", cfg.Name)
+	}
+	m := &SLOMonitor{cfg: cfg, hist: h, stop: make(chan struct{}), done: make(chan struct{})}
+	go m.run()
+	return m, nil
+}
+
+func (m *SLOMonitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.CheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.tick(now)
+		}
+	}
+}
+
+// Close stops the monitor. It does not emit a resolving alert; callers that
+// care should treat Close as end-of-signal.
+func (m *SLOMonitor) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}
+
+// Firing reports whether the alert is currently active.
+func (m *SLOMonitor) Firing() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firing
+}
+
+// tick takes one sample at now and evaluates both windows. Split out from
+// run so tests can drive the monitor with a synthetic clock.
+func (m *SLOMonitor) tick(now time.Time) {
+	total := m.hist.Count()
+	good := m.hist.CountLe(m.cfg.Threshold)
+
+	m.mu.Lock()
+	m.samples = append(m.samples, sloSample{at: now, total: total, good: good})
+	// Drop samples older than the long window, but keep one sample at or
+	// beyond the horizon so the long window always has a baseline.
+	horizon := now.Add(-m.cfg.LongWindow)
+	cut := 0
+	for cut < len(m.samples)-1 && m.samples[cut+1].at.Before(horizon) {
+		cut++
+	}
+	if cut > 0 {
+		m.samples = append(m.samples[:0], m.samples[cut:]...)
+	}
+
+	shortBurn := m.burnRate(now, m.cfg.ShortWindow)
+	longBurn := m.burnRate(now, m.cfg.LongWindow)
+	shouldFire := shortBurn >= m.cfg.Burn && longBurn >= m.cfg.Burn
+	transition := shouldFire != m.firing
+	m.firing = shouldFire
+	cb := m.cfg.OnAlert
+	m.mu.Unlock()
+
+	if transition && cb != nil {
+		cb(BurnAlert{
+			Name:      m.cfg.Name,
+			Firing:    shouldFire,
+			ShortBurn: shortBurn,
+			LongBurn:  longBurn,
+			At:        now,
+		})
+	}
+}
+
+// burnRate computes the budget burn multiple over the trailing window:
+// (bad events / total events) / (1 - objective). Returns 0 when the window
+// saw no traffic (no traffic spends no budget).
+func (m *SLOMonitor) burnRate(now time.Time, window time.Duration) float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	horizon := now.Add(-window)
+	// Baseline: the newest sample at or before the horizon, else the
+	// oldest we have.
+	base := m.samples[0]
+	for _, s := range m.samples {
+		if s.at.After(horizon) {
+			break
+		}
+		base = s
+	}
+	cur := m.samples[len(m.samples)-1]
+	dTotal := cur.total - base.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := dTotal - (cur.good - base.good)
+	errRate := float64(dBad) / float64(dTotal)
+	return errRate / (1 - m.cfg.Objective)
+}

@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"stabilizer/internal/metrics"
 	"stabilizer/internal/wire"
 )
 
@@ -423,7 +422,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return // resetSent on reconnect resyncs everything
 			}
-			l.countSent(len(frame), len(acks), l.ins.ackSent)
+			l.countSent(len(frame), len(acks), &l.ins.ackSent)
 			wrote = true
 		}
 		if len(apps) > 0 {
@@ -434,7 +433,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), len(apps), l.ins.appSent)
+			l.countSent(len(frame), len(apps), &l.ins.appSent)
 			wrote = true
 		}
 		if hb {
@@ -442,7 +441,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), 1, l.ins.hbSent)
+			l.countSent(len(frame), 1, &l.ins.hbSent)
 			l.mu.Lock()
 			l.hbSentClock, l.hbSentAt = hbClock, time.Now()
 			l.mu.Unlock()
@@ -466,7 +465,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 			if _, err := bw.Write(frame); err != nil {
 				return
 			}
-			l.countSent(len(frame), len(l.batch), l.ins.dataSent)
+			l.countSent(len(frame), len(l.batch), &l.ins.dataSent)
 			l.t.dataSent.Add(int64(len(l.batch)))
 			if resends > 0 {
 				l.t.resent.Add(int64(resends))
@@ -488,7 +487,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 
 // countSent records one written batch of `frames` frames totalling n bytes
 // in the transport total and the per-peer byte and frame-kind counters.
-func (l *link) countSent(n, frames int, kind *metrics.Counter) {
+func (l *link) countSent(n, frames int, kind *counterPair) {
 	l.t.bytesSent.Add(int64(n))
 	l.ins.bytesSent.Add(int64(n))
 	kind.Add(int64(frames))

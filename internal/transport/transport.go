@@ -70,10 +70,19 @@ type Config struct {
 	// families with the local availability zone and region so registries
 	// aggregating many nodes can roll them up (empty strings omit no
 	// labels — the families always carry az/region, possibly blank).
-	TopoTags struct {
-		AZ     string
-		Region string
-	}
+	TopoTags TopoTag
+	// PeerTags optionally maps peer index → that peer's zone, enabling
+	// the per-{az,region} rollups of the byte/frame families
+	// (stabilizer_transport_zone_*). Missing peers roll up under blank
+	// labels.
+	PeerTags map[int]TopoTag
+}
+
+// TopoTag places a node in the WAN topology: its availability zone and
+// region.
+type TopoTag struct {
+	AZ     string
+	Region string
 }
 
 // BatchConfig tunes how each outgoing link batches data frames. The batch
@@ -115,19 +124,32 @@ func (b BatchConfig) normalized() BatchConfig {
 	return b
 }
 
+// counterPair fans one count into the per-peer family and that peer's
+// {az,region} rollup family. Both legs are resolved at startup, so a hot
+// path pays exactly two atomic adds.
+type counterPair struct {
+	peer *metrics.Counter
+	zone *metrics.Counter
+}
+
+func (p *counterPair) Inc() { p.peer.Inc(); p.zone.Inc() }
+
+func (p *counterPair) Add(n int64) { p.peer.Add(n); p.zone.Add(n) }
+
 // peerInstruments are the per-peer metric instances, resolved once at
-// startup so hot paths touch only atomics.
+// startup so hot paths touch only atomics. Byte and frame counters are
+// pairs feeding the per-peer family plus the peer's zone rollup.
 type peerInstruments struct {
-	bytesSent *metrics.Counter
-	bytesRecv *metrics.Counter
-	dataSent  *metrics.Counter
-	ackSent   *metrics.Counter
-	appSent   *metrics.Counter
-	hbSent    *metrics.Counter
-	dataRecv  *metrics.Counter
-	ackRecv   *metrics.Counter
-	appRecv   *metrics.Counter
-	hbRecv    *metrics.Counter
+	bytesSent counterPair
+	bytesRecv counterPair
+	dataSent  counterPair
+	ackSent   counterPair
+	appSent   counterPair
+	hbSent    counterPair
+	dataRecv  counterPair
+	ackRecv   counterPair
+	appRecv   counterPair
+	hbRecv    counterPair
 	resent    *metrics.Counter
 	reconn    *metrics.Counter
 	fdTrips   *metrics.Counter
@@ -230,6 +252,14 @@ func New(cfg Config) (*Transport, error) {
 	hbRTT := m.HistogramVec("stabilizer_transport_heartbeat_rtt_seconds", "Heartbeat echo round-trip time per peer.", metrics.LatencyOpts, "peer")
 	up := m.GaugeVec("stabilizer_transport_peer_up", "1 while the peer is considered alive.", "peer")
 
+	// Zone rollups of the byte/frame families: the same counts keyed by the
+	// destination (or source) peer's {az,region} instead of its index, for
+	// dashboards over deployments too large to chart per peer.
+	zoneBytesSent := m.CounterVec("stabilizer_transport_zone_bytes_sent_total", "Frame bytes written, rolled up by destination peer zone.", "az", "region")
+	zoneBytesRecv := m.CounterVec("stabilizer_transport_zone_bytes_recv_total", "Frame bytes read, rolled up by source peer zone.", "az", "region")
+	zoneFramesSent := m.CounterVec("stabilizer_transport_zone_frames_sent_total", "Frames written, rolled up by destination peer zone and kind.", "az", "region", "kind")
+	zoneFramesRecv := m.CounterVec("stabilizer_transport_zone_frames_recv_total", "Frames read, rolled up by source peer zone and kind.", "az", "region", "kind")
+
 	// Node-level send-log occupancy and backpressure families, tagged with
 	// the local topology so multi-node registries can roll them up by
 	// AZ/region. GaugeFuncs read the log directly at exposition time.
@@ -254,17 +284,19 @@ func New(cfg Config) (*Transport, error) {
 			continue
 		}
 		ps := strconv.Itoa(p)
+		tag := cfg.PeerTags[p] // zero value → blank zone labels
+		az, rg := tag.AZ, tag.Region
 		t.peers[p] = &peerInstruments{
-			bytesSent: bytesSent.With(ps),
-			bytesRecv: bytesRecv.With(ps),
-			dataSent:  framesSent.With(ps, "data"),
-			ackSent:   framesSent.With(ps, "ack"),
-			appSent:   framesSent.With(ps, "app"),
-			hbSent:    framesSent.With(ps, "heartbeat"),
-			dataRecv:  framesRecv.With(ps, "data"),
-			ackRecv:   framesRecv.With(ps, "ack"),
-			appRecv:   framesRecv.With(ps, "app"),
-			hbRecv:    framesRecv.With(ps, "heartbeat"),
+			bytesSent: counterPair{bytesSent.With(ps), zoneBytesSent.With(az, rg)},
+			bytesRecv: counterPair{bytesRecv.With(ps), zoneBytesRecv.With(az, rg)},
+			dataSent:  counterPair{framesSent.With(ps, "data"), zoneFramesSent.With(az, rg, "data")},
+			ackSent:   counterPair{framesSent.With(ps, "ack"), zoneFramesSent.With(az, rg, "ack")},
+			appSent:   counterPair{framesSent.With(ps, "app"), zoneFramesSent.With(az, rg, "app")},
+			hbSent:    counterPair{framesSent.With(ps, "heartbeat"), zoneFramesSent.With(az, rg, "heartbeat")},
+			dataRecv:  counterPair{framesRecv.With(ps, "data"), zoneFramesRecv.With(az, rg, "data")},
+			ackRecv:   counterPair{framesRecv.With(ps, "ack"), zoneFramesRecv.With(az, rg, "ack")},
+			appRecv:   counterPair{framesRecv.With(ps, "app"), zoneFramesRecv.With(az, rg, "app")},
+			hbRecv:    counterPair{framesRecv.With(ps, "heartbeat"), zoneFramesRecv.With(az, rg, "heartbeat")},
 			resent:    resent.With(ps),
 			reconn:    reconn.With(ps),
 			fdTrips:   fdTrips.With(ps),
@@ -429,7 +461,7 @@ func (t *Transport) acceptLoop() {
 type countingReader struct {
 	r     io.Reader
 	total *atomic.Int64
-	peer  atomic.Pointer[metrics.Counter]
+	peer  atomic.Pointer[counterPair]
 }
 
 func (cr *countingReader) Read(p []byte) (int, error) {
@@ -465,7 +497,7 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 	}
 	from := int(hello.From)
 	ins := t.peerIns(from)
-	cr.peer.Store(ins.bytesRecv)
+	cr.peer.Store(&ins.bytesRecv)
 
 	t.recvMu.Lock()
 	if old := t.incoming[from]; old != nil {

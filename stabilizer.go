@@ -28,6 +28,33 @@
 //	seq, _ := node.Send(payload)
 //	node.WaitFor(ctx, seq, "maj") // block until majority-stable
 //
+// To run several WAN nodes in one process — emulated deployments, tests,
+// benchmarks — open a Cluster instead of wiring nodes by hand. Every node
+// shares one metrics registry, each instrumenting through its own
+// node-labeled group, so a single ServeMetrics endpoint exposes the whole
+// deployment:
+//
+//	reg := stabilizer.NewMetricsRegistry()
+//	cluster, err := stabilizer.OpenCluster(stabilizer.ClusterConfig{
+//	    Topology: topo,          // full deployment; Nodes picks a subset
+//	    Network:  network,
+//	    Metrics:  reg,           // shared; families carry node="<id>"
+//	})
+//	defer cluster.Close()        // ordered drain, reverse boot order
+//	n1 := cluster.Node(1)
+//	seq, _ := n1.Send(payload)
+//	cluster.WaitAllFor(ctx, seq, "maj") // stable on every live node
+//	stabilizer.ServeMetrics(":9090", reg, nil, stabilizer.WithPprof())
+//
+// # Naming conventions
+//
+// Methods come in pairs when both a plain and a context-aware form make
+// sense: the plain name (Send, Put, Backup) blocks with the package's
+// default deadline semantics, and the Ctx-suffixed variant (SendCtx,
+// PutCtx, BackupCtx) takes a context.Context for cancellation. Methods
+// that are blocking by design — WaitFor, WaitStable, WaitAllFor — have no
+// plain form and always take a context as their first argument.
+//
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package stabilizer
@@ -49,6 +76,11 @@ type (
 	Node = core.Node
 	// Config parameterizes Open.
 	Config = core.Config
+	// Cluster is a set of WAN nodes booted together in one process,
+	// sharing one metrics registry. See core.Cluster for method docs.
+	Cluster = core.Cluster
+	// ClusterConfig parameterizes OpenCluster.
+	ClusterConfig = core.ClusterConfig
 	// Checkpoint captures restartable control-plane state (§III-E).
 	Checkpoint = core.Checkpoint
 	// Message is a delivered data-plane message.
@@ -64,15 +96,36 @@ type (
 	// DebugSnapshot is a JSON-friendly control-plane dump (Node.DebugSnapshot).
 	DebugSnapshot = core.DebugSnapshot
 
-	// MetricsRegistry collects a node's instrumentation; pass one per
-	// node via Config.Metrics and expose it with ServeMetrics.
+	// MetricsRegistry collects instrumentation; share one across every
+	// node of a deployment (Config.Metrics / ClusterConfig.Metrics) and
+	// expose it with ServeMetrics. Registries form label groups: each
+	// node instruments through a node="<id>" view of the shared root, so
+	// one scrape distinguishes every in-process node.
 	MetricsRegistry = metrics.Registry
+	// MetricsHistogram is a log2-bucketed latency histogram (for example
+	// the per-predicate stability-latency histogram returned by
+	// Node.StabilityLatencyHistogram); feed one to NewSLOMonitor.
+	MetricsHistogram = metrics.Histogram
+	// ServeOption tweaks the ServeMetrics endpoint (see WithPprof).
+	ServeOption = metrics.ServeOption
+
+	// SLOConfig parameterizes an in-process multiwindow burn-rate
+	// monitor over a latency histogram (see NewSLOMonitor). The
+	// Prometheus-rule equivalent lives in examples/alerts.
+	SLOConfig = metrics.SLOConfig
+	// SLOMonitor watches a histogram and fires BurnAlert transitions.
+	SLOMonitor = metrics.SLOMonitor
+	// BurnAlert is one SLO alert state change.
+	BurnAlert = metrics.BurnAlert
 
 	// Topology describes the WAN deployment.
 	Topology = config.Topology
 	// TopologyNode is one WAN node entry.
 	TopologyNode = config.Node
 
+	// BatchConfig tunes data-plane send batching (RTT-adaptive byte
+	// budget, flush interval); set via Config.Batch.
+	BatchConfig = transport.BatchConfig
 	// FlowConfig bounds the send log with admission control (byte/entry
 	// caps with hysteretic high/low watermarks); set via Config.Flow.
 	FlowConfig = transport.FlowConfig
@@ -113,18 +166,40 @@ const (
 // send log is full: the caller sheds load instead of queueing unbounded.
 var ErrBackpressure = transport.ErrBackpressure
 
-// Open starts a Stabilizer node and connects it to its peers.
+// Open starts a Stabilizer node and connects it to its peers. It is the
+// single-node form of OpenCluster: the node's metrics land in a
+// node-labeled group of the registry exactly as a cluster member's would.
 func Open(cfg Config) (*Node, error) { return core.Open(cfg) }
 
-// NewMetricsRegistry returns an empty metrics registry for Config.Metrics.
+// OpenCluster boots the requested subset of a topology's nodes (all of
+// them by default) in this process, wiring every node into one shared
+// metrics registry. See ClusterConfig for the knobs and Cluster for the
+// cluster-wide helpers (Node, Health, WaitAllFor, ordered Close).
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) { return core.OpenCluster(cfg) }
+
+// NewMetricsRegistry returns an empty metrics registry for Config.Metrics
+// or ClusterConfig.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewSLOMonitor starts an in-process multiwindow burn-rate monitor over a
+// latency histogram — the code-level twin of the Prometheus alert rules in
+// examples/alerts/stability-slo.rules.yml. Close it to stop the sampler.
+func NewSLOMonitor(h *MetricsHistogram, cfg SLOConfig) (*SLOMonitor, error) {
+	return metrics.NewSLOMonitor(h, cfg)
+}
 
 // ServeMetrics binds addr and serves reg at /metrics (Prometheus text
 // format; JSON with ?format=json) in the background, plus any extra
-// handlers keyed by path. Close the returned server on shutdown.
-func ServeMetrics(addr string, reg *MetricsRegistry, extra map[string]http.Handler) (*http.Server, error) {
-	return metrics.Serve(addr, reg, extra)
+// handlers keyed by path. Options add optional endpoints (WithPprof).
+// Close the returned server on shutdown.
+func ServeMetrics(addr string, reg *MetricsRegistry, extra map[string]http.Handler, opts ...ServeOption) (*http.Server, error) {
+	return metrics.Serve(addr, reg, extra, opts...)
 }
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the ServeMetrics
+// mux, so profiles come from the same port as the scrape endpoint instead
+// of requiring the DefaultServeMux on a second listener.
+func WithPprof() ServeOption { return metrics.WithPprof() }
 
 // LoadTopology reads and validates a topology JSON file.
 func LoadTopology(path string) (*Topology, error) { return config.Load(path) }
