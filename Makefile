@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race examples chaos chaos-flow bench bench-transport bench-transport-short
+.PHONY: check vet build test race examples chaos chaos-flow bench bench-transport bench-transport-short bench-optrace
 
 check: vet build race
 
@@ -50,3 +50,11 @@ bench-transport:
 # benchmark, no JSON rewrite — it only proves the benchmarks still run.
 bench-transport-short:
 	$(GO) test -bench=. -benchmem -benchtime=10x -run=^$$ ./internal/wire ./internal/transport
+
+# bench-optrace measures the flight recorder's cost: the raw Record and
+# sampler-miss microbenchmarks plus end-to-end stream throughput with
+# tracing off / 1-in-64 sampled / tracing every message. Rewrites the
+# "current" run in BENCH_optrace.json (the first run seeds the baseline).
+bench-optrace:
+	$(GO) test -bench='Record|SampledMiss|StreamThroughputLocal' -benchmem -run=^$$ ./internal/optrace ./internal/transport \
+	  | $(GO) run ./cmd/benchjson -update BENCH_optrace.json

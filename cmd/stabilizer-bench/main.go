@@ -6,6 +6,9 @@
 //	stabilizer-bench -experiment all
 //	stabilizer-bench -experiment fig6 -timescale 10
 //	stabilizer-bench -experiment fig7 -short
+//	stabilizer-bench -metrics-addr :9090 -trace-sample 64
+//	                       # /metrics plus /debug/trace (per-op flight
+//	                       # recorder: ?origin=N&seq=M, ?op=latest-slow)
 //
 // Experiments: table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8
 // ablation all.
@@ -14,11 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"stabilizer/internal/bench"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func run() error {
 		short       = flag.Bool("short", false, "shrink workloads for a quick pass")
 		metricsAddr = flag.String("metrics-addr", "", "serve every experiment node's /metrics on this address (e.g. :9090)")
 		pprofOn     = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
+		traceSample = flag.Int("trace-sample", 0, "flight-record 1 in N operations and mount /debug/trace on the metrics address (0 = off, the faithful-measurement default)")
 	)
 	flag.Parse()
 
@@ -44,6 +50,7 @@ func run() error {
 		TimeScale: *timescale,
 		Fabric:    *fabric,
 		Short:     *short,
+		Trace:     optrace.Config{SampleEvery: *traceSample},
 	}
 	if *metricsAddr != "" {
 		var sopts []metrics.ServeOption
@@ -52,12 +59,19 @@ func run() error {
 		}
 		reg := metrics.NewRegistry()
 		opts.Metrics = reg
-		srv, err := metrics.Serve(*metricsAddr, reg, nil, sopts...)
+		extra := map[string]http.Handler{}
+		served := "/metrics"
+		if *traceSample > 0 {
+			opts.TraceTarget = &bench.TraceTarget{}
+			extra["/debug/trace"] = optrace.NewHTTPHandler(opts.TraceTarget)
+			served += " and /debug/trace"
+		}
+		srv, err := metrics.Serve(*metricsAddr, reg, extra, sopts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("serving /metrics on %s\n", srv.Addr)
+		fmt.Printf("serving %s on %s\n", served, srv.Addr)
 	} else if *pprofOn {
 		return fmt.Errorf("-pprof requires -metrics-addr")
 	}

@@ -9,8 +9,12 @@
 //	wankv -topology topo.json   # custom deployment
 //	wankv -timescale 5          # compress WAN latencies 5x
 //	wankv -metrics-addr :9090   # every node's /metrics + /debug/stabilizer
+//	                            # + /debug/trace (per-op flight recorder:
+//	                            # ?origin=N&seq=M, ?op=latest-slow,
+//	                            # &format=chrome for about://tracing)
 //	wankv -metrics-addr :9090 -pprof
 //	                            # plus /debug/pprof on the same port
+//	wankv -trace-sample 1       # trace every op instead of 1 in 64
 //	wankv -flow-max-bytes 65536 -flow-mode fail -stall-deadline 2s
 //	                            # bounded send logs + degraded-mode reporting
 //
@@ -63,6 +67,7 @@ func run() error {
 		flowMaxEntries = flag.Int("flow-max-entries", 0, "cap each node's send log at this many buffered entries (0 = unbounded)")
 		flowMode       = flag.String("flow-mode", "block", "admission at the cap: 'block' (put waits) or 'fail' (put errors)")
 		stallDeadline  = flag.Duration("stall-deadline", 0, "declare a predicate stalled after its frontier sits still this long (0 = off)")
+		traceSample    = flag.Int("trace-sample", 64, "flight-record 1 in N operations end to end (1 = every op, 0 = off)")
 	)
 	flag.Parse()
 	var mode stabilizer.FlowMode
@@ -100,6 +105,7 @@ func run() error {
 		Metrics:  reg,
 		Flow:     flow,
 		Stall:    stall,
+		Trace:    stabilizer.TraceConfig{SampleEvery: *traceSample},
 	})
 	if err != nil {
 		return err
@@ -121,14 +127,19 @@ func run() error {
 		if *pprofOn {
 			opts = append(opts, stabilizer.WithPprof())
 		}
-		srv, err := stabilizer.ServeMetrics(*metricsAddr, reg, map[string]http.Handler{
+		extra := map[string]http.Handler{
 			"/debug/stabilizer": debugHandler(cluster),
-		}, opts...)
+		}
+		extras := "/metrics and /debug/stabilizer"
+		if *traceSample > 0 {
+			extra["/debug/trace"] = stabilizer.NewTraceHandler(cluster)
+			extras += " and /debug/trace"
+		}
+		srv, err := stabilizer.ServeMetrics(*metricsAddr, reg, extra, opts...)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		extras := "/metrics and /debug/stabilizer"
 		if *pprofOn {
 			extras += " and /debug/pprof"
 		}

@@ -11,16 +11,19 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"stabilizer/internal/config"
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -54,6 +57,41 @@ type Options struct {
 	// throughput under bounded memory. Zero value = unbounded (the
 	// pre-flow-control behavior).
 	Flow transport.FlowConfig
+	// Trace arms the per-operation flight recorder on every node an
+	// experiment starts (zero value = off, the faithful-measurement
+	// default — always-on tracing perturbs the numbers it measures).
+	Trace optrace.Config
+	// TraceTarget, when set, is pointed at each cluster an experiment
+	// boots, so a long-lived /debug/trace endpoint built over it follows
+	// the live run across successive short-lived clusters.
+	TraceTarget *TraceTarget
+}
+
+// TraceTarget adapts the most recently started experiment cluster to
+// optrace.Source. Experiments open and close clusters as they go; the
+// target atomically tracks the newest one (and keeps serving the last
+// cluster's recorders after it closes, for post-run inspection).
+type TraceTarget struct {
+	cur atomic.Pointer[core.Cluster]
+}
+
+// errNoCluster is returned before the first experiment cluster boots.
+var errNoCluster = errors.New("bench: no experiment cluster has started yet")
+
+// TraceOp implements optrace.Source against the current cluster.
+func (t *TraceTarget) TraceOp(origin int, seq uint64) (*optrace.Timeline, error) {
+	if cl := t.cur.Load(); cl != nil {
+		return cl.TraceOp(origin, seq)
+	}
+	return nil, errNoCluster
+}
+
+// SlowestOp implements optrace.Source against the current cluster.
+func (t *TraceTarget) SlowestOp() (*optrace.Timeline, error) {
+	if cl := t.cur.Load(); cl != nil {
+		return cl.SlowestOp()
+	}
+	return nil, errNoCluster
 }
 
 func (o Options) normalized() Options {
@@ -100,10 +138,14 @@ func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*
 		PeerTimeout:    5 * time.Second,
 		Batch:          opts.Batch,
 		Flow:           opts.Flow,
+		Trace:          opts.Trace,
 	})
 	if err != nil {
 		_ = net.Close()
 		return nil, fmt.Errorf("bench: open cluster: %w", err)
+	}
+	if opts.TraceTarget != nil {
+		opts.TraceTarget.cur.Store(cl)
 	}
 	return &cluster{cl: cl, net: net}, nil
 }

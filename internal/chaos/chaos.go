@@ -12,6 +12,7 @@ import (
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/faultinject"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// turns on the degraded-mode honesty invariant: every stall report must
 	// blame only peers the schedule actually faulted.
 	Stall core.StallConfig
+	// Trace, when enabled, runs every node's lifecycle flight recorder and
+	// turns on the trace well-orderedness invariant: after convergence a
+	// sampled operation's merged timeline must cover all seven lifecycle
+	// stages and validate (no Deliver before WireRecv, no Stabilize before
+	// its ack quorum). With Stall also enabled, every stall-triggered
+	// Health report must carry a non-empty recorder tail for each blamed
+	// peer.
+	Trace optrace.Config
 	// AutoReclaim leaves send-log reclamation on (the soak default disables
 	// it so crash-restarted receivers can be resent the full prefix). A
 	// flow-capped soak needs it on — bounded memory requires truncation —
@@ -220,6 +229,9 @@ func Soak(o Options) (*Report, error) {
 		if o.Stall.Deadline > 0 {
 			check.AttachStallHonesty(n, func(peer int) bool { return suspect[peer] })
 		}
+		if o.Trace.Enabled() && o.Stall.Deadline > 0 {
+			check.AttachStallTraces(n)
+		}
 		n.OnDeliver(func(core.Message) { deliveries.Add(1) })
 	}
 
@@ -234,6 +246,7 @@ func Soak(o Options) (*Report, error) {
 		PeerTimeout:    o.PeerTimeout,
 		Flow:           o.Flow,
 		Stall:          o.Stall,
+		Trace:          o.Trace,
 		// Unless the soak opts into reclamation, keep send buffers whole:
 		// a fresh-restarted receiver needs the full prefix resent, which
 		// reclaim would have truncated.
@@ -437,6 +450,19 @@ func Soak(o Options) (*Report, error) {
 		}
 	}
 	mu.Unlock()
+
+	// Invariant 7: after convergence a sampled op must have a complete,
+	// well-ordered merged timeline. The cluster is quiescent here (faults
+	// healed, pumps stopped, sweeps done), so no lock is needed.
+	// Quorum sizes follow the registered predicates: MIN($ALLWNODES)
+	// needs every node; KTH_MIN(k, $ALLWNODES) advances once N-k+1
+	// nodes have acked that far.
+	if ok && o.Trace.Enabled() {
+		quorums := map[string]int{"all": o.N, "maj": o.N - maj + 1}
+		for _, s := range o.Senders {
+			check.CheckTraces(cl, s, heads[s], o.Trace.SampleEvery, quorums)
+		}
+	}
 
 	rep := &Report{
 		Schedule:   sched,

@@ -8,6 +8,7 @@ import (
 
 	"stabilizer/internal/core"
 	"stabilizer/internal/faultinject"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -31,7 +32,11 @@ func soakSeed(t *testing.T) int64 {
 
 func TestChaosSoak(t *testing.T) {
 	seed := soakSeed(t)
-	o := Options{Seed: seed, Logf: t.Logf}
+	o := Options{
+		Seed:  seed,
+		Logf:  t.Logf,
+		Trace: optrace.Config{SampleEvery: 4, RingSize: 1 << 15},
+	}
 	switch {
 	case os.Getenv("STABILIZER_CHAOS_FULL") != "":
 		o.Horizon = 12 * time.Second
@@ -90,6 +95,7 @@ func flowSoakOptions(seed int64) Options {
 		Flow:        transport.FlowConfig{MaxBytes: 16 << 10, Mode: transport.FlowBlock},
 		Stall:       core.StallConfig{Deadline: 300 * time.Millisecond},
 		AutoReclaim: true,
+		Trace:       optrace.Config{SampleEvery: 1, RingSize: 1 << 14},
 	}
 }
 

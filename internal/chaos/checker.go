@@ -22,19 +22,30 @@
 //     harness knows to be faulted or genuinely behind, and never an empty
 //     set. Blaming a healthy peer would route an operator (or an automated
 //     fallback) at the wrong subsystem.
+//  7. Trace well-orderedness — with the flight recorder on, a sampled
+//     operation's merged cross-node timeline must cover the whole
+//     append→stabilize lifecycle and be causally well-ordered: no Deliver
+//     before the node's WireRecv, no WireSend before its BatchEnqueue, no
+//     Stabilize before the predicate's ack quorum was ingested at the
+//     origin — across any number of crashes and restarts. A violation
+//     means the observability layer would tell an operator a false story
+//     about where an operation spent its time.
 //
 // Invariants 1 and 2 are asserted continuously from hooks on the live
 // nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded rides the
 // same sweeps for invariant 5); invariant 4 by the harness at drain time
 // via Violatef; invariant 6 by AttachStallHonesty on each node's OnStall
-// stream.
+// stream; invariant 7 by CheckTraces after convergence plus
+// AttachStallTraces on each stall report.
 package chaos
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"stabilizer/internal/core"
+	"stabilizer/internal/optrace"
 )
 
 // maxViolations caps the violation log so a systemic failure doesn't
@@ -245,6 +256,82 @@ func (c *Checker) AttachStallHonesty(node *core.Node, allowed func(peer int) boo
 			}
 		}
 	})
+}
+
+// AttachStallTraces hooks the trace half of invariant 7 into a node's
+// degraded-mode reports: every stall-triggered Health snapshot must carry
+// a non-empty flight-recorder tail for each blamed peer, so "frontier
+// stalled, blame node 3" always ships a post-mortem. Call alongside
+// Attach on traced nodes, once per incarnation.
+func (c *Checker) AttachStallTraces(node *core.Node) {
+	self := node.Self()
+	node.OnStall(func(r core.StallReport) {
+		h := node.Health()
+		for _, ph := range h.Predicates {
+			// Only judge the predicate this report is about, and only if
+			// it is still stalled (the monitor may have already cleared
+			// it by the time the hook runs).
+			if ph.Key != r.Predicate || !ph.Stalled {
+				continue
+			}
+			for _, lag := range ph.Blamed {
+				if len(lag.Recent) == 0 {
+					c.Violatef("stall trace missing: node %d predicate %q blames peer %d with an empty recorder tail (frontier %d/%d)",
+						self, ph.Key, lag.Peer, ph.Frontier, ph.Head)
+				}
+			}
+		}
+	})
+}
+
+// CheckTraces asserts the timeline half of invariant 7 for one origin
+// after convergence: scanning down from the stream head, find a sampled
+// operation whose merged timeline covers all seven lifecycle stages, and
+// validate its causal order (quorums maps predicate keys to required node
+// counts). Recorders on restarted nodes start empty, so ops whose events
+// died with a crashed incarnation are skipped; with the cluster converged
+// a recent op must still trace end to end, and finding none is itself a
+// violation. Brief retries absorb the gap between an ack's table update
+// and the frontier hook that records Stabilize.
+func (c *Checker) CheckTraces(cl *core.Cluster, origin int, head uint64, sampleEvery int, quorums map[string]int) {
+	if head == 0 {
+		return
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tl := findTracedOp(cl, origin, head, sampleEvery)
+		if tl != nil {
+			for _, v := range tl.Validate(quorums) {
+				c.Violatef("trace ill-ordered: origin %d seq %d: %s", origin, tl.Seq, v)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			c.Violatef("no fully-traced sampled op for origin %d (head %d, sample 1-in-%d): every candidate timeline was incomplete",
+				origin, head, sampleEvery)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// findTracedOp returns the newest sampled op at or below head whose merged
+// timeline has all seven stages, or nil. It bounds the scan so a pathological
+// sampling mask cannot spin forever.
+func findTracedOp(cl *core.Cluster, origin int, head uint64, sampleEvery int) *optrace.Timeline {
+	const maxScan, maxMerges = 1 << 14, 64
+	merges := 0
+	for seq, scanned := head, 0; seq >= 1 && scanned < maxScan && merges < maxMerges; seq, scanned = seq-1, scanned+1 {
+		if !optrace.SampledAt(sampleEvery, origin, seq) {
+			continue
+		}
+		merges++
+		tl, err := cl.TraceOp(origin, seq)
+		if err == nil && tl.HasAllStages() {
+			return tl
+		}
+	}
+	return nil
 }
 
 // Delivered returns the checker's view of the highest contiguous sequence

@@ -13,6 +13,7 @@ import (
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/faultinject"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -46,6 +47,11 @@ type FlowOptions struct {
 	// (defaults 25ms / 200ms).
 	HeartbeatEvery time.Duration
 	PeerTimeout    time.Duration
+	// Trace configures the per-op flight recorder on every node. The
+	// default samples every op into a 16Ki-event ring, so the demo's
+	// stall reports always ship a recorder tail for the blamed victim
+	// (invariant 7's stall half, enforced via AttachStallTraces).
+	Trace optrace.Config
 	// Logf, when set, traces the run (fault, stall, fallback, drain).
 	Logf func(format string, args ...any)
 }
@@ -80,6 +86,9 @@ func (o FlowOptions) withDefaults() FlowOptions {
 	}
 	if o.PeerTimeout == 0 {
 		o.PeerTimeout = 200 * time.Millisecond
+	}
+	if !o.Trace.Enabled() {
+		o.Trace = optrace.Config{SampleEvery: 1, RingSize: 1 << 14}
 	}
 	return o
 }
@@ -191,6 +200,7 @@ func FlowDemo(o FlowOptions) (*FlowReport, error) {
 				Mode:     transport.FlowBlock,
 			},
 			Stall: core.StallConfig{Deadline: o.StallDeadline},
+			Trace: o.Trace,
 			// Auto-reclaim stays ON: bounded memory requires truncation, and
 			// the demo's whole point is watching reclaim stall and fall back.
 		})
@@ -199,6 +209,7 @@ func FlowDemo(o FlowOptions) (*FlowReport, error) {
 		}
 		check.Attach(n)
 		check.AttachStallHonesty(n, func(peer int) bool { return peer == victim })
+		check.AttachStallTraces(n)
 		nodes[i-1] = n
 	}
 	sender := nodes[0]

@@ -11,6 +11,7 @@ import (
 	"stabilizer/internal/config"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -38,10 +39,12 @@ type ClusterConfig struct {
 	// node; zero values pick transport defaults.
 	HeartbeatEvery time.Duration
 	PeerTimeout    time.Duration
-	// Batch, Flow, Stall and DialTimeout apply to every node; see Config.
+	// Batch, Flow, Stall, Trace and DialTimeout apply to every node; see
+	// Config.
 	Batch       transport.BatchConfig
 	Flow        transport.FlowConfig
 	Stall       StallConfig
+	Trace       optrace.Config
 	DialTimeout time.Duration
 	// DisableAutoReclaim keeps every node's send buffer forever (tests,
 	// ablations).
@@ -121,6 +124,7 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 			Batch:              cfg.Batch,
 			Flow:               cfg.Flow,
 			Stall:              cfg.Stall,
+			Trace:              cfg.Trace,
 			DialTimeout:        cfg.DialTimeout,
 			DisableAutoReclaim: cfg.DisableAutoReclaim,
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 )
 
 // StallConfig tunes degraded-mode stall detection: when a registered
@@ -60,6 +61,11 @@ type PeerLag struct {
 	// Ack is the lowest recorder-cell value the predicate reads from this
 	// peer (how far behind Head it is).
 	Ack uint64
+	// Recent is the flight-recorder tail snapshotted when this peer was
+	// blamed: the newest traced events that involve the peer or describe
+	// local not-yet-stable operations past the stuck frontier. Nil when
+	// tracing is disabled.
+	Recent []optrace.Event
 }
 
 // PredicateHealth is one predicate's entry in a Health snapshot.
@@ -104,6 +110,9 @@ type predStall struct {
 	stalled      bool
 	since        time.Time
 	blamed       []int
+	// tails holds the per-blamed-peer recorder snapshots taken at the
+	// stall (or blame-change) transition; cleared on unstall.
+	tails map[int][]optrace.Event
 }
 
 // stallState is the node's stall-monitor state, split out of Node so the
@@ -225,6 +234,21 @@ func (n *Node) peerLagFor(key string, peer int) PeerLag {
 	return lag
 }
 
+// captureStallTails snapshots the flight-recorder tail for each blamed
+// peer at the moment blame is (re)assigned, so a Health report carries the
+// post-mortem of the stuck op stream, not a view from after recovery.
+// Returns nil when tracing is disabled.
+func (n *Node) captureStallTails(blamed []int, frontier uint64) map[int][]optrace.Event {
+	if n.trace == nil || len(blamed) == 0 {
+		return nil
+	}
+	tails := make(map[int][]optrace.Event, len(blamed))
+	for _, p := range blamed {
+		tails[p] = n.traceTail(p, frontier)
+	}
+	return tails
+}
+
 // checkStalls is one monitor sweep: classify every registered predicate as
 // healthy or stalled, attribute blame, fire hooks on transitions, and
 // refresh the stall gauges and their per-zone rollups.
@@ -263,6 +287,7 @@ func (n *Node) checkStalls(now time.Time) {
 			ps.stalled = true
 			ps.since = ps.lastChange
 			ps.blamed = n.blamePeers(key, f)
+			ps.tails = n.captureStallTails(ps.blamed, f)
 			for _, p := range ps.blamed {
 				st.gauge.With(key, strconv.Itoa(p)).Set(1)
 			}
@@ -277,6 +302,7 @@ func (n *Node) checkStalls(now time.Time) {
 					st.gauge.Delete(key, strconv.Itoa(p))
 				}
 				ps.blamed = blamed
+				ps.tails = n.captureStallTails(blamed, f)
 				for _, p := range blamed {
 					st.gauge.With(key, strconv.Itoa(p)).Set(1)
 				}
@@ -291,6 +317,7 @@ func (n *Node) checkStalls(now time.Time) {
 				st.gauge.Delete(key, strconv.Itoa(p))
 			}
 			ps.blamed = nil
+			ps.tails = nil
 		}
 	}
 	// Drop state for predicates that were removed, clearing their gauges.
@@ -370,7 +397,9 @@ func (n *Node) Health() Health {
 			ph.Stalled = true
 			ph.StalledFor = now.Sub(ps.since)
 			for _, p := range ps.blamed {
-				ph.Blamed = append(ph.Blamed, n.peerLagFor(key, p))
+				lag := n.peerLagFor(key, p)
+				lag.Recent = ps.tails[p]
+				ph.Blamed = append(ph.Blamed, lag)
 			}
 		}
 		h.Predicates = append(h.Predicates, ph)

@@ -29,6 +29,7 @@ import (
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/frontier"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 	"stabilizer/internal/wire"
 )
@@ -117,6 +118,10 @@ type Config struct {
 	// DialTimeout bounds each transport connect attempt, handshake
 	// included; zero picks the transport default (2s).
 	DialTimeout time.Duration
+	// Trace configures the per-operation lifecycle flight recorder
+	// (sampling rate and ring size); the zero value disables tracing and
+	// keeps every hot path allocation-free.
+	Trace optrace.Config
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -145,6 +150,8 @@ type Node struct {
 	metrics   *coreMetrics
 	sendTimes sendTimes
 	stall     *stallState
+	trace     *optrace.Recorder // nil when tracing is disabled
+	slow      slowOp
 
 	mu            sync.Mutex
 	deliverFns    []DeliverFunc
@@ -180,6 +187,7 @@ func Open(cfg Config) (*Node, error) {
 		Batch:              cfg.Batch,
 		Flow:               cfg.Flow,
 		Stall:              cfg.Stall,
+		Trace:              cfg.Trace,
 		DialTimeout:        cfg.DialTimeout,
 		DisableAutoReclaim: cfg.DisableAutoReclaim,
 		Configure: func(id int, c *Config) {
@@ -246,19 +254,35 @@ func openNode(cfg Config) (*Node, error) {
 		persister:    cfg.Persister,
 		metrics:      newCoreMetrics(mreg, log),
 		customByName: make(map[string]uint16),
+		trace:        optrace.New(topo.Self, cfg.Trace),
 		nowFn:        time.Now,
 	}
 	registry.EnableMetrics(mreg)
+	if node.trace != nil {
+		node.metrics.initStageMetrics()
+	}
 	// Turn frontier advances into the headline stability-latency samples:
 	// each sequence crossing a predicate's frontier is timed from its Send.
 	registry.OnAdvance(func(key string, old, new uint64) {
+		// Stabilize is a cumulative watermark, recorded for every
+		// predicate (the reclaim pseudo-predicate included) whenever the
+		// recorder is live — coalesced control-plane rate, not data rate.
+		if rec := node.trace; rec != nil {
+			rec.Record(optrace.StageStabilize, node.topo.Self, new, 0,
+				rec.Label(key), node.nowFn().UnixNano())
+		}
 		if key == ReclaimPredicateKey {
 			node.metrics.reclaimSeq.Set(int64(new))
 			return
 		}
 		h := node.metrics.stabLatency.With(key)
 		now := node.nowFn().UnixNano()
-		node.sendTimes.observeRange(old, new, now, func(lat int64) { h.Observe(lat) })
+		node.sendTimes.observeRange(old, new, now, func(seq uint64, lat int64) {
+			h.Observe(lat)
+			if node.trace.Sampled(node.topo.Self, seq) {
+				node.slow.update(seq, lat, key)
+			}
+		})
 	})
 	// Materialize the well-known stability rows so the completeness rule
 	// (UpdateAll on Send) covers them from the first message.
@@ -279,6 +303,7 @@ func openNode(cfg Config) (*Node, error) {
 		Metrics:        mreg,
 		Batch:          cfg.Batch,
 		DialTimeout:    cfg.DialTimeout,
+		Trace:          node.trace,
 	}
 	self := topo.Nodes[topo.Self-1]
 	tcfg.TopoTags.AZ, tcfg.TopoTags.Region = self.AZ, self.Region
@@ -395,6 +420,9 @@ func (n *Node) sendOwnedCtx(ctx context.Context, payload []byte) (uint64, error)
 		return 0, err
 	}
 	n.sendTimes.record(seq, sentAt)
+	if rec := n.trace; rec != nil && rec.Sampled(n.topo.Self, seq) {
+		rec.Record(optrace.StageAppend, n.topo.Self, seq, 0, 0, sentAt)
+	}
 	n.metrics.sends.Inc()
 	n.metrics.sendBytes.Add(int64(len(payload)))
 	// Completeness rule (§III-C): every stability property holds at the
@@ -737,7 +765,9 @@ func (h *trHandler) HandleData(from int, d *wire.Data) {
 		SentAt:  time.Unix(0, d.SentUnixNano),
 	}
 	n.metrics.deliveries.Inc()
-	n.metrics.deliveryLag.Observe(n.nowFn().UnixNano() - d.SentUnixNano)
+	handleStart := n.nowFn().UnixNano()
+	n.metrics.deliveryLag.Observe(handleStart - d.SentUnixNano)
+	traced := n.trace != nil && n.trace.Sampled(from, d.Seq)
 	// Completeness rule (§III-C), applied remotely: learning of message
 	// d.Seq implies the ORIGIN trivially holds every stability property
 	// for it, so the origin's own row advances in our recorder too —
@@ -760,6 +790,14 @@ func (h *trHandler) HandleData(from int, d *wire.Data) {
 	for _, fn := range fns {
 		fn(m)
 	}
+	if traced {
+		// Deliver is stamped after the upcalls but before the delivered
+		// row advances, so a trace can never show stabilization racing
+		// ahead of the delivery it depends on.
+		done := n.nowFn().UnixNano()
+		n.trace.Record(optrace.StageDeliver, from, d.Seq, 0, 0, done)
+		n.metrics.stageDeliver.Observe(done - handleStart)
+	}
 	n.tables[from-1].Update(n.topo.Self, frontier.TypeDelivered, d.Seq)
 	n.tr.QueueAck(wire.Ack{Origin: uint16(from), By: uint16(n.topo.Self), Type: frontier.TypeDelivered, Seq: d.Seq})
 
@@ -777,6 +815,18 @@ func (h *trHandler) HandleAck(a *wire.Ack) {
 	origin := int(a.Origin)
 	if origin < 1 || origin > n.topo.N() {
 		return
+	}
+	if rec := n.trace; rec != nil {
+		// Recorded before the table update so the ack's timestamp always
+		// precedes any Stabilize it enables. Acks are coalesced monotone
+		// watermarks, so this runs at control-plane rate.
+		now := n.nowFn().UnixNano()
+		rec.Record(optrace.StageAck, origin, a.Seq, int(a.By), rec.Label(n.types.Name(a.Type)), now)
+		if origin == n.topo.Self && rec.Sampled(origin, a.Seq) {
+			if sentAt, ok := n.sendTimes.lookup(a.Seq); ok {
+				n.metrics.stageAckReturn.Observe(now - sentAt)
+			}
+		}
 	}
 	advanced := n.tables[origin-1].Update(int(a.By), a.Type, a.Seq)
 	if advanced && origin == n.topo.Self {

@@ -5,6 +5,7 @@ import (
 
 	"stabilizer/internal/config"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 )
 
 // coreMetrics are the node-level metric instances, resolved once at Open.
@@ -16,6 +17,20 @@ type coreMetrics struct {
 	deliveryLag *metrics.Histogram
 	stabLatency *metrics.HistogramVec
 	reclaimSeq  *metrics.Gauge
+
+	// Stage-latency segments of stabilizer_stage_seconds, resolved by
+	// initStageMetrics when tracing is enabled; nil otherwise. The
+	// transport resolves its own segments of the same family.
+	stageDeliver   *metrics.Histogram
+	stageAckReturn *metrics.Histogram
+}
+
+// initStageMetrics resolves the core-owned segments of the per-stage
+// latency decomposition family.
+func (m *coreMetrics) initStageMetrics() {
+	stage := m.reg.HistogramVec(optrace.StageFamily, optrace.StageFamilyHelp, metrics.LatencyOpts, "stage")
+	m.stageDeliver = stage.With(optrace.SegDeliver)
+	m.stageAckReturn = stage.With(optrace.SegAckReturn)
 }
 
 func newCoreMetrics(reg *metrics.Registry, log interface {
@@ -75,9 +90,9 @@ func (s *sendTimes) record(seq uint64, ts int64) {
 	s.mu.Unlock()
 }
 
-// observeRange invokes obs with now-sendTime for every sequence in
-// (old, new] still present in the ring.
-func (s *sendTimes) observeRange(old, new uint64, now int64, obs func(latNanos int64)) {
+// observeRange invokes obs with each sequence in (old, new] still present
+// in the ring and its now-sendTime latency.
+func (s *sendTimes) observeRange(old, new uint64, now int64, obs func(seq uint64, latNanos int64)) {
 	const size = 1 << sendTimeRingBits
 	if new-old > size {
 		old = new - size
@@ -87,9 +102,44 @@ func (s *sendTimes) observeRange(old, new uint64, now int64, obs func(latNanos i
 	for seq := old + 1; seq <= new; seq++ {
 		slot := seq & (size - 1)
 		if s.seq[slot] == seq {
-			obs(now - s.ts[slot])
+			obs(seq, now-s.ts[slot])
 		}
 	}
+}
+
+// lookup returns seq's send timestamp if it is still in the ring.
+func (s *sendTimes) lookup(seq uint64) (int64, bool) {
+	slot := seq & (1<<sendTimeRingBits - 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq[slot] != seq {
+		return 0, false
+	}
+	return s.ts[slot], true
+}
+
+// slowOp tracks the slowest sampled operation this node has seen
+// stabilize, feeding the /debug/trace?op=latest-slow endpoint.
+type slowOp struct {
+	mu   sync.Mutex
+	seq  uint64
+	lat  int64
+	pred string
+	ok   bool
+}
+
+func (s *slowOp) update(seq uint64, lat int64, pred string) {
+	s.mu.Lock()
+	if !s.ok || lat > s.lat {
+		s.seq, s.lat, s.pred, s.ok = seq, lat, pred, true
+	}
+	s.mu.Unlock()
+}
+
+func (s *slowOp) get() (seq uint64, lat int64, pred string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq, s.lat, s.pred, s.ok
 }
 
 // --- debug snapshot (served at /debug/stabilizer) ---

@@ -1,0 +1,60 @@
+package optrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Source resolves trace queries. *core.Cluster implements it; a bench
+// harness can wrap whatever cluster is currently running.
+type Source interface {
+	// TraceOp merges every live recorder's view of one operation.
+	TraceOp(origin int, seq uint64) (*Timeline, error)
+	// SlowestOp traces the slowest sampled operation observed so far.
+	SlowestOp() (*Timeline, error)
+}
+
+// NewHTTPHandler serves merged timelines as JSON:
+//
+//	GET /debug/trace?origin=2&seq=1234          one op's timeline
+//	GET /debug/trace?op=latest-slow             worst sampled op so far
+//	GET /debug/trace?...&format=chrome          Chrome trace_event array
+func NewHTTPHandler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var (
+			tl  *Timeline
+			err error
+		)
+		switch {
+		case q.Get("op") == "latest-slow":
+			tl, err = src.SlowestOp()
+		case q.Get("op") != "":
+			http.Error(w, fmt.Sprintf("unknown op %q (want latest-slow)", q.Get("op")), http.StatusBadRequest)
+			return
+		default:
+			origin, oerr := strconv.Atoi(q.Get("origin"))
+			seq, serr := strconv.ParseUint(q.Get("seq"), 10, 64)
+			if oerr != nil || serr != nil {
+				http.Error(w, "need ?origin=<node>&seq=<n> or ?op=latest-slow", http.StatusBadRequest)
+				return
+			}
+			tl, err = src.TraceOp(origin, seq)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if q.Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = tl.WriteChromeTrace(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tl)
+	})
+}

@@ -1,0 +1,375 @@
+// Package optrace is a per-node flight recorder for the append→stabilize
+// lifecycle. Every node owns one Recorder: a fixed-size, power-of-two ring
+// of lifecycle events keyed by the (origin, seq) identity that already
+// flows on every Data and Ack frame, so events recorded independently on
+// different nodes can be correlated after the fact with no wire-format
+// change.
+//
+// The recorder is built for the hot path:
+//
+//   - Recording is lock-free and allocation-free. A writer claims a slot
+//     with one atomic add and publishes it seqlock-style: the commit word
+//     is zeroed, the event words are stored, then the commit word is set
+//     to ticket+1. Readers accept a slot only when the commit word is
+//     non-zero and unchanged across the read, so torn reads are impossible
+//     (tickets are unique, the commit word never repeats a value).
+//   - All slot accesses are atomic, so concurrent snapshots during a
+//     `-race` soak are clean.
+//   - Sampling is a deterministic 1-in-N hash of (origin, seq): every node
+//     makes the same keep/drop decision for the same operation without
+//     coordination, which is what makes cross-node merging work.
+//
+// Point stages (Append, BatchEnqueue, WireSend, WireRecv, Deliver)
+// describe one specific sequence number and are recorded only for sampled
+// operations. Cumulative stages (Ack, Stabilize) describe a coalesced
+// watermark covering every seq at or below the recorded one; they are
+// cheap (control-plane rate, not data rate) and are recorded whenever the
+// recorder is enabled, so a sampled op's timeline can always find the ack
+// and stabilization that covered it.
+package optrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stage identifies one step of an operation's lifecycle.
+type Stage uint8
+
+// Lifecycle stages in causal order. The zero value is reserved so an
+// uninitialised slot word never decodes as a valid event.
+const (
+	// StageAppend: the origin accepted the update into its send log.
+	StageAppend Stage = 1 + iota
+	// StageBatchEnqueue: a link drained the entry from the send log into
+	// an outgoing batch for one peer.
+	StageBatchEnqueue
+	// StageWireSend: the batch containing the entry was written to the
+	// peer's connection.
+	StageWireSend
+	// StageWireRecv: a node received the Data frame from the wire.
+	StageWireRecv
+	// StageDeliver: the receiving node applied the update and ran its
+	// delivery upcalls.
+	StageDeliver
+	// StageAck: the node ingested a (coalesced, monotone) Ack frame
+	// covering this seq. Cumulative: one event covers every seq ≤ Seq.
+	StageAck
+	// StageStabilize: a registered predicate's frontier advanced to cover
+	// this seq. Cumulative, labeled with the predicate key.
+	StageStabilize
+)
+
+var stageNames = [...]string{
+	StageAppend:       "append",
+	StageBatchEnqueue: "batch_enqueue",
+	StageWireSend:     "wire_send",
+	StageWireRecv:     "wire_recv",
+	StageDeliver:      "deliver",
+	StageAck:          "ack",
+	StageStabilize:    "stabilize",
+}
+
+// String returns the snake_case stage name used in JSON and metrics.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) && stageNames[s] != "" {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// MarshalText makes stages render as names in JSON output.
+func (s Stage) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a stage name back (unknown names decode to 0).
+func (s *Stage) UnmarshalText(b []byte) error {
+	for i, name := range stageNames {
+		if name == string(b) {
+			*s = Stage(i)
+			return nil
+		}
+	}
+	*s = 0
+	return nil
+}
+
+// Cumulative reports whether events of this stage cover a seq range
+// (every seq ≤ Event.Seq) rather than one exact seq.
+func (s Stage) Cumulative() bool { return s == StageAck || s == StageStabilize }
+
+// Event is one decoded recorder entry.
+type Event struct {
+	// Ticket is the slot's claim order within its recorder — a per-node
+	// record sequence, not comparable across nodes.
+	Ticket uint64 `json:"-"`
+	Stage  Stage  `json:"stage"`
+	// Node is the id of the node whose recorder captured the event.
+	Node int `json:"node"`
+	// Origin and Seq identify the operation (Data/Ack frame identity).
+	Origin int    `json:"origin"`
+	Seq    uint64 `json:"seq"`
+	// Peer is the remote node involved, when there is one: the batch /
+	// wire-send destination, the wire-recv sender, or the acking node.
+	Peer int `json:"peer,omitempty"`
+	// Aux is a recorder-local label id (predicate key for Stabilize,
+	// frontier type name for Ack); Label is its decoded string.
+	Aux   uint16 `json:"-"`
+	Label string `json:"label,omitempty"`
+	// TS is the event wall-clock time in Unix nanoseconds, read from the
+	// recording node's clock.
+	TS int64 `json:"ts"`
+}
+
+// Config enables and sizes a node's recorder.
+type Config struct {
+	// SampleEvery keeps roughly 1 in N operations: 0 disables tracing
+	// entirely, 1 traces every operation. Rounded up to a power of two.
+	SampleEvery int
+	// RingSize is the per-node event capacity, rounded up to a power of
+	// two. 0 means DefaultRingSize.
+	RingSize int
+}
+
+// DefaultRingSize is the per-node event capacity when Config.RingSize is 0.
+const DefaultRingSize = 1 << 13
+
+// Enabled reports whether the config asks for a live recorder.
+func (c Config) Enabled() bool { return c.SampleEvery > 0 }
+
+// slot is one seqlock-published ring entry: w[0] packs
+// stage|origin|peer|aux, w[1] is seq, w[2] is ts, and w[3] is the commit
+// word (ticket+1, 0 while a write is in flight).
+type slot struct {
+	w [4]atomic.Uint64
+}
+
+const (
+	originShift = 8
+	peerShift   = 24
+	auxShift    = 40
+	fieldMask   = 0xffff
+)
+
+// Recorder is one node's flight recorder. The zero of *Recorder (nil) is
+// a valid disabled recorder: Sampled reports false and Record is a no-op.
+type Recorder struct {
+	node       int
+	every      int
+	sampleMask uint64
+	ringMask   uint64
+	cursor     atomic.Uint64
+	ring       []slot
+
+	mu     sync.RWMutex
+	labels map[string]uint16
+	names  []string
+}
+
+// New builds a recorder for the given node id. It returns nil — a valid,
+// disabled recorder — when the config is disabled.
+func New(node int, cfg Config) *Recorder {
+	if !cfg.Enabled() {
+		return nil
+	}
+	size := cfg.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	size = nextPow2(size)
+	return &Recorder{
+		node:       node,
+		every:      cfg.SampleEvery,
+		sampleMask: uint64(nextPow2(cfg.SampleEvery)) - 1,
+		ringMask:   uint64(size) - 1,
+		ring:       make([]slot, size),
+		labels:     map[string]uint16{"": 0},
+		names:      []string{""},
+	}
+}
+
+// Node returns the id the recorder was built for (0 for nil).
+func (r *Recorder) Node() int {
+	if r == nil {
+		return 0
+	}
+	return r.node
+}
+
+// SampleEvery returns the configured sampling period (0 for nil).
+func (r *Recorder) SampleEvery() int {
+	if r == nil {
+		return 0
+	}
+	return r.every
+}
+
+// sampleHash is a splitmix64-style finalizer over the op identity. It is
+// shared by every node so sampling decisions agree cluster-wide.
+func sampleHash(origin int, seq uint64) uint64 {
+	x := seq ^ uint64(origin)<<48 ^ 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SampledAt reports the cluster-wide sampling decision for an op under a
+// given 1-in-every policy, without needing a recorder.
+func SampledAt(every, origin int, seq uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	return sampleHash(origin, seq)&(uint64(nextPow2(every))-1) == 0
+}
+
+// Sampled reports whether point-stage events for this op should be
+// recorded. Safe (and false) on a nil recorder; allocation-free.
+func (r *Recorder) Sampled(origin int, seq uint64) bool {
+	if r == nil {
+		return false
+	}
+	if r.sampleMask == 0 {
+		return true
+	}
+	return sampleHash(origin, seq)&r.sampleMask == 0
+}
+
+// Record appends one event to the ring. Safe no-op on a nil recorder;
+// lock-free and allocation-free otherwise. Callers gate point stages on
+// Sampled; cumulative stages (Ack, Stabilize) are recorded unconditionally
+// because they are coalesced watermarks, not per-op traffic.
+func (r *Recorder) Record(stage Stage, origin int, seq uint64, peer int, aux uint16, ts int64) {
+	if r == nil {
+		return
+	}
+	t := r.cursor.Add(1) - 1
+	s := &r.ring[t&r.ringMask]
+	s.w[3].Store(0)
+	s.w[0].Store(uint64(stage) |
+		uint64(uint16(origin))<<originShift |
+		uint64(uint16(peer))<<peerShift |
+		uint64(aux)<<auxShift)
+	s.w[1].Store(seq)
+	s.w[2].Store(uint64(ts))
+	s.w[3].Store(t + 1)
+}
+
+// Label interns a string (predicate key, frontier type name) and returns
+// its id for use as Record's aux argument. Not for the per-message hot
+// path — callers cache ids or call it at control-plane rate.
+func (r *Recorder) Label(name string) uint16 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	id, ok := r.labels[name]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok = r.labels[name]; ok {
+		return id
+	}
+	if len(r.names) > fieldMask {
+		return 0 // intern table full; degrade to the empty label
+	}
+	id = uint16(len(r.names))
+	r.names = append(r.names, name)
+	r.labels[name] = id
+	return id
+}
+
+// labelName decodes an interned id ("" for unknown ids).
+func (r *Recorder) labelName(id uint16) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(id) < len(r.names) {
+		return r.names[id]
+	}
+	return ""
+}
+
+// Snapshot returns every committed event currently in the ring, oldest
+// first. Events overwritten or mid-write during the scan are skipped.
+func (r *Recorder) Snapshot() []Event {
+	return r.snapshot(func(Event) bool { return true })
+}
+
+// SnapshotOp returns the events relevant to one operation: point stages
+// matching (origin, seq) exactly, cumulative stages whose watermark covers
+// seq.
+func (r *Recorder) SnapshotOp(origin int, seq uint64) []Event {
+	return r.snapshot(func(ev Event) bool {
+		if ev.Origin != origin {
+			return false
+		}
+		if ev.Stage.Cumulative() {
+			return ev.Seq >= seq
+		}
+		return ev.Seq == seq
+	})
+}
+
+// Tail returns the newest n events satisfying keep, oldest first.
+func (r *Recorder) Tail(n int, keep func(Event) bool) []Event {
+	if keep == nil {
+		keep = func(Event) bool { return true }
+	}
+	evs := r.snapshot(keep)
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+func (r *Recorder) snapshot(keep func(Event) bool) []Event {
+	if r == nil {
+		return nil
+	}
+	evs := make([]Event, 0, 64)
+	for i := range r.ring {
+		s := &r.ring[i]
+		c1 := s.w[3].Load()
+		if c1 == 0 {
+			continue
+		}
+		w0 := s.w[0].Load()
+		w1 := s.w[1].Load()
+		w2 := s.w[2].Load()
+		if s.w[3].Load() != c1 {
+			continue // torn: overwritten mid-read
+		}
+		ev := Event{
+			Ticket: c1 - 1,
+			Stage:  Stage(w0 & 0xff),
+			Node:   r.node,
+			Origin: int(int16(w0 >> originShift & fieldMask)),
+			Seq:    w1,
+			Peer:   int(int16(w0 >> peerShift & fieldMask)),
+			Aux:    uint16(w0 >> auxShift & fieldMask),
+			TS:     int64(w2),
+		}
+		if ev.Aux != 0 {
+			ev.Label = r.labelName(ev.Aux)
+		}
+		if keep(ev) {
+			evs = append(evs, ev)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Ticket < evs[j].Ticket })
+	return evs
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,311 @@
+package optrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Sampled(1, 42) {
+		t.Fatal("nil recorder sampled an op")
+	}
+	r.Record(StageAppend, 1, 42, 0, 0, 1) // must not panic
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	if r.Label("x") != 0 {
+		t.Fatal("nil recorder interned a label")
+	}
+	if r.Node() != 0 || r.SampleEvery() != 0 {
+		t.Fatal("nil recorder reported non-zero config")
+	}
+}
+
+func TestNewDisabled(t *testing.T) {
+	if New(1, Config{}) != nil {
+		t.Fatal("disabled config built a live recorder")
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config claims enabled")
+	}
+	if !(Config{SampleEvery: 1}).Enabled() {
+		t.Fatal("SampleEvery=1 claims disabled")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	r := New(3, Config{SampleEvery: 8, RingSize: 64})
+	kept := 0
+	for seq := uint64(1); seq <= 4096; seq++ {
+		a := r.Sampled(3, seq)
+		b := SampledAt(8, 3, seq)
+		if a != b {
+			t.Fatalf("seq %d: Sampled=%v SampledAt=%v", seq, a, b)
+		}
+		if a {
+			kept++
+		}
+	}
+	// 1-in-8 over 4096 draws: expect ~512, allow wide slack.
+	if kept < 256 || kept > 1024 {
+		t.Fatalf("kept %d of 4096 at 1-in-8", kept)
+	}
+	// Different origins must sample different seq sets (hash mixes origin).
+	same := 0
+	for seq := uint64(1); seq <= 512; seq++ {
+		if SampledAt(8, 1, seq) == SampledAt(8, 2, seq) {
+			same++
+		}
+	}
+	if same == 512 {
+		t.Fatal("origin does not affect sampling")
+	}
+
+	always := New(1, Config{SampleEvery: 1, RingSize: 64})
+	for seq := uint64(1); seq <= 64; seq++ {
+		if !always.Sampled(1, seq) {
+			t.Fatalf("SampleEvery=1 dropped seq %d", seq)
+		}
+	}
+}
+
+func TestRecordSnapshotRoundtrip(t *testing.T) {
+	r := New(2, Config{SampleEvery: 1, RingSize: 16})
+	lbl := r.Label("all")
+	r.Record(StageAppend, 2, 7, 0, 0, 100)
+	r.Record(StageBatchEnqueue, 2, 7, 3, 0, 110)
+	r.Record(StageStabilize, 2, 9, 0, lbl, 200)
+
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(evs))
+	}
+	if evs[0].Stage != StageAppend || evs[0].Seq != 7 || evs[0].TS != 100 || evs[0].Node != 2 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Peer != 3 {
+		t.Fatalf("event 1 peer = %d", evs[1].Peer)
+	}
+	if evs[2].Label != "all" || !evs[2].Stage.Cumulative() {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+
+	// SnapshotOp: point stages match exactly, cumulative cover seq ranges.
+	op := r.SnapshotOp(2, 7)
+	if len(op) != 3 {
+		t.Fatalf("op snapshot len = %d, want 3 (stabilize@9 covers 7): %+v", len(op), op)
+	}
+	op9 := r.SnapshotOp(2, 9)
+	if len(op9) != 1 || op9[0].Stage != StageStabilize {
+		t.Fatalf("op9 snapshot = %+v", op9)
+	}
+	if got := r.SnapshotOp(5, 7); len(got) != 0 {
+		t.Fatalf("wrong-origin snapshot = %+v", got)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := New(1, Config{SampleEvery: 1, RingSize: 8})
+	for seq := uint64(1); seq <= 100; seq++ {
+		r.Record(StageAppend, 1, seq, 0, 0, int64(seq))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot len = %d, want ring size 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(93 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestTailFilter(t *testing.T) {
+	r := New(1, Config{SampleEvery: 1, RingSize: 64})
+	for seq := uint64(1); seq <= 20; seq++ {
+		peer := 2
+		if seq%2 == 0 {
+			peer = 3
+		}
+		r.Record(StageWireSend, 1, seq, peer, 0, int64(seq))
+	}
+	tail := r.Tail(4, func(ev Event) bool { return ev.Peer == 3 })
+	if len(tail) != 4 {
+		t.Fatalf("tail len = %d", len(tail))
+	}
+	for _, ev := range tail {
+		if ev.Peer != 3 {
+			t.Fatalf("tail leaked peer %d", ev.Peer)
+		}
+	}
+	if tail[len(tail)-1].Seq != 20 {
+		t.Fatalf("tail not newest-aligned: %+v", tail)
+	}
+}
+
+func TestLabelIntern(t *testing.T) {
+	r := New(1, Config{SampleEvery: 1, RingSize: 8})
+	a := r.Label("maj")
+	b := r.Label("all")
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("intern ids a=%d b=%d", a, b)
+	}
+	if r.Label("maj") != a {
+		t.Fatal("re-intern changed id")
+	}
+	if r.labelName(a) != "maj" || r.labelName(9999) != "" {
+		t.Fatal("labelName decode broken")
+	}
+}
+
+// TestConcurrentRecordSnapshot exercises the seqlock under the race
+// detector: writers wrap the ring while readers snapshot continuously.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := New(1, Config{SampleEvery: 1, RingSize: 32})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(StageDeliver, w+1, seq, 0, 0, int64(seq))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, ev := range r.Snapshot() {
+			if ev.Stage != StageDeliver || ev.Origin < 1 || ev.Origin > 4 {
+				t.Errorf("torn event: %+v", ev)
+			}
+			// A consistent slot must pair origin and ts coherently:
+			// writers always store ts == seq.
+			if ev.TS != int64(ev.Seq) {
+				t.Errorf("mixed-writer slot: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDisabledPathsAllocationFree(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		if nilRec.Sampled(1, 7) {
+			t.Fatal("sampled")
+		}
+		nilRec.Record(StageAppend, 1, 7, 0, 0, 1)
+	}); n != 0 {
+		t.Fatalf("nil recorder path allocates %v/op", n)
+	}
+
+	rec := New(1, Config{SampleEvery: 1 << 20, RingSize: 64})
+	seq := uint64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		seq++
+		if rec.Sampled(1, seq) {
+			rec.Record(StageAppend, 1, seq, 0, 0, 1)
+		}
+	}); n != 0 {
+		t.Fatalf("unsampled recorder path allocates %v/op", n)
+	}
+
+	hot := New(1, Config{SampleEvery: 1, RingSize: 64})
+	if n := testing.AllocsPerRun(100, func() {
+		seq++
+		hot.Record(StageWireRecv, 1, seq, 2, 0, int64(seq))
+	}); n != 0 {
+		t.Fatalf("record path allocates %v/op", n)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := New(1, Config{SampleEvery: 1, RingSize: 1 << 13})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(StageAppend, 1, uint64(i), 2, 0, int64(i))
+	}
+}
+
+func BenchmarkSampledMiss(b *testing.B) {
+	r := New(1, Config{SampleEvery: 1 << 16, RingSize: 64})
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.Sampled(1, uint64(i)) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func TestHTTPHandler(t *testing.T) {
+	src := fakeSource{
+		tl: &Timeline{Origin: 2, Seq: 7, Events: []Event{
+			{Stage: StageAppend, Node: 2, Origin: 2, Seq: 7, TS: 100},
+		}},
+	}
+	h := NewHTTPHandler(src)
+
+	get := func(url string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, url, nil))
+		return rr
+	}
+
+	rr := get("/debug/trace?origin=2&seq=7")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rr.Code, rr.Body)
+	}
+	var tl Timeline
+	if err := json.Unmarshal(rr.Body.Bytes(), &tl); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if tl.Seq != 7 || len(tl.Events) != 1 || tl.Events[0].Stage != StageAppend {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	if rr := get("/debug/trace?op=latest-slow"); rr.Code != http.StatusOK {
+		t.Fatalf("latest-slow status %d", rr.Code)
+	}
+	if rr := get("/debug/trace"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("missing-params status %d", rr.Code)
+	}
+	if rr := get("/debug/trace?op=bogus"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bogus-op status %d", rr.Code)
+	}
+	rr = get("/debug/trace?origin=2&seq=7&format=chrome")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("chrome status %d", rr.Code)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &arr); err != nil || len(arr) != 1 {
+		t.Fatalf("chrome export: err=%v len=%d", err, len(arr))
+	}
+}
+
+type fakeSource struct{ tl *Timeline }
+
+func (f fakeSource) TraceOp(origin int, seq uint64) (*Timeline, error) { return f.tl, nil }
+func (f fakeSource) SlowestOp() (*Timeline, error)                     { return f.tl, nil }
+
+func TestStageJSONNames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(Event{Stage: StageWireRecv}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"wire_recv"`)) {
+		t.Fatalf("stage name not in JSON: %s", buf.Bytes())
+	}
+}

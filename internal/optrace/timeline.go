@@ -1,0 +1,236 @@
+package optrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Metric names shared by every layer that decomposes stability latency
+// into per-stage segments. transport and core both resolve children of
+// the same family, so the name and help text live here.
+const (
+	// StageFamily is the histogram family decomposing
+	// stabilizer_stability_latency_seconds into blameable segments.
+	StageFamily = "stabilizer_stage_seconds"
+	// StageFamilyHelp documents the family on /metrics.
+	StageFamilyHelp = "Per-stage latency decomposition of the append-to-stabilize lifecycle for sampled operations."
+
+	// Stage label values. batch_queue: append → drained into a peer batch.
+	// wire_send: drained → written to the connection. flight: written at
+	// the origin → received by the peer (cross-clock). deliver: received →
+	// applied with upcalls run. ack_return: append → covering ack ingested
+	// back at the origin.
+	SegBatchQueue = "batch_queue"
+	SegWireSend   = "wire_send"
+	SegFlight     = "flight"
+	SegDeliver    = "deliver"
+	SegAckReturn  = "ack_return"
+)
+
+// Timeline is the merged, causally-ordered view of one operation across
+// every recorder that saw it.
+type Timeline struct {
+	Origin int     `json:"origin"`
+	Seq    uint64  `json:"seq"`
+	Events []Event `json:"events"`
+}
+
+// MergeOp merges the per-node views of one operation into a single
+// timeline. Nil recorders are skipped. Events are ordered by timestamp
+// with (stage, node, ticket) tie-breaks; cross-node clock skew means the
+// order is best-effort for display — Validate only relies on per-node and
+// happens-before pairs.
+func MergeOp(origin int, seq uint64, recs []*Recorder) *Timeline {
+	tl := &Timeline{Origin: origin, Seq: seq}
+	for _, r := range recs {
+		tl.Events = append(tl.Events, r.SnapshotOp(origin, seq)...)
+	}
+	sort.Slice(tl.Events, func(i, j int) bool {
+		a, b := tl.Events[i], tl.Events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Ticket < b.Ticket
+	})
+	return tl
+}
+
+// Stages counts events per stage kind.
+func (t *Timeline) Stages() map[Stage]int {
+	m := make(map[Stage]int, 8)
+	for _, ev := range t.Events {
+		m[ev.Stage]++
+	}
+	return m
+}
+
+// HasAllStages reports whether all seven lifecycle stage kinds appear.
+func (t *Timeline) HasAllStages() bool {
+	m := t.Stages()
+	for s := StageAppend; s <= StageStabilize; s++ {
+		if m[s] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the timeline's internal causal order and returns a
+// human-readable description of every violation (empty = well-ordered).
+//
+// The rules deliberately compare only timestamps read on the same node,
+// or pairs with a real happens-before edge, so WAN clock skew and resend
+// duplicates cannot produce false positives:
+//
+//   - every Deliver has an earlier-or-equal WireRecv on the same node;
+//   - every WireSend to a peer has an earlier-or-equal BatchEnqueue for
+//     that peer on the same node;
+//   - Append precedes every BatchEnqueue on the origin;
+//   - Stabilize never precedes Append when both were captured;
+//   - for each Stabilize whose predicate key appears in quorums with
+//     quorum size k, the origin ingested acks covering the op from at
+//     least k−1 distinct non-origin peers no later than the Stabilize.
+//
+// quorums maps predicate keys to their required node counts (the origin's
+// local delivery counts as one, hence k−1 remote acks); Stabilize events
+// for keys not in the map are skipped.
+func (t *Timeline) Validate(quorums map[string]int) []string {
+	var bad []string
+	violatef := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+
+	var appendTS int64
+	haveAppend := false
+	for _, ev := range t.Events {
+		if ev.Stage == StageAppend && ev.Node == t.Origin {
+			if !haveAppend || ev.TS < appendTS {
+				appendTS = ev.TS
+			}
+			haveAppend = true
+		}
+	}
+
+	// earliest per-(node[,peer]) timestamps of the prerequisite stages.
+	type nodePeer struct{ node, peer int }
+	firstRecv := map[int]int64{}
+	firstEnq := map[nodePeer]int64{}
+	for _, ev := range t.Events {
+		switch ev.Stage {
+		case StageWireRecv:
+			if ts, ok := firstRecv[ev.Node]; !ok || ev.TS < ts {
+				firstRecv[ev.Node] = ev.TS
+			}
+		case StageBatchEnqueue:
+			k := nodePeer{ev.Node, ev.Peer}
+			if ts, ok := firstEnq[k]; !ok || ev.TS < ts {
+				firstEnq[k] = ev.TS
+			}
+		}
+	}
+
+	for _, ev := range t.Events {
+		switch ev.Stage {
+		case StageDeliver:
+			if ev.Node == t.Origin {
+				break // origin delivers locally, no wire hop
+			}
+			ts, ok := firstRecv[ev.Node]
+			if !ok {
+				violatef("node %d delivered seq %d with no WireRecv recorded", ev.Node, ev.Seq)
+			} else if ts > ev.TS {
+				violatef("node %d delivered seq %d at %d before its WireRecv at %d", ev.Node, ev.Seq, ev.TS, ts)
+			}
+		case StageWireSend:
+			ts, ok := firstEnq[nodePeer{ev.Node, ev.Peer}]
+			if !ok {
+				violatef("node %d wire-sent seq %d to %d with no BatchEnqueue recorded", ev.Node, ev.Seq, ev.Peer)
+			} else if ts > ev.TS {
+				violatef("node %d wire-sent seq %d to %d at %d before its BatchEnqueue at %d", ev.Node, ev.Seq, ev.Peer, ev.TS, ts)
+			}
+		case StageBatchEnqueue:
+			if haveAppend && ev.Node == t.Origin && ev.TS < appendTS {
+				violatef("node %d batch-enqueued seq %d at %d before its Append at %d", ev.Node, ev.Seq, ev.TS, appendTS)
+			}
+		case StageStabilize:
+			if haveAppend && ev.Node == t.Origin && ev.TS < appendTS {
+				violatef("node %d stabilized %q covering seq %d at %d before Append at %d", ev.Node, ev.Label, t.Seq, ev.TS, appendTS)
+			}
+			if ev.Node != t.Origin {
+				break
+			}
+			k, ok := quorums[ev.Label]
+			if !ok {
+				break
+			}
+			ackers := map[int]bool{}
+			for _, ack := range t.Events {
+				if ack.Stage == StageAck && ack.Node == t.Origin && ack.Peer != t.Origin &&
+					ack.Seq >= t.Seq && ack.TS <= ev.TS {
+					ackers[ack.Peer] = true
+				}
+			}
+			if len(ackers) < k-1 {
+				violatef("predicate %q (quorum %d) stabilized seq %d with only %d remote acks ingested at the origin",
+					ev.Label, k, t.Seq, len(ackers))
+			}
+		}
+	}
+	return bad
+}
+
+// chromeEvent is one Chrome trace_event "instant" record.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the timeline in Chrome trace_event JSON array
+// format (load via about://tracing or https://ui.perfetto.dev). Each node
+// becomes one pid; timestamps are rebased to the earliest event.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	var base int64
+	for i, ev := range t.Events {
+		if i == 0 || ev.TS < base {
+			base = ev.TS
+		}
+	}
+	out := make([]chromeEvent, 0, len(t.Events))
+	for _, ev := range t.Events {
+		args := map[string]any{"origin": ev.Origin, "seq": ev.Seq}
+		if ev.Peer != 0 {
+			args["peer"] = ev.Peer
+		}
+		if ev.Label != "" {
+			args["label"] = ev.Label
+		}
+		name := ev.Stage.String()
+		if ev.Label != "" {
+			name += ":" + ev.Label
+		}
+		out = append(out, chromeEvent{
+			Name:  name,
+			Phase: "i",
+			TS:    float64(ev.TS-base) / 1e3,
+			PID:   ev.Node,
+			TID:   ev.Node,
+			Scope: "p",
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

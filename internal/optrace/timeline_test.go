@@ -1,0 +1,145 @@
+package optrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildOpRecorders simulates a 3-node cluster tracing op (origin=1, seq=5)
+// end to end and returns the per-node recorders.
+func buildOpRecorders() []*Recorder {
+	cfg := Config{SampleEvery: 1, RingSize: 64}
+	n1 := New(1, cfg)
+	n2 := New(2, cfg)
+	n3 := New(3, cfg)
+
+	all1 := n1.Label("all")
+	n1.Record(StageAppend, 1, 5, 0, 0, 100)
+	n1.Record(StageBatchEnqueue, 1, 5, 2, 0, 110)
+	n1.Record(StageBatchEnqueue, 1, 5, 3, 0, 111)
+	n1.Record(StageWireSend, 1, 5, 2, 0, 120)
+	n1.Record(StageWireSend, 1, 5, 3, 0, 121)
+	n1.Record(StageDeliver, 1, 5, 0, 0, 105)
+
+	n2.Record(StageWireRecv, 1, 5, 1, 0, 140)
+	n2.Record(StageDeliver, 1, 5, 0, 0, 150)
+	n3.Record(StageWireRecv, 1, 5, 1, 0, 141)
+	n3.Record(StageDeliver, 1, 5, 0, 0, 152)
+
+	n1.Record(StageAck, 1, 5, 2, n1.Label("delivered"), 160)
+	n1.Record(StageAck, 1, 6, 3, n1.Label("delivered"), 161)
+	n1.Record(StageStabilize, 1, 5, 0, all1, 170)
+	return []*Recorder{n1, n2, n3}
+}
+
+func TestMergeOpTimeline(t *testing.T) {
+	recs := buildOpRecorders()
+	tl := MergeOp(1, 5, recs)
+	if !tl.HasAllStages() {
+		t.Fatalf("missing stages: %v", tl.Stages())
+	}
+	// nil recorders are tolerated.
+	if tl2 := MergeOp(1, 5, append(recs, nil)); len(tl2.Events) != len(tl.Events) {
+		t.Fatal("nil recorder changed merge")
+	}
+	// Ordered by timestamp.
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].TS < tl.Events[i-1].TS {
+			t.Fatalf("unordered merge at %d: %+v", i, tl.Events)
+		}
+	}
+	// Cumulative ack at seq 6 covers the op; one per peer.
+	if n := tl.Stages()[StageAck]; n != 2 {
+		t.Fatalf("ack events = %d, want 2", n)
+	}
+	if bad := tl.Validate(map[string]int{"all": 3}); len(bad) != 0 {
+		t.Fatalf("well-ordered timeline flagged: %v", bad)
+	}
+}
+
+func TestValidateCatchesDeliverBeforeRecv(t *testing.T) {
+	cfg := Config{SampleEvery: 1, RingSize: 16}
+	n2 := New(2, cfg)
+	n2.Record(StageDeliver, 1, 5, 0, 0, 100)
+	n2.Record(StageWireRecv, 1, 5, 1, 0, 200)
+	tl := MergeOp(1, 5, []*Recorder{n2})
+	bad := tl.Validate(nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "before its WireRecv") {
+		t.Fatalf("violations = %v", bad)
+	}
+
+	// And a deliver with no recv at all.
+	n3 := New(3, cfg)
+	n3.Record(StageDeliver, 1, 5, 0, 0, 100)
+	bad = MergeOp(1, 5, []*Recorder{n3}).Validate(nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "no WireRecv") {
+		t.Fatalf("violations = %v", bad)
+	}
+}
+
+func TestValidateCatchesSendBeforeEnqueue(t *testing.T) {
+	n1 := New(1, Config{SampleEvery: 1, RingSize: 16})
+	n1.Record(StageWireSend, 1, 5, 2, 0, 100)
+	n1.Record(StageBatchEnqueue, 1, 5, 2, 0, 150)
+	bad := MergeOp(1, 5, []*Recorder{n1}).Validate(nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "before its BatchEnqueue") {
+		t.Fatalf("violations = %v", bad)
+	}
+}
+
+func TestValidateCatchesMissingAckQuorum(t *testing.T) {
+	n1 := New(1, Config{SampleEvery: 1, RingSize: 16})
+	lbl := n1.Label("all")
+	n1.Record(StageAppend, 1, 5, 0, 0, 100)
+	n1.Record(StageAck, 1, 5, 2, 0, 150)
+	n1.Record(StageStabilize, 1, 5, 0, lbl, 160)
+	tl := MergeOp(1, 5, []*Recorder{n1})
+
+	// Quorum 3 needs 2 remote acks; only one was ingested.
+	bad := tl.Validate(map[string]int{"all": 3})
+	if len(bad) != 1 || !strings.Contains(bad[0], "only 1 remote acks") {
+		t.Fatalf("violations = %v", bad)
+	}
+	// Quorum 2 is satisfied.
+	if bad := tl.Validate(map[string]int{"all": 2}); len(bad) != 0 {
+		t.Fatalf("quorum-2 flagged: %v", bad)
+	}
+	// Unknown predicate keys are skipped.
+	if bad := tl.Validate(map[string]int{"other": 3}); len(bad) != 0 {
+		t.Fatalf("unknown key flagged: %v", bad)
+	}
+
+	// Acks ingested after the stabilize don't count.
+	n4 := New(1, Config{SampleEvery: 1, RingSize: 16})
+	lbl = n4.Label("all")
+	n4.Record(StageAck, 1, 5, 2, 0, 300)
+	n4.Record(StageStabilize, 1, 5, 0, lbl, 200)
+	bad = MergeOp(1, 5, []*Recorder{n4}).Validate(map[string]int{"all": 2})
+	if len(bad) != 1 {
+		t.Fatalf("late ack counted toward quorum: %v", bad)
+	}
+}
+
+func TestValidateStabilizeBeforeAppend(t *testing.T) {
+	n1 := New(1, Config{SampleEvery: 1, RingSize: 16})
+	n1.Record(StageStabilize, 1, 5, 0, n1.Label("all"), 50)
+	n1.Record(StageAppend, 1, 5, 0, 0, 100)
+	bad := MergeOp(1, 5, []*Recorder{n1}).Validate(nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "before Append") {
+		t.Fatalf("violations = %v", bad)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tl := MergeOp(1, 5, buildOpRecorders())
+	var sb strings.Builder
+	if err := tl.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"ph":"i"`, `"pid":2`, "stabilize:all", `"seq":5`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome export missing %q:\n%s", want, out)
+		}
+	}
+}

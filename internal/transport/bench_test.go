@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stabilizer/internal/emunet"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/wire"
 )
 
@@ -74,8 +75,10 @@ func BenchmarkSendLogAppendDrainBatch(b *testing.B) {
 }
 
 // benchmarkThroughput streams b.N messages from node 1 to node 2 over the
-// given matrix and reports the end-to-end delivery rate.
-func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int) {
+// given matrix and reports the end-to-end delivery rate. trace configures
+// the flight recorder on both ends (zero value = tracing off, the
+// production default and the BENCH_transport.json baseline).
+func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int, trace optrace.Config) {
 	b.Helper()
 	net := emunet.NewMemNetwork(matrix)
 	defer net.Close()
@@ -84,6 +87,7 @@ func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int) {
 	tr1, err := New(Config{
 		Self: 1, N: 2, Network: net, Handler: &countHandler{}, Log: sendLog,
 		HeartbeatEvery: 20 * time.Millisecond,
+		Trace:          optrace.New(1, trace),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -91,6 +95,7 @@ func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int) {
 	tr2, err := New(Config{
 		Self: 2, N: 2, Network: net, Handler: rx, Log: NewSendLog(1),
 		HeartbeatEvery: 20 * time.Millisecond,
+		Trace:          optrace.New(2, trace),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -135,7 +140,21 @@ func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int) {
 // BenchmarkStreamThroughputLocal measures delivery rate over an unshaped
 // in-memory fabric: the pure software overhead of the send/receive path.
 func BenchmarkStreamThroughputLocal(b *testing.B) {
-	benchmarkThroughput(b, nil, 256)
+	benchmarkThroughput(b, nil, 256, optrace.Config{})
+}
+
+// BenchmarkStreamThroughputLocalTraceSampled is the Local benchmark with
+// the flight recorder on at the production default sampling rate: the
+// overhead an always-on deployment actually pays.
+func BenchmarkStreamThroughputLocalTraceSampled(b *testing.B) {
+	benchmarkThroughput(b, nil, 256, optrace.Config{SampleEvery: 64})
+}
+
+// BenchmarkStreamThroughputLocalTraceAlways is the Local benchmark tracing
+// every message — the worst case, bounding what a 1-in-1 debug session
+// costs on the hot path.
+func BenchmarkStreamThroughputLocalTraceAlways(b *testing.B) {
+	benchmarkThroughput(b, nil, 256, optrace.Config{SampleEvery: 1})
 }
 
 // BenchmarkStreamThroughputEmunet measures delivery rate over an
@@ -144,5 +163,37 @@ func BenchmarkStreamThroughputLocal(b *testing.B) {
 func BenchmarkStreamThroughputEmunet(b *testing.B) {
 	m := emunet.NewMatrix()
 	m.Default = emunet.Link{OneWayLatency: 5 * time.Millisecond, BandwidthBps: emunet.Mbps(2000)}
-	benchmarkThroughput(b, m, 256)
+	benchmarkThroughput(b, m, 256, optrace.Config{})
+}
+
+// TestTracingDisabledDrainZeroAlloc pins the tentpole's zero-cost claim:
+// with Config.Trace nil, the batched drain path (SendLog.TryNextBatch, the
+// same call link.stream makes per wakeup) allocates nothing per entry
+// beyond the baseline it always had.
+func TestTracingDisabledDrainZeroAlloc(t *testing.T) {
+	l := NewSendLog(1)
+	payload := make([]byte, 64)
+	var batch []LogEntry
+	const run = 64
+	batch = make([]LogEntry, 0, run)
+	cursor := uint64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < run; j++ {
+			if _, err := l.Append(payload, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		batch = l.TryNextBatch(cursor, batch[:0], run, 1<<20)
+		if len(batch) != run {
+			t.Fatalf("drained %d of %d", len(batch), run)
+		}
+		cursor = batch[len(batch)-1].Seq + 1
+		l.TruncateThrough(cursor - 1)
+	})
+	// Append copies the payload (one alloc per entry); the drain itself
+	// must add zero. Anything above run allocs means the untraced drain
+	// path regressed.
+	if allocs > run {
+		t.Fatalf("drain with tracing disabled: %.1f allocs per %d-entry batch, want <= %d (append-only)", allocs, run, run)
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/wire"
 )
 
@@ -84,6 +85,11 @@ type link struct {
 	batch       []LogEntry
 	budgetBytes int
 	budgetAge   int
+	// traced collects the sampled seqs of the current batch so their
+	// WireSend events can be stamped after the connection write returns.
+	// Empty whenever tracing is off or nothing in the batch was sampled.
+	// Run/stream goroutine only.
+	traced []uint64
 	// scratch is the handshake frame buffer, reused across redials.
 	// Run goroutine only.
 	scratch []byte
@@ -451,6 +457,12 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 		if len(l.batch) > 0 {
 			frame = frame[:0]
 			resends := 0
+			rec := l.t.cfg.Trace
+			var tDrain int64
+			if rec != nil {
+				tDrain = time.Now().UnixNano()
+				l.traced = l.traced[:0]
+			}
 			for i := range l.batch {
 				e := &l.batch[i]
 				data.Seq, data.SentUnixNano, data.Payload = e.Seq, e.SentUnixNano, e.Payload
@@ -460,10 +472,23 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 				} else {
 					l.maxDataSeq = e.Seq
 				}
+				if rec != nil && rec.Sampled(l.t.cfg.Self, e.Seq) {
+					rec.Record(optrace.StageBatchEnqueue, l.t.cfg.Self, e.Seq, l.peer, 0, tDrain)
+					l.t.stageBatchQueue.Observe(tDrain - e.SentUnixNano)
+					l.traced = append(l.traced, e.Seq)
+				}
 			}
 			cursor = l.batch[len(l.batch)-1].Seq + 1
 			if _, err := bw.Write(frame); err != nil {
 				return
+			}
+			if len(l.traced) > 0 {
+				tWrite := time.Now().UnixNano()
+				for _, seq := range l.traced {
+					rec.Record(optrace.StageWireSend, l.t.cfg.Self, seq, l.peer, 0, tWrite)
+					l.t.stageWireSend.Observe(tWrite - tDrain)
+				}
+				l.traced = l.traced[:0]
 			}
 			l.countSent(len(frame), len(l.batch), &l.ins.dataSent)
 			l.t.dataSent.Add(int64(len(l.batch)))

@@ -12,6 +12,7 @@ import (
 
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/wire"
 )
 
@@ -76,6 +77,12 @@ type Config struct {
 	// (stabilizer_transport_zone_*). Missing peers roll up under blank
 	// labels.
 	PeerTags map[int]TopoTag
+	// Trace, when non-nil, is the node's lifecycle flight recorder: the
+	// transport records BatchEnqueue/WireSend on the outgoing links and
+	// WireRecv on accepted connections for sampled operations, and feeds
+	// the stabilizer_stage_seconds batch_queue/wire_send/flight segments.
+	// Nil keeps every hot path branch-predictable and allocation-free.
+	Trace *optrace.Recorder
 }
 
 // TopoTag places a node in the WAN topology: its availability zone and
@@ -191,6 +198,12 @@ type Transport struct {
 	closed  atomic.Bool
 	started atomic.Bool
 
+	// Stage-latency segments of stabilizer_stage_seconds, resolved once
+	// at startup; nil when tracing is disabled.
+	stageBatchQueue *metrics.Histogram
+	stageWireSend   *metrics.Histogram
+	stageFlight     *metrics.Histogram
+
 	// Process-wide totals, independent of the per-peer metric families so
 	// snapshot getters stay exact and O(1).
 	bytesSent  atomic.Int64
@@ -279,6 +292,12 @@ func New(cfg Config) (*Transport, error) {
 	bp := m.CounterVec("stabilizer_transport_backpressure_total",
 		"Appends gated by send-log admission control, by outcome.", "outcome")
 	log.setBackpressureCounters(bp.With("blocked"), bp.With("shed"))
+	if cfg.Trace != nil {
+		stage := m.HistogramVec(optrace.StageFamily, optrace.StageFamilyHelp, metrics.LatencyOpts, "stage")
+		t.stageBatchQueue = stage.With(optrace.SegBatchQueue)
+		t.stageWireSend = stage.With(optrace.SegWireSend)
+		t.stageFlight = stage.With(optrace.SegFlight)
+	}
 	for p := 1; p <= cfg.N; p++ {
 		if p == cfg.Self {
 			continue
@@ -534,6 +553,14 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 		case *wire.Data:
 			t.dataRecv.Add(1)
 			ins.dataRecv.Inc()
+			// Record the wire arrival before the duplicate filter: a
+			// resent frame really did cross the wire again, and the trace
+			// should show it.
+			if rec := t.cfg.Trace; rec != nil && rec.Sampled(from, m.Seq) {
+				now := time.Now().UnixNano()
+				rec.Record(optrace.StageWireRecv, from, m.Seq, from, 0, now)
+				t.stageFlight.Observe(now - m.SentUnixNano)
+			}
 			t.deliverData(from, m)
 		case *wire.Ack:
 			ins.ackRecv.Inc()

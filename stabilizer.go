@@ -66,6 +66,7 @@ import (
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
 	"stabilizer/internal/metrics"
+	"stabilizer/internal/optrace"
 	"stabilizer/internal/transport"
 )
 
@@ -145,6 +146,16 @@ type (
 	// PeerLag describes one blamed peer inside PredicateHealth.
 	PeerLag = core.PeerLag
 
+	// TraceConfig arms the per-operation flight recorder (sampling rate
+	// and per-node ring size); set via Config.Trace / ClusterConfig.Trace.
+	// The zero value keeps tracing off with zero hot-path cost.
+	TraceConfig = optrace.Config
+	// TraceEvent is one recorded lifecycle point of a traced operation.
+	TraceEvent = optrace.Event
+	// TraceTimeline is the merged cross-node view of one operation
+	// (see Cluster.TraceOp and Cluster.SlowestOp).
+	TraceTimeline = optrace.Timeline
+
 	// Network is the fabric abstraction nodes dial through.
 	Network = emunet.Network
 	// Link is one directed link's latency/bandwidth profile.
@@ -200,6 +211,14 @@ func ServeMetrics(addr string, reg *MetricsRegistry, extra map[string]http.Handl
 // mux, so profiles come from the same port as the scrape endpoint instead
 // of requiring the DefaultServeMux on a second listener.
 func WithPprof() ServeOption { return metrics.WithPprof() }
+
+// NewTraceHandler serves a cluster's per-operation flight recorder over
+// HTTP: ?origin=N&seq=M returns the merged cross-node timeline of one
+// sampled operation, ?op=latest-slow picks the slowest sampled op, and
+// &format=chrome renders Chrome trace_event JSON for about://tracing.
+// Mount it (conventionally at /debug/trace) via ServeMetrics' extra map;
+// it requires ClusterConfig.Trace to be enabled.
+func NewTraceHandler(cluster *Cluster) http.Handler { return optrace.NewHTTPHandler(cluster) }
 
 // LoadTopology reads and validates a topology JSON file.
 func LoadTopology(path string) (*Topology, error) { return config.Load(path) }
