@@ -46,10 +46,13 @@ bench-transport:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/wire ./internal/transport \
 	  | $(GO) run ./cmd/benchjson -update BENCH_transport.json
 
-# bench-transport-short is the CI smoke variant: a few iterations per
-# benchmark, no JSON rewrite — it only proves the benchmarks still run.
+# bench-transport-short is the CI variant: a quick measured pass over the
+# stream-throughput benchmarks, compared against the numbers recorded in
+# BENCH_transport.json. Drops under 20% print a non-blocking warning; a
+# StreamThroughput regression of 20% or more fails the target.
 bench-transport-short:
-	$(GO) test -bench=. -benchmem -benchtime=10x -run=^$$ ./internal/wire ./internal/transport
+	$(GO) test -bench='StreamThroughput' -benchmem -benchtime=1s -run=^$$ ./internal/transport \
+	  | $(GO) run ./cmd/benchjson -compare BENCH_transport.json
 
 # bench-optrace measures the flight recorder's cost: the raw Record and
 # sampler-miss microbenchmarks plus end-to-end stream throughput with

@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ./... | benchjson            # JSON to stdout
-//	go test -bench=. -benchmem ./... | benchjson -update F  # rewrite F
+//	go test -bench=. -benchmem ./... | benchjson             # JSON to stdout
+//	go test -bench=. -benchmem ./... | benchjson -update F   # rewrite F
+//	go test -bench=. -benchmem ./... | benchjson -compare F  # regression gate
 //
 // With -update, the parsed run is stored under "current"; an existing
 // file's "baseline" section is preserved so the pre-optimization numbers
 // survive regeneration. A fresh file seeds "baseline" from the first run.
+//
+// With -compare, nothing is written: the run on stdin is checked against
+// the file's recorded "current" section (falling back to "baseline"). Every
+// StreamThroughput benchmark's msgs/s is compared; drops up to the blocking
+// threshold (default 20%) print a non-blocking warning, drops at or past it
+// fail the command — the CI gate for data-plane throughput regressions.
 package main
 
 import (
@@ -48,6 +55,8 @@ type File struct {
 func main() {
 	update := flag.String("update", "", "rewrite this JSON file, preserving its baseline section")
 	note := flag.String("note", "", "free-form note stored in the file (only with -update on a fresh file)")
+	compare := flag.String("compare", "", "compare the run on stdin against this JSON file's recorded numbers instead of writing anything")
+	threshold := flag.Float64("threshold", 0.20, "blocking regression threshold for -compare (fraction of the recorded msgs/s)")
 	flag.Parse()
 
 	run := &Run{Date: time.Now().UTC().Format(time.RFC3339)}
@@ -70,6 +79,10 @@ func main() {
 		fatalf("no benchmark lines found on stdin")
 	}
 
+	if *compare != "" {
+		compareRun(run, *compare, *threshold)
+		return
+	}
 	if *update == "" {
 		emit(os.Stdout, &File{Current: run})
 		return
@@ -94,6 +107,64 @@ func main() {
 	emit(f, out)
 	if err := f.Close(); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// compareRun gates the fresh run against the recorded numbers in path: for
+// every StreamThroughput benchmark present in both, a msgs/s drop of at
+// least thresh fails the command; smaller drops warn. Benchmarks missing on
+// either side are skipped (new benchmarks must not break the gate).
+func compareRun(run *Run, path string, thresh float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read %s: %v", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fatalf("parse %s: %v", path, err)
+	}
+	ref := f.Current
+	if ref == nil {
+		ref = f.Baseline
+	}
+	if ref == nil {
+		fatalf("%s has neither current nor baseline numbers", path)
+	}
+	recorded := make(map[string]float64, len(ref.Benchmarks))
+	for _, b := range ref.Benchmarks {
+		if v, ok := b.Metrics["msgs/s"]; ok {
+			recorded[b.Name] = v
+		}
+	}
+	checked, failed := 0, false
+	for _, b := range run.Benchmarks {
+		if !strings.Contains(b.Name, "StreamThroughput") {
+			continue
+		}
+		want, ok := recorded[b.Name]
+		got, has := b.Metrics["msgs/s"]
+		if !ok || !has || want <= 0 {
+			continue
+		}
+		checked++
+		drop := (want - got) / want
+		switch {
+		case drop >= thresh:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f msgs/s is %.1f%% below the recorded %.0f (threshold %.0f%%)\n",
+				b.Name, got, drop*100, want, thresh*100)
+			failed = true
+		case drop > 0:
+			fmt.Fprintf(os.Stderr, "benchjson: warn %s: %.0f msgs/s is %.1f%% below the recorded %.0f\n",
+				b.Name, got, drop*100, want)
+		default:
+			fmt.Printf("benchjson: ok %s: %.0f msgs/s (recorded %.0f)\n", b.Name, got, want)
+		}
+	}
+	if checked == 0 {
+		fatalf("no StreamThroughput benchmarks to compare against %s", path)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -42,16 +42,20 @@ func run() error {
 		metricsAddr = flag.String("metrics-addr", "", "serve every experiment node's /metrics on this address (e.g. :9090)")
 		pprofOn     = flag.Bool("pprof", false, "also mount /debug/pprof on the metrics address")
 		traceSample = flag.Int("trace-sample", 0, "flight-record 1 in N operations and mount /debug/trace on the metrics address (0 = off, the faithful-measurement default)")
+		logStripes  = flag.Int("log-stripes", 0, "send-log producer stripes per node (0 = min(8, GOMAXPROCS), 1 = classic single-stripe log)")
+		writevMin   = flag.Int("writev-min-bytes", 0, "smallest batch payload sent as one vectored write on TCP fabrics (0 = 8 KiB default, negative disables writev)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
-		Out:       os.Stdout,
-		TimeScale: *timescale,
-		Fabric:    *fabric,
-		Short:     *short,
-		Trace:     optrace.Config{SampleEvery: *traceSample},
+		Out:        os.Stdout,
+		TimeScale:  *timescale,
+		Fabric:     *fabric,
+		Short:      *short,
+		LogStripes: *logStripes,
+		Trace:      optrace.Config{SampleEvery: *traceSample},
 	}
+	opts.Batch.WritevMinBytes = *writevMin
 	if *metricsAddr != "" {
 		var sopts []metrics.ServeOption
 		if *pprofOn {

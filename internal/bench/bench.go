@@ -57,6 +57,10 @@ type Options struct {
 	// throughput under bounded memory. Zero value = unbounded (the
 	// pre-flow-control behavior).
 	Flow transport.FlowConfig
+	// LogStripes shards every node's send-log appends across that many
+	// producer stripes; 0 picks transport.DefaultLogStripes(), 1 forces
+	// the classic single-stripe log for A/B comparisons.
+	LogStripes int
 	// Trace arms the per-operation flight recorder on every node an
 	// experiment starts (zero value = off, the faithful-measurement
 	// default — always-on tracing perturbs the numbers it measures).
@@ -138,6 +142,7 @@ func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*
 		PeerTimeout:    5 * time.Second,
 		Batch:          opts.Batch,
 		Flow:           opts.Flow,
+		LogStripes:     opts.LogStripes,
 		Trace:          opts.Trace,
 	})
 	if err != nil {

@@ -49,6 +49,10 @@ type Options struct {
 	// bounded-memory invariant: CrossCheck sweeps additionally assert no
 	// node's buffer exceeds the cap plus one payload.
 	Flow transport.FlowConfig
+	// LogStripes shards every node's send-log appends across that many
+	// producer stripes (0 = transport default, 1 = classic single-stripe
+	// log), so soaks exercise the striped merge path under faults.
+	LogStripes int
 	// Stall, when its Deadline is set, runs the nodes' stall monitors and
 	// turns on the degraded-mode honesty invariant: every stall report must
 	// blame only peers the schedule actually faulted.
@@ -245,6 +249,7 @@ func Soak(o Options) (*Report, error) {
 		HeartbeatEvery: o.HeartbeatEvery,
 		PeerTimeout:    o.PeerTimeout,
 		Flow:           o.Flow,
+		LogStripes:     o.LogStripes,
 		Stall:          o.Stall,
 		Trace:          o.Trace,
 		// Unless the soak opts into reclamation, keep send buffers whole:

@@ -33,9 +33,12 @@ func soakSeed(t *testing.T) int64 {
 func TestChaosSoak(t *testing.T) {
 	seed := soakSeed(t)
 	o := Options{
-		Seed:  seed,
-		Logf:  t.Logf,
-		Trace: optrace.Config{SampleEvery: 4, RingSize: 1 << 15},
+		Seed: seed,
+		Logf: t.Logf,
+		// Stripes > 1 so the soak's FIFO no-gap/no-dup and trace
+		// invariants run against the striped append/merge path.
+		LogStripes: 4,
+		Trace:      optrace.Config{SampleEvery: 4, RingSize: 1 << 15},
 	}
 	switch {
 	case os.Getenv("STABILIZER_CHAOS_FULL") != "":
@@ -90,9 +93,12 @@ func flowSoakOptions(seed int64) Options {
 		}
 	}
 	return Options{
-		Seed:        seed,
-		Kinds:       kinds,
-		Flow:        transport.FlowConfig{MaxBytes: 16 << 10, Mode: transport.FlowBlock},
+		Seed:  seed,
+		Kinds: kinds,
+		Flow:  transport.FlowConfig{MaxBytes: 16 << 10, Mode: transport.FlowBlock},
+		// Stripes > 1 so the bounded-memory invariant is checked against
+		// the striped log's global flow accounting.
+		LogStripes:  4,
 		Stall:       core.StallConfig{Deadline: 300 * time.Millisecond},
 		AutoReclaim: true,
 		Trace:       optrace.Config{SampleEvery: 1, RingSize: 1 << 14},

@@ -43,6 +43,7 @@ type ClusterConfig struct {
 	// Config.
 	Batch       transport.BatchConfig
 	Flow        transport.FlowConfig
+	LogStripes  int
 	Stall       StallConfig
 	Trace       optrace.Config
 	DialTimeout time.Duration
@@ -123,6 +124,7 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 			Metrics:            reg,
 			Batch:              cfg.Batch,
 			Flow:               cfg.Flow,
+			LogStripes:         cfg.LogStripes,
 			Stall:              cfg.Stall,
 			Trace:              cfg.Trace,
 			DialTimeout:        cfg.DialTimeout,

@@ -112,6 +112,13 @@ type Config struct {
 	// Flow bounds the send log with admission control (byte/entry caps and
 	// high/low watermarks); the zero value keeps the log unbounded.
 	Flow transport.FlowConfig
+	// LogStripes shards send-log appends across that many producer
+	// stripes (per-stripe mutex, one shared atomic sequence) so
+	// concurrent senders stop contending on a single lock. 0 picks
+	// transport.DefaultLogStripes(); 1 keeps the classic single-stripe
+	// log. Ordering, flow control, and truncation semantics are
+	// identical at every setting.
+	LogStripes int
 	// Stall configures degraded-mode stall detection and blame attribution
 	// (see StallConfig); the zero value disables the monitor.
 	Stall StallConfig
@@ -233,7 +240,11 @@ func openNode(cfg Config) (*Node, error) {
 		firstSeq = cfg.Checkpoint.NextSeq
 		selfTable.Restore(cfg.Checkpoint.SelfAcks)
 	}
-	log := transport.NewSendLogFlow(firstSeq, cfg.Flow)
+	stripes := cfg.LogStripes
+	if stripes == 0 {
+		stripes = transport.DefaultLogStripes()
+	}
+	log := transport.NewSendLogOpts(firstSeq, cfg.Flow, stripes)
 
 	mreg := cfg.Metrics
 	if mreg == nil {

@@ -40,6 +40,12 @@ type Link struct {
 	Jitter time.Duration
 }
 
+// zero reports whether the link applies no shaping at all; a connection
+// whose both directions are zero links is passed through unwrapped.
+func (l Link) zero() bool {
+	return l.OneWayLatency <= 0 && l.BandwidthBps <= 0 && l.Jitter <= 0
+}
+
 // Transmission returns the serialization delay of n bytes at the link's
 // bandwidth.
 func (l Link) Transmission(n int) time.Duration {

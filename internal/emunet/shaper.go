@@ -31,6 +31,14 @@ func Shape(conn net.Conn, fwd, rev Link) net.Conn {
 // jitter. Each direction gets its own sub-source so the two queues never
 // contend on rng.
 func ShapeSeeded(conn net.Conn, fwd, rev Link, rng *rand.Rand) net.Conn {
+	if fwd.zero() && rev.zero() {
+		// Both directions are unshaped: wrapping would only add chunk
+		// copies, two relay goroutines and a timestamp per chunk. Hand
+		// the raw connection back so unshaped fabrics keep kernel-level
+		// behavior (TCP conns stay *net.TCPConn and remain eligible for
+		// vectored writes upstream).
+		return conn
+	}
 	var fr, rr *rand.Rand
 	if rng != nil {
 		fr = rand.New(rand.NewSource(rng.Int63()))

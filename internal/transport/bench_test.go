@@ -80,7 +80,14 @@ func BenchmarkSendLogAppendDrainBatch(b *testing.B) {
 // production default and the BENCH_transport.json baseline).
 func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int, trace optrace.Config) {
 	b.Helper()
-	net := emunet.NewMemNetwork(matrix)
+	benchmarkThroughputNet(b, emunet.NewMemNetwork(matrix), payloadSize, trace)
+}
+
+// benchmarkThroughputNet is benchmarkThroughput over an explicit fabric, so
+// the TCP variant can exercise the kernel writev path (vectored writes only
+// engage on raw *net.TCPConn).
+func benchmarkThroughputNet(b *testing.B, net emunet.Network, payloadSize int, trace optrace.Config) {
+	b.Helper()
 	defer net.Close()
 	sendLog := NewSendLog(1)
 	rx := &countHandler{}
@@ -157,6 +164,14 @@ func BenchmarkStreamThroughputLocalTraceAlways(b *testing.B) {
 	benchmarkThroughput(b, nil, 256, optrace.Config{SampleEvery: 1})
 }
 
+// BenchmarkStreamThroughputTCP measures delivery rate over unshaped
+// loopback TCP: the only fabric whose connections reach the link as raw
+// *net.TCPConn, so this is the benchmark that exercises the vectored
+// (writev) batch path end to end.
+func BenchmarkStreamThroughputTCP(b *testing.B) {
+	benchmarkThroughputNet(b, emunet.NewTCPNetwork(nil), 256, optrace.Config{})
+}
+
 // BenchmarkStreamThroughputEmunet measures delivery rate over an
 // emunet-shaped WAN link (5 ms one-way, 2 Gbit/s), where batching and
 // pipelining decide how close the stream gets to saturating the link.
@@ -195,5 +210,78 @@ func TestTracingDisabledDrainZeroAlloc(t *testing.T) {
 	// path regressed.
 	if allocs > run {
 		t.Fatalf("drain with tracing disabled: %.1f allocs per %d-entry batch, want <= %d (append-only)", allocs, run, run)
+	}
+
+	// Zero clock calls: the stream loop's stage timestamps (batch_enqueue,
+	// wire_send) must be gated on the sampler, so an untraced end-to-end
+	// run reads the clock zero times on the drain path. nowNano is swapped
+	// for a counting shim; tests in this package run sequentially and
+	// streamMessages joins every transport goroutine before returning, so
+	// the swap cannot race a drain.
+	var clockCalls atomic.Int64
+	origNow := nowNano
+	nowNano = func() int64 { clockCalls.Add(1); return origNow() }
+	defer func() { nowNano = origNow }()
+
+	streamMessages(t, optrace.Config{}, 512)
+	if n := clockCalls.Load(); n != 0 {
+		t.Fatalf("tracing-off stream made %d data-path clock calls, want 0", n)
+	}
+	// Positive control: with every op sampled the same path must read the
+	// clock, proving the shim actually intercepts the drain loop.
+	clockCalls.Store(0)
+	streamMessages(t, optrace.Config{SampleEvery: 1}, 512)
+	if clockCalls.Load() == 0 {
+		t.Fatal("fully sampled stream made no data-path clock calls — the counting shim is not wired into the drain loop")
+	}
+}
+
+// streamMessages pushes msgs end-to-end through a two-node transport pair on
+// an unshaped in-memory fabric and waits for delivery, then closes both
+// transports (joining every link goroutine).
+func streamMessages(t *testing.T, trace optrace.Config, msgs int) {
+	t.Helper()
+	net := emunet.NewMemNetwork(nil)
+	defer net.Close()
+	sendLog := NewSendLog(1)
+	rx := &countHandler{}
+	tr1, err := New(Config{
+		Self: 1, N: 2, Network: net, Handler: &countHandler{}, Log: sendLog,
+		HeartbeatEvery: 20 * time.Millisecond,
+		Trace:          optrace.New(1, trace),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := New(Config{
+		Self: 2, N: 2, Network: net, Handler: rx, Log: NewSendLog(1),
+		HeartbeatEvery: 20 * time.Millisecond,
+		Trace:          optrace.New(2, trace),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	defer tr1.Close()
+
+	payload := make([]byte, 64)
+	for i := 0; i < msgs; i++ {
+		if _, err := sendLog.Append(payload, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr1.NotifyData()
+	deadline := time.Now().Add(10 * time.Second)
+	for int(rx.n.Load()) < msgs {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d messages", rx.n.Load(), msgs)
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }

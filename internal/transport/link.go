@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"errors"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -46,11 +47,16 @@ type link struct {
 	peer int
 	ins  *peerInstruments
 
-	// notified coalesces data wakeups: it is set by the first NotifyData
+	// notified coalesces writer wakeups: it is set by the first wake()
 	// after the writer goes idle and cleared by the writer before it
-	// re-checks for work, so a burst of Sends costs one cond broadcast
-	// per idle link instead of one per message.
+	// re-checks for work, so a burst of Sends (or queued ACKs) costs one
+	// cond broadcast per idle link instead of one per message.
 	notified atomic.Bool
+	// draining is true while the writer is actively pushing data batches.
+	// The accept side reads it to decide whether a heartbeat echo should
+	// ride this link's data stream as a trailer frame (queueEcho) instead
+	// of competing for the incoming connection.
+	draining atomic.Bool
 
 	mu   sync.Mutex
 	cond sync.Cond
@@ -67,8 +73,13 @@ type link struct {
 	apps     []*wire.App
 	hbDue    bool
 	hbClock  uint64
-	dataTick uint64 // bumped by signal(); lets waiters notice new log entries
-	closed   bool
+	// echoDue/echoClock queue a piggybacked heartbeat echo; the newest
+	// clock wins, since the peer only matches echoes against its latest
+	// heartbeat.
+	echoDue   bool
+	echoClock uint64
+	dataTick  uint64 // bumped by signal(); lets waiters notice new log entries
+	closed    bool
 	// hbSentClock/hbSentAt record the newest heartbeat written on the
 	// current connection; the peer echoes it back and the drain goroutine
 	// turns the match into an RTT sample.
@@ -85,6 +96,16 @@ type link struct {
 	batch       []LogEntry
 	budgetBytes int
 	budgetAge   int
+	// hdrs packs the batch's per-entry Data frame headers back to back;
+	// vecs is the reusable iovec list handed to writev (header and payload
+	// alternating); ctl is the encoded control trailer (ACKs, apps,
+	// heartbeat, echo) riding behind the batch; ackBuf backs the ACK slice
+	// takeControl hands out. Run/stream goroutine only (ackBuf is filled
+	// under mu but only read by the writer).
+	hdrs   []byte
+	vecs   [][]byte
+	ctl    []byte
+	ackBuf []wire.Ack
 	// traced collects the sampled seqs of the current batch so their
 	// WireSend events can be stamped after the connection write returns.
 	// Empty whenever tracing is off or nothing in the batch was sampled.
@@ -124,10 +145,11 @@ func (l *link) signal() {
 	l.cond.Broadcast()
 }
 
-// notifyData coalesces send-log wakeups: only the first notification after
-// the writer went idle pays for the lock and broadcast; the rest of a burst
-// is a single atomic load.
-func (l *link) notifyData() {
+// wake coalesces writer wakeups: only the first notification after the
+// writer went idle pays for the lock and broadcast; the rest of a burst is
+// a single atomic load. Safe because waitWork re-arms the flag under mu
+// before re-checking every work source.
+func (l *link) wake() {
 	if l.notified.Load() {
 		return
 	}
@@ -135,6 +157,10 @@ func (l *link) notifyData() {
 		l.signal()
 	}
 }
+
+// notifyData wakes the writer after new entries were appended to the send
+// log.
+func (l *link) notifyData() { l.wake() }
 
 func (l *link) queueAck(a wire.Ack) {
 	k := ackKey{origin: a.Origin, by: a.By, typ: a.Type}
@@ -147,7 +173,7 @@ func (l *link) queueAck(a wire.Ack) {
 		}
 	}
 	l.mu.Unlock()
-	l.cond.Broadcast()
+	l.wake()
 }
 
 // resetSent forgets per-connection send state so the next stream resyncs
@@ -176,7 +202,7 @@ func (l *link) queueApp(a *wire.App) error {
 	}
 	l.apps = append(l.apps, a)
 	l.mu.Unlock()
-	l.cond.Broadcast()
+	l.wake()
 	return nil
 }
 
@@ -185,7 +211,31 @@ func (l *link) queueHeartbeat(clock uint64) {
 	l.hbDue = true
 	l.hbClock = clock
 	l.mu.Unlock()
-	l.cond.Broadcast()
+	l.wake()
+}
+
+// queueEcho accepts a heartbeat echo for piggybacking if the writer is
+// actively draining data, reporting whether it took it. The echo rides the
+// next batch as a trailer frame; on a quiet link the caller falls back to
+// echoing directly on the incoming connection. A stale draining read is
+// harmless: waitWork treats a pending echo as work, so an accepted echo is
+// written promptly even if the stream goes idle right after.
+func (l *link) queueEcho(clock uint64) bool {
+	if !l.draining.Load() {
+		return false
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.echoDue = true
+	if clock > l.echoClock {
+		l.echoClock = clock
+	}
+	l.mu.Unlock()
+	l.wake()
+	return true
 }
 
 func (l *link) close() {
@@ -329,8 +379,11 @@ func (l *link) dial() (net.Conn, uint64, error) {
 				_ = conn.Close()
 				return
 			}
-			if hb, ok := msg.(*wire.Heartbeat); ok {
-				l.observeEcho(hb.Clock)
+			switch m := msg.(type) {
+			case *wire.Heartbeat:
+				l.observeEcho(m.Clock)
+			case *wire.HeartbeatEcho:
+				l.observeEcho(m.Clock)
 			}
 		}
 	}()
@@ -404,109 +457,227 @@ func (l *link) batchBudget() int {
 	return b
 }
 
-// stream multiplexes outbox + send log over an established connection until
-// it fails or the link closes. Data is written in batches: a run of log
-// entries is drained under one lock acquisition, encoded back to back into
-// one reusable frame buffer, handed to the connection as a single write,
-// and accounted with per-batch (not per-frame) metric updates. Control
-// frames are re-checked between batches so ACKs interleave with bulk data.
+// nowNano is the data-path clock. It is a variable so tests can count
+// clock reads on the drain path: with tracing off (or nothing in the batch
+// sampled) the stream loop must make zero clock calls.
+var nowNano = func() int64 { return time.Now().UnixNano() }
+
+// directWriteMin is the smallest encoded batch written straight to the
+// connection instead of through the 64 KiB buffered writer: at this size
+// the bufio copy buys no coalescing, it is pure memcpy overhead.
+const directWriteMin = 32 << 10
+
+// stream multiplexes the send log + control outbox over an established
+// connection until it fails or the link closes. Data is written in batches:
+// a run of log entries is drained under one lock acquisition, framed, and
+// handed to the connection as one write — via writev (per-entry header and
+// payload iovecs, no payload copy) on TCP connections carrying enough
+// bytes, via one reusable frame buffer otherwise. Pending control traffic
+// (coalesced ACKs, app messages, heartbeats, piggybacked echoes) rides
+// behind each batch as trailer frames in the same write; when no data is
+// flowing, control falls back to standalone buffered writes. Control is
+// collected once per loop iteration, so it waits at most one MaxFrames
+// batch behind bulk data — that bound is the control/data fairness rule.
 func (l *link) stream(conn net.Conn, cursor uint64) {
+	defer l.draining.Store(false)
+	tcp, _ := conn.(*net.TCPConn)
+	cfg := &l.t.cfg.Batch
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var frame []byte
-	var data wire.Data
 	for {
-		acks, apps, hb, hbClock, ok := l.takeControl()
+		l.batch = l.t.cfg.Log.TryNextBatch(cursor, l.batch[:0], cfg.MaxFrames, l.batchBudget())
+		ctl, ok := l.takeControl()
 		if !ok {
 			return
 		}
 		wrote := false
-		if len(acks) > 0 {
-			frame = frame[:0]
-			for i := range acks {
-				frame = wire.AppendFrame(frame, &acks[i])
-			}
-			if _, err := bw.Write(frame); err != nil {
-				return // resetSent on reconnect resyncs everything
-			}
-			l.countSent(len(frame), len(acks), &l.ins.ackSent)
-			wrote = true
-		}
-		if len(apps) > 0 {
-			frame = frame[:0]
-			for _, a := range apps {
-				frame = wire.AppendFrame(frame, a)
-			}
-			if _, err := bw.Write(frame); err != nil {
-				return
-			}
-			l.countSent(len(frame), len(apps), &l.ins.appSent)
-			wrote = true
-		}
-		if hb {
-			frame = wire.AppendFrame(frame[:0], &wire.Heartbeat{Clock: hbClock})
-			if _, err := bw.Write(frame); err != nil {
-				return
-			}
-			l.countSent(len(frame), 1, &l.ins.hbSent)
-			l.mu.Lock()
-			l.hbSentClock, l.hbSentAt = hbClock, time.Now()
-			l.mu.Unlock()
-			wrote = true
-		}
-		l.batch = l.t.cfg.Log.TryNextBatch(cursor, l.batch[:0], l.t.cfg.Batch.MaxFrames, l.batchBudget())
-		if len(l.batch) > 0 {
-			frame = frame[:0]
-			resends := 0
+		if n := len(l.batch); n > 0 {
+			l.draining.Store(true)
 			rec := l.t.cfg.Trace
-			var tDrain int64
 			if rec != nil {
-				tDrain = time.Now().UnixNano()
 				l.traced = l.traced[:0]
 			}
+			var tDrain int64
+			resends := 0
+			payloadBytes := 0
+			l.hdrs = l.hdrs[:0]
 			for i := range l.batch {
 				e := &l.batch[i]
-				data.Seq, data.SentUnixNano, data.Payload = e.Seq, e.SentUnixNano, e.Payload
-				frame = wire.AppendFrame(frame, &data)
+				l.hdrs = wire.AppendDataFrameHeader(l.hdrs, e.Seq, e.SentUnixNano, len(e.Payload))
+				payloadBytes += len(e.Payload)
 				if e.Seq <= l.maxDataSeq {
 					resends++
 				} else {
 					l.maxDataSeq = e.Seq
 				}
 				if rec != nil && rec.Sampled(l.t.cfg.Self, e.Seq) {
+					if tDrain == 0 {
+						tDrain = nowNano() // first sampled entry pays the clock read
+					}
 					rec.Record(optrace.StageBatchEnqueue, l.t.cfg.Self, e.Seq, l.peer, 0, tDrain)
 					l.t.stageBatchQueue.Observe(tDrain - e.SentUnixNano)
 					l.traced = append(l.traced, e.Seq)
 				}
 			}
-			cursor = l.batch[len(l.batch)-1].Seq + 1
-			if _, err := bw.Write(frame); err != nil {
-				return
+			cursor = l.batch[n-1].Seq + 1
+			ackB, appB, hbB := l.encodeControl(&ctl)
+			var err error
+			if tcp != nil && cfg.WritevMinBytes >= 0 && payloadBytes >= cfg.WritevMinBytes {
+				err = l.writeVectored(tcp, bw, payloadBytes)
+			} else {
+				frame, err = l.writeCopied(conn, bw, frame)
+			}
+			if err != nil {
+				return // resetSent on reconnect resyncs everything
 			}
 			if len(l.traced) > 0 {
-				tWrite := time.Now().UnixNano()
+				tWrite := nowNano()
 				for _, seq := range l.traced {
 					rec.Record(optrace.StageWireSend, l.t.cfg.Self, seq, l.peer, 0, tWrite)
 					l.t.stageWireSend.Observe(tWrite - tDrain)
 				}
 				l.traced = l.traced[:0]
 			}
-			l.countSent(len(frame), len(l.batch), &l.ins.dataSent)
-			l.t.dataSent.Add(int64(len(l.batch)))
+			l.countSent(len(l.hdrs)+payloadBytes, n, &l.ins.dataSent)
+			l.t.dataSent.Add(int64(n))
 			if resends > 0 {
 				l.t.resent.Add(int64(resends))
 				l.ins.resent.Add(int64(resends))
 			}
+			l.noteControlSent(&ctl, ackB, appB, hbB)
+			wrote = true
+		} else if ctl.any() {
+			// Idle fallback: standalone control frames through the
+			// buffered writer.
+			ackB, appB, hbB := l.encodeControl(&ctl)
+			if _, err := bw.Write(l.ctl); err != nil {
+				return
+			}
+			l.noteControlSent(&ctl, ackB, appB, hbB)
 			wrote = true
 		}
 		if wrote {
 			continue
 		}
+		l.draining.Store(false)
 		if err := bw.Flush(); err != nil {
 			return
 		}
 		if !l.waitWork(cursor) {
 			return
 		}
+	}
+}
+
+// writeVectored hands the current batch to the kernel as one writev: the
+// headers packed in l.hdrs and each entry's payload become alternating
+// iovecs, with the control trailer as the final one. Payload bytes are
+// never copied. Any bytes still sitting in the buffered writer are flushed
+// first so frame order is preserved.
+func (l *link) writeVectored(tcp *net.TCPConn, bw *bufio.Writer, payloadBytes int) error {
+	if bw.Buffered() > 0 {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	l.vecs = l.vecs[:0]
+	h := 0
+	for i := range l.batch {
+		e := &l.batch[i]
+		l.vecs = append(l.vecs, l.hdrs[h:h+wire.DataFrameOverhead])
+		h += wire.DataFrameOverhead
+		if len(e.Payload) > 0 {
+			l.vecs = append(l.vecs, e.Payload)
+		}
+	}
+	if len(l.ctl) > 0 {
+		l.vecs = append(l.vecs, l.ctl)
+	}
+	total := int64(len(l.hdrs) + payloadBytes + len(l.ctl))
+	bufs := net.Buffers(l.vecs)
+	n, err := bufs.WriteTo(tcp)
+	if err != nil {
+		return err
+	}
+	if n != total {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// writeCopied encodes the current batch plus control trailer into the
+// reusable frame buffer and writes it in one call: straight to the
+// connection for large batches (the bufio copy would buy nothing), through
+// the buffered writer for small ones so consecutive little batches still
+// coalesce into one wire write.
+func (l *link) writeCopied(conn net.Conn, bw *bufio.Writer, frame []byte) ([]byte, error) {
+	frame = frame[:0]
+	h := 0
+	for i := range l.batch {
+		frame = append(frame, l.hdrs[h:h+wire.DataFrameOverhead]...)
+		h += wire.DataFrameOverhead
+		frame = append(frame, l.batch[i].Payload...)
+	}
+	frame = append(frame, l.ctl...)
+	if len(frame) >= directWriteMin {
+		if bw.Buffered() > 0 {
+			if err := bw.Flush(); err != nil {
+				return frame, err
+			}
+		}
+		_, err := conn.Write(frame)
+		return frame, err
+	}
+	_, err := bw.Write(frame)
+	return frame, err
+}
+
+// encodeControl frames the drained control batch into l.ctl, returning the
+// per-kind byte spans (ACKs, apps, heartbeat+echo) for metric attribution.
+func (l *link) encodeControl(c *controlBatch) (ackB, appB, hbB int) {
+	l.ctl = l.ctl[:0]
+	for i := range c.acks {
+		l.ctl = wire.AppendFrame(l.ctl, &c.acks[i])
+	}
+	ackB = len(l.ctl)
+	for _, a := range c.apps {
+		l.ctl = wire.AppendFrame(l.ctl, a)
+	}
+	appB = len(l.ctl) - ackB
+	if c.hb {
+		l.ctl = wire.AppendFrame(l.ctl, &wire.Heartbeat{Clock: c.hbClock})
+	}
+	if c.echo {
+		l.ctl = wire.AppendFrame(l.ctl, &wire.HeartbeatEcho{Clock: c.echoClock})
+	}
+	hbB = len(l.ctl) - ackB - appB
+	return ackB, appB, hbB
+}
+
+// noteControlSent updates the per-kind counters for a control batch that
+// reached the connection and stamps the heartbeat send time for RTT
+// matching.
+func (l *link) noteControlSent(c *controlBatch, ackB, appB, hbB int) {
+	if len(c.acks) > 0 {
+		l.countSent(ackB, len(c.acks), &l.ins.ackSent)
+	}
+	if len(c.apps) > 0 {
+		l.countSent(appB, len(c.apps), &l.ins.appSent)
+	}
+	hbFrames := 0
+	if c.hb {
+		hbFrames++
+	}
+	if c.echo {
+		hbFrames++
+	}
+	if hbFrames > 0 {
+		l.countSent(hbB, hbFrames, &l.ins.hbSent)
+	}
+	if c.hb {
+		l.mu.Lock()
+		l.hbSentClock, l.hbSentAt = c.hbClock, time.Now()
+		l.mu.Unlock()
 	}
 }
 
@@ -518,52 +689,74 @@ func (l *link) countSent(n, frames int, kind *counterPair) {
 	kind.Add(int64(frames))
 }
 
+// controlBatch is one atomically drained snapshot of a link's control
+// outbox: everything that rides as trailer frames behind the current data
+// batch, or as standalone frames when the link is idle.
+type controlBatch struct {
+	acks      []wire.Ack
+	apps      []*wire.App
+	hb        bool
+	hbClock   uint64
+	echo      bool
+	echoClock uint64
+}
+
+// any reports whether the batch carries anything to write.
+func (c *controlBatch) any() bool {
+	return len(c.acks) > 0 || len(c.apps) > 0 || c.hb || c.echo
+}
+
 // takeControl atomically drains the control outbox. ok is false once the
-// link is closed.
-func (l *link) takeControl() (acks []wire.Ack, apps []*wire.App, hb bool, hbClock uint64, ok bool) {
+// link is closed. The returned ACK slice aliases link-owned scratch valid
+// until the next call (the stream goroutine is the only caller).
+func (l *link) takeControl() (c controlBatch, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return nil, nil, false, 0, false
+		return c, false
 	}
 	if len(l.dirty) > 0 {
-		acks = make([]wire.Ack, 0, len(l.dirty))
+		l.ackBuf = l.ackBuf[:0]
 		for _, k := range l.dirty {
 			v := l.acks[k]
 			if v <= l.sent[k] {
 				continue // already on the wire for this connection
 			}
 			l.sent[k] = v
-			acks = append(acks, wire.Ack{Origin: k.origin, By: k.by, Type: k.typ, Seq: v})
+			l.ackBuf = append(l.ackBuf, wire.Ack{Origin: k.origin, By: k.by, Type: k.typ, Seq: v})
 		}
+		c.acks = l.ackBuf
 		l.dirty = l.dirty[:0]
 		clear(l.dirtySet)
 	}
 	if len(l.apps) > 0 {
-		apps = l.apps
+		c.apps = l.apps
 		l.apps = nil
 	}
-	hb, hbClock = l.hbDue, l.hbClock
+	c.hb, c.hbClock = l.hbDue, l.hbClock
 	l.hbDue = false
-	return acks, apps, hb, hbClock, true
+	c.echo, c.echoClock = l.echoDue, l.echoClock
+	l.echoDue = false
+	return c, true
 }
 
 // waitWork blocks until there is something to send: control traffic, a
-// heartbeat, or a log entry at or beyond cursor. Returns false on close.
+// heartbeat or echo, or a log entry at or beyond cursor. Returns false on
+// close.
 func (l *link) waitWork(cursor uint64) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
-		// Re-arm data notifications before checking for work: any append
-		// that lands after this store triggers a real signal, and any
-		// append before it is visible to the TryNext probe below — so no
-		// wakeup is lost while the flag keeps bursts down to one
+		// Re-arm notifications before checking for work: any append or
+		// queue that lands after this store triggers a real signal, and
+		// any that landed before it is visible to the checks below — so
+		// no wakeup is lost while the flag keeps bursts down to one
 		// broadcast per idle period.
 		l.notified.Store(false)
 		if l.closed {
 			return false
 		}
-		if len(l.dirty) > 0 || len(l.apps) > 0 || l.hbDue {
+		if len(l.dirty) > 0 || len(l.apps) > 0 || l.hbDue || l.echoDue {
 			return true
 		}
 		if _, ready := l.t.cfg.Log.TryNext(cursor); ready {

@@ -11,7 +11,9 @@ package transport
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"stabilizer/internal/metrics"
 )
@@ -54,6 +56,9 @@ func (m FlowMode) String() string {
 // watermarks (LowFrac x cap), so appenders don't thrash at the boundary.
 // Caps are checked before the entry is added, so the buffer can exceed
 // MaxBytes by at most one payload — "cap plus one message", never unbounded.
+// The caps are global across all producer stripes: admission-controlled
+// appends serialize through the log's central mutex so byte and entry
+// accounting stay exact no matter how many stripes are configured.
 type FlowConfig struct {
 	// MaxBytes is the high watermark on buffered payload bytes (0 = no
 	// byte cap).
@@ -91,21 +96,78 @@ type LogEntry struct {
 	Payload      []byte
 }
 
+// maxLogStripes caps the producer stripe count: past the point where every
+// core has its own stripe, more stripes only cost merge passes.
+const maxLogStripes = 64
+
+// DefaultLogStripes returns the stripe count used when a caller asks for
+// striping without picking a number: one per core, capped at 8 — append
+// contention flattens well before then and the drainer's merge pass scales
+// with the stripe count.
+func DefaultLogStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// logStripe is one producer staging buffer. Appenders reserve a sequence
+// from the log's shared atomic counter while holding the stripe mutex, so
+// each stripe's entries are in ascending sequence order; the drainer merges
+// stripes back into the dense canonical log in sequence order. The struct is
+// padded to its own cache line so neighboring stripes don't false-share.
+type logStripe struct {
+	mu      sync.Mutex
+	entries []LogEntry
+	_       [96]byte
+}
+
 // SendLog is the shared retransmission buffer: an append-only, in-memory
 // log of the local node's sequenced messages. Entries are retained until
 // TruncateThrough reclaims them (the core does so once a message has been
 // delivered everywhere).
+//
+// Appends are sharded across producer stripes (NewSendLogOpts): a producer
+// reserves the next sequence from one atomic counter inside a per-stripe
+// critical section and stages the entry there, so concurrent senders no
+// longer serialize on a single mutex. Readers (TryNext/TryNextBatch/Next)
+// merge staged entries into the dense canonical slice in sequence order
+// before looking anything up, which keeps every external invariant of the
+// single-lock log: sequences are gapless, batches are contiguous runs, and
+// truncation is exact. An entry becomes visible to readers only once every
+// lower sequence has been staged — a reservation gap in one stripe briefly
+// hides later sequences, exactly preserving FIFO.
 type SendLog struct {
+	// next is the next sequence to assign (first is 1); reservations are
+	// atomic so they need no central lock. bytes tracks buffered payload
+	// bytes (staged + merged). rr is the sticky stripe hint: the index of
+	// the stripe producers should try first (see lockStripe).
+	next  atomic.Uint64
+	bytes atomic.Int64
+	rr    atomic.Uint32
+	// readWaiters counts goroutines blocked in Next; fast-path appenders
+	// skip the wakeup lock entirely while it is zero.
+	readWaiters atomic.Int32
+	// closedA mirrors closed for the lock-free append fast path.
+	closedA atomic.Bool
+	// flowOn is fixed at construction: admission-controlled appends take
+	// the central mutex so the caps stay global across stripes.
+	flowOn bool
+
+	stripes []logStripe
+
 	mu   sync.Mutex
 	cond sync.Cond
 	base uint64 // sequence of entries[off]; next when empty
-	next uint64 // next sequence to assign (first is 1)
 	// off is the reclaimed prefix length of entries: entries[:off] are
 	// zeroed husks kept so TruncateThrough can advance in O(1) and only
 	// compact when the dead prefix dominates the slice.
 	off     int
-	entries []LogEntry
-	bytes   int64
+	entries []LogEntry // canonical merged log, contiguous from base
 	closed  bool
 
 	// Flow control (admission) state. full latches once a cap is hit and
@@ -125,23 +187,46 @@ type SendLog struct {
 	mShed    *metrics.Counter
 }
 
-// NewSendLog returns an empty log whose first assigned sequence is
-// firstSeq (1 on a fresh start; a checkpointed value on primary restart).
+// NewSendLog returns an empty single-stripe log whose first assigned
+// sequence is firstSeq (1 on a fresh start; a checkpointed value on primary
+// restart).
 func NewSendLog(firstSeq uint64) *SendLog {
-	if firstSeq == 0 {
-		firstSeq = 1
-	}
-	l := &SendLog{base: firstSeq, next: firstSeq}
-	l.cond.L = &l.mu
-	return l
+	return NewSendLogOpts(firstSeq, FlowConfig{}, 1)
 }
 
 // NewSendLogFlow is NewSendLog with admission control configured.
 func NewSendLogFlow(firstSeq uint64, flow FlowConfig) *SendLog {
-	l := NewSendLog(firstSeq)
-	l.flow = flow.normalized()
+	return NewSendLogOpts(firstSeq, flow, 1)
+}
+
+// NewSendLogOpts returns an empty log with flow control and producer
+// striping configured. stripes < 1 means 1; values above maxLogStripes are
+// clamped. Striping only changes append-side contention — the external
+// contract (gapless sequences, contiguous batches, global flow caps) is
+// identical at every stripe count.
+func NewSendLogOpts(firstSeq uint64, flow FlowConfig, stripes int) *SendLog {
+	if firstSeq == 0 {
+		firstSeq = 1
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > maxLogStripes {
+		stripes = maxLogStripes
+	}
+	l := &SendLog{
+		base:    firstSeq,
+		flow:    flow.normalized(),
+		stripes: make([]logStripe, stripes),
+	}
+	l.flowOn = l.flow.Enabled()
+	l.next.Store(firstSeq)
+	l.cond.L = &l.mu
 	return l
 }
+
+// Stripes returns the configured producer stripe count.
+func (l *SendLog) Stripes() int { return len(l.stripes) }
 
 // Append assigns the next sequence number to payload and buffers it.
 // The payload is retained by reference; callers must not mutate it.
@@ -156,6 +241,70 @@ func (l *SendLog) Append(payload []byte, sentUnixNano int64) (uint64, error) {
 // promptly when ctx is done. A nil ctx blocks until space frees or the log
 // closes.
 func (l *SendLog) AppendCtx(ctx context.Context, payload []byte, sentUnixNano int64) (uint64, error) {
+	if !l.flowOn {
+		return l.appendFast(payload, sentUnixNano)
+	}
+	return l.appendFlow(ctx, payload, sentUnixNano)
+}
+
+// lockStripe picks and locks a staging stripe. Producers are sticky: each
+// append first tries the last successfully locked stripe (uncontended
+// TryLock), only migrating to a neighbor when it is busy. Stickiness keeps a
+// lone producer's sequences in one stripe — so the drainer's merge pops them
+// as one long run under a single stripe lock — while contention still
+// spreads concurrent producers across stripes.
+func (l *SendLog) lockStripe() *logStripe {
+	n := len(l.stripes)
+	if n == 1 {
+		s := &l.stripes[0]
+		s.mu.Lock()
+		return s
+	}
+	start := int(l.rr.Load()) % n
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		s := &l.stripes[idx]
+		if s.mu.TryLock() {
+			if i != 0 {
+				l.rr.Store(uint32(idx))
+			}
+			return s
+		}
+	}
+	s := &l.stripes[start]
+	s.mu.Lock()
+	return s
+}
+
+// appendFast is the unbounded-log append: no admission control, so the
+// whole operation is one short per-stripe critical section plus two atomic
+// adds. The sequence is reserved inside the stripe lock, which is what
+// keeps each stripe internally sorted for the merge.
+func (l *SendLog) appendFast(payload []byte, sentUnixNano int64) (uint64, error) {
+	s := l.lockStripe()
+	if l.closedA.Load() {
+		s.mu.Unlock()
+		return 0, ErrLogClosed
+	}
+	seq := l.next.Add(1) - 1
+	s.entries = append(s.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
+	s.mu.Unlock()
+	l.bytes.Add(int64(len(payload)))
+	// Wake blocked readers only when some exist. A reader that raced this
+	// publish re-checks the stripes after announcing itself (see Next), so
+	// a zero read here can never strand it.
+	if l.readWaiters.Load() != 0 {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	return seq, nil
+}
+
+// appendFlow is the admission-controlled append: capacity checks, sequence
+// reservation and byte accounting all happen under the central mutex so the
+// caps stay global and exact across stripes.
+func (l *SendLog) appendFlow(ctx context.Context, payload []byte, sentUnixNano int64) (uint64, error) {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -205,10 +354,11 @@ func (l *SendLog) AppendCtx(ctx context.Context, payload []byte, sentUnixNano in
 			}
 		}
 	}
-	seq := l.next
-	l.next++
-	l.entries = append(l.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
-	l.bytes += int64(len(payload))
+	s := l.lockStripe()
+	seq := l.next.Add(1) - 1
+	s.entries = append(s.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
+	s.mu.Unlock()
+	l.bytes.Add(int64(len(payload)))
 	l.mu.Unlock()
 	l.cond.Broadcast()
 	return seq, nil
@@ -221,12 +371,13 @@ func (l *SendLog) overLocked() bool {
 	if fc.MaxBytes <= 0 && fc.MaxEntries <= 0 {
 		return false
 	}
-	live := len(l.entries) - l.off
-	if (fc.MaxBytes > 0 && l.bytes >= fc.MaxBytes) ||
+	live := int(l.next.Load() - l.base)
+	bytes := l.bytes.Load()
+	if (fc.MaxBytes > 0 && bytes >= fc.MaxBytes) ||
 		(fc.MaxEntries > 0 && live >= fc.MaxEntries) {
 		l.full = true
 	} else if l.full {
-		if (fc.MaxBytes <= 0 || l.bytes <= fc.lowBytes()) &&
+		if (fc.MaxBytes <= 0 || bytes <= fc.lowBytes()) &&
 			(fc.MaxEntries <= 0 || live <= fc.lowEntries()) {
 			l.full = false
 		}
@@ -246,6 +397,47 @@ func (l *SendLog) releaseSpaceLocked() {
 	}
 }
 
+// mergeLocked moves staged stripe entries into the canonical slice in
+// sequence order. It pops the contiguous head run of each stripe, looping
+// until a full pass over the stripes makes no progress — a sequence that is
+// reserved but not yet staged stops the merge exactly there, so readers
+// never observe a gap. Caller holds l.mu.
+func (l *SendLog) mergeLocked() {
+	want := l.base + uint64(len(l.entries)-l.off)
+	if l.next.Load() == want {
+		return // nothing staged
+	}
+	for {
+		advanced := false
+		for i := range l.stripes {
+			s := &l.stripes[i]
+			s.mu.Lock()
+			n := 0
+			for n < len(s.entries) && s.entries[n].Seq == want {
+				l.entries = append(l.entries, s.entries[n])
+				want++
+				n++
+			}
+			if n > 0 {
+				advanced = true
+				rest := copy(s.entries, s.entries[n:])
+				clear(s.entries[rest:]) // drop stale payload references
+				s.entries = s.entries[:rest]
+			}
+			s.mu.Unlock()
+		}
+		if !advanced || l.next.Load() == want {
+			return
+		}
+	}
+}
+
+// visibleNextLocked is the first sequence not yet merged into the canonical
+// slice: entries [base, visibleNext) are addressable. Caller holds l.mu.
+func (l *SendLog) visibleNextLocked() uint64 {
+	return l.base + uint64(len(l.entries)-l.off)
+}
+
 // Next blocks until the entry with sequence seq is available, then returns
 // it. If seq has been truncated, the oldest retained entry is returned
 // instead (its Seq tells the caller where it landed). Returns ErrLogClosed
@@ -254,16 +446,28 @@ func (l *SendLog) Next(seq uint64) (LogEntry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
+		l.mergeLocked()
 		if seq < l.base {
 			seq = l.base
 		}
-		if seq < l.next {
+		if seq < l.visibleNextLocked() {
 			return l.entries[l.off+int(seq-l.base)], nil
 		}
 		if l.closed {
 			return LogEntry{}, ErrLogClosed
 		}
+		// Announce the sleeper before the final re-check: an appendFast
+		// that published before our merge below must observe the counter
+		// and take the broadcast path, so no wakeup can be lost between
+		// the check and the Wait.
+		l.readWaiters.Add(1)
+		l.mergeLocked()
+		if seq < l.visibleNextLocked() {
+			l.readWaiters.Add(-1)
+			continue
+		}
 		l.cond.Wait()
+		l.readWaiters.Add(-1)
 	}
 }
 
@@ -271,10 +475,11 @@ func (l *SendLog) Next(seq uint64) (LogEntry, error) {
 func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.mergeLocked()
 	if seq < l.base {
 		seq = l.base
 	}
-	if seq < l.next {
+	if seq < l.visibleNextLocked() {
 		return l.entries[l.off+int(seq-l.base)], true
 	}
 	return LogEntry{}, false
@@ -284,21 +489,26 @@ func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
 // under a single lock acquisition, appending them to dst and returning the
 // extended slice. The run is capped at maxFrames entries and stops before
 // the entry that would push the accumulated payload bytes past maxBytes —
-// but always includes at least one entry when any is ready, so an
-// over-budget payload still makes progress. A seq below the retained base
-// snaps to the base, exactly like TryNext. Entries share payload slices
-// with the log; callers must not mutate them.
+// but always includes at least one entry when any is ready, so a single
+// payload larger than the whole byte budget is still sent rather than
+// wedging the link (the oversize first-frame rule; flow control has already
+// accounted such a payload at admission, so draining it promptly is also
+// what unblocks waiting appenders). A seq below the retained base snaps to
+// the base, exactly like TryNext. Entries share payload slices with the
+// log; callers must not mutate them.
 func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes int) []LogEntry {
 	if maxFrames < 1 {
 		maxFrames = 1
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.mergeLocked()
 	if seq < l.base {
 		seq = l.base
 	}
 	budget := maxBytes
-	for n := 0; n < maxFrames && seq < l.next; n++ {
+	vnext := l.visibleNextLocked()
+	for n := 0; n < maxFrames && seq < vnext; n++ {
 		e := l.entries[l.off+int(seq-l.base)]
 		if n > 0 && len(e.Payload) > budget {
 			break
@@ -314,21 +524,25 @@ func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes i
 // amortized: dropped entries are zeroed in place (releasing their payloads
 // to the collector) and the slice is only compacted once the dead prefix
 // outgrows the live tail, so each entry is moved O(1) times over its life
-// instead of once per call.
+// instead of once per call. Staged stripe entries are merged first, so a
+// reclaim that has raced ahead of the drainer still accounts every byte.
 func (l *SendLog) TruncateThrough(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if seq < l.base {
 		return
 	}
+	l.mergeLocked()
 	drop := int(seq - l.base + 1)
 	if live := len(l.entries) - l.off; drop > live {
 		drop = live
 	}
 	dead := l.entries[l.off : l.off+drop]
+	var freed int64
 	for i := range dead {
-		l.bytes -= int64(len(dead[i].Payload))
+		freed += int64(len(dead[i].Payload))
 	}
+	l.bytes.Add(-freed)
 	clear(dead) // release payload references
 	l.off += drop
 	l.base += uint64(drop)
@@ -347,16 +561,12 @@ const compactThreshold = 32
 
 // Head returns the highest assigned sequence (0 if none).
 func (l *SendLog) Head() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.next - 1
+	return l.next.Load() - 1
 }
 
 // NextSeq returns the sequence the next Append will assign.
 func (l *SendLog) NextSeq() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.next
+	return l.next.Load()
 }
 
 // Base returns the oldest retained sequence.
@@ -366,18 +576,16 @@ func (l *SendLog) Base() uint64 {
 	return l.base
 }
 
-// Bytes returns the payload bytes currently buffered.
+// Bytes returns the payload bytes currently buffered (staged and merged).
 func (l *SendLog) Bytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.bytes
+	return l.bytes.Load()
 }
 
-// Len returns the number of buffered entries.
+// Len returns the number of buffered entries (staged and merged).
 func (l *SendLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries) - l.off
+	return int(l.next.Load() - l.base)
 }
 
 // Flow returns the admission-control configuration (zero when unbounded).
@@ -429,6 +637,7 @@ func (l *SendLog) setBackpressureCounters(blocked, shed *metrics.Counter) {
 func (l *SendLog) Close() {
 	l.mu.Lock()
 	l.closed = true
+	l.closedA.Store(true)
 	if l.spaceCh != nil {
 		close(l.spaceCh)
 		l.spaceCh = nil

@@ -110,6 +110,15 @@ type BatchConfig struct {
 	// BandwidthBps is the assumed per-link bandwidth in bits per second
 	// used in the budget rule (default 100 Mbit/s).
 	BandwidthBps float64
+	// WritevMinBytes is the smallest batch payload handed to the kernel
+	// as one vectored write (writev) on TCP connections, with per-entry
+	// frame headers and payloads as separate iovecs so payload bytes are
+	// never copied. Smaller batches go through the copying buffered
+	// writer, which coalesces consecutive little batches into one wire
+	// write. 0 picks the 8 KiB default; negative disables vectored writes
+	// entirely. Non-TCP connections (in-memory fabrics, fault-injection
+	// wrappers) always use the buffered path.
+	WritevMinBytes int
 }
 
 func (b BatchConfig) normalized() BatchConfig {
@@ -127,6 +136,9 @@ func (b BatchConfig) normalized() BatchConfig {
 	}
 	if b.BandwidthBps <= 0 {
 		b.BandwidthBps = 100e6
+	}
+	if b.WritevMinBytes == 0 {
+		b.WritevMinBytes = 8 << 10
 	}
 	return b
 }
@@ -173,6 +185,10 @@ type Transport struct {
 
 	links map[int]*link            // keyed by peer index
 	peers map[int]*peerInstruments // keyed by peer index
+	// linkList is links as a dense slice: the per-message broadcast paths
+	// (NotifyData, QueueAck) walk it instead of paying map iteration on
+	// every append. Built once at construction, never mutated.
+	linkList []*link
 
 	// recvLast[p] is the highest contiguous data sequence received from
 	// peer p. It is written under deliverMu[p] and read lock-free by
@@ -189,9 +205,15 @@ type Transport struct {
 	incoming map[int]net.Conn  // current accepted conn per peer
 	accepted map[net.Conn]bool // every live accepted conn, incl. pre-handshake
 
+	// Liveness is frame-counter based so the receive hot path stays off
+	// the clock: heardTick[p] counts frames heard from peer p (bumped
+	// with one atomic add per frame), and the failure detector's ticker
+	// translates "the counter moved since my last scan" into an arrival
+	// timestamp at tick granularity. liveMu serializes only the rare
+	// up/down transitions. Index 0 is unused (peers are 1-based).
 	liveMu    sync.Mutex
-	lastHeard map[int]time.Time
-	peerUp    map[int]bool
+	heardTick []atomic.Int64
+	peerUpA   []atomic.Bool
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -250,8 +272,8 @@ func New(cfg Config) (*Transport, error) {
 		deliverMu: make([]sync.Mutex, cfg.N+1),
 		incoming:  make(map[int]net.Conn, cfg.N-1),
 		accepted:  make(map[net.Conn]bool, cfg.N-1),
-		lastHeard: make(map[int]time.Time, cfg.N-1),
-		peerUp:    make(map[int]bool, cfg.N-1),
+		heardTick: make([]atomic.Int64, cfg.N+1),
+		peerUpA:   make([]atomic.Bool, cfg.N+1),
 		stop:      make(chan struct{}),
 	}
 	m := cfg.Metrics
@@ -323,6 +345,7 @@ func New(cfg Config) (*Transport, error) {
 			up:        up.With(ps),
 		}
 		t.links[p] = newLink(t, p)
+		t.linkList = append(t.linkList, t.links[p])
 	}
 	return t, nil
 }
@@ -376,7 +399,7 @@ func (t *Transport) Close() error {
 // only the first notification after a link goes idle broadcasts; the rest
 // cost one atomic load each.
 func (t *Transport) NotifyData() {
-	for _, lk := range t.links {
+	for _, lk := range t.linkList {
 		lk.notifyData()
 	}
 }
@@ -385,7 +408,7 @@ func (t *Transport) NotifyData() {
 // newest sequence per (origin, by, type) is retained — monotonicity makes
 // older reports redundant.
 func (t *Transport) QueueAck(a wire.Ack) {
-	for _, lk := range t.links {
+	for _, lk := range t.linkList {
 		lk.queueAck(a)
 	}
 }
@@ -570,12 +593,27 @@ func (t *Transport) serveIncoming(conn net.Conn) {
 			t.cfg.Handler.HandleApp(from, m)
 		case *wire.Heartbeat:
 			// Echo the heartbeat so the dialer can measure round-trip
-			// time; this goroutine is the connection's only writer after
-			// the HelloAck, so the write (and scratch reuse) is race-free.
+			// time. Prefer piggybacking the echo on our own outgoing link
+			// to the sender while it is draining data — that way the echo
+			// rides inside a batch write instead of stealing a wakeup.
+			// When that link is idle (or absent), fall back to a direct
+			// write on this connection; this goroutine is the
+			// connection's only writer after the HelloAck, so the write
+			// (and scratch reuse) is race-free.
 			ins.hbRecv.Inc()
+			if lk := t.links[from]; lk != nil && lk.queueEcho(m.Clock) {
+				break
+			}
 			scratch = wire.AppendFrame(scratch[:0], m)
 			if _, err := conn.Write(scratch); err != nil {
 				_ = conn.Close()
+			}
+		case *wire.HeartbeatEcho:
+			// Our heartbeat coming back piggybacked on the peer's data
+			// stream; route it to the outgoing link's RTT estimator.
+			ins.hbRecv.Inc()
+			if lk := t.links[from]; lk != nil {
+				lk.observeEcho(m.Clock)
 			}
 		case *wire.Hello, *wire.HelloAck:
 			// Unexpected mid-stream; ignore.
@@ -604,11 +642,17 @@ func (t *Transport) deliverData(from int, d *wire.Data) {
 
 // --- liveness ---
 
+// heard notes one frame from peer. The steady-state cost is one atomic add
+// plus one atomic load — no clock read, no lock, no map write — because the
+// failure detector derives arrival times from counter movement on its own
+// ticker. Only the up transition (first frame after down) takes liveMu.
 func (t *Transport) heard(peer int) {
+	t.heardTick[peer].Add(1)
+	if t.peerUpA[peer].Load() {
+		return
+	}
 	t.liveMu.Lock()
-	t.lastHeard[peer] = time.Now()
-	wasUp := t.peerUp[peer]
-	t.peerUp[peer] = true
+	wasUp := t.peerUpA[peer].Swap(true)
 	t.liveMu.Unlock()
 	if !wasUp {
 		if ins := t.peerIns(peer); ins != nil {
@@ -622,6 +666,12 @@ func (t *Transport) failureDetector() {
 	defer t.wg.Done()
 	tick := time.NewTicker(t.cfg.PeerTimeout / 2)
 	defer tick.Stop()
+	// seen/lastMove are the detector's private view: the heard counter's
+	// value at the last scan and the scan time at which it last advanced.
+	// Detection latency is PeerTimeout plus at most one tick — the slop the
+	// half-interval ticker always had.
+	seen := make([]int64, len(t.heardTick))
+	lastMove := make([]time.Time, len(t.heardTick))
 	for {
 		select {
 		case <-t.stop:
@@ -629,9 +679,14 @@ func (t *Transport) failureDetector() {
 		case now := <-tick.C:
 			var downs []int
 			t.liveMu.Lock()
-			for peer, up := range t.peerUp {
-				if up && now.Sub(t.lastHeard[peer]) > t.cfg.PeerTimeout {
-					t.peerUp[peer] = false
+			for peer := range t.links {
+				if cur := t.heardTick[peer].Load(); cur != seen[peer] {
+					seen[peer] = cur
+					lastMove[peer] = now
+					continue
+				}
+				if t.peerUpA[peer].Load() && now.Sub(lastMove[peer]) > t.cfg.PeerTimeout {
+					t.peerUpA[peer].Store(false)
 					downs = append(downs, peer)
 				}
 			}

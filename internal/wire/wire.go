@@ -30,6 +30,7 @@ const (
 	KindAck
 	KindHeartbeat
 	KindApp
+	KindHeartbeatEcho
 )
 
 // String returns the kind's human-readable name.
@@ -47,6 +48,8 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case KindApp:
 		return "app"
+	case KindHeartbeatEcho:
+		return "hbecho"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -119,6 +122,17 @@ type Heartbeat struct {
 	Clock uint64
 }
 
+// HeartbeatEcho returns a peer's heartbeat clock to it. A heartbeat
+// received while the echoing node's own link back to the sender is busy
+// draining data is answered with this frame riding that data stream as a
+// batch trailer, instead of a competing write on the idle incoming
+// connection; the original same-connection Heartbeat echo remains the idle
+// fallback.
+type HeartbeatEcho struct {
+	// Clock is the echoed sender-local counter.
+	Clock uint64
+}
+
 // App carries an application-level request or response outside the
 // sequenced data stream (e.g. quorum read RPCs).
 type App struct {
@@ -142,6 +156,7 @@ var (
 	_ Message = (*Ack)(nil)
 	_ Message = (*Heartbeat)(nil)
 	_ Message = (*App)(nil)
+	_ Message = (*HeartbeatEcho)(nil)
 )
 
 // Kind implements Message.
@@ -161,6 +176,9 @@ func (*Heartbeat) Kind() Kind { return KindHeartbeat }
 
 // Kind implements Message.
 func (*App) Kind() Kind { return KindApp }
+
+// Kind implements Message.
+func (*HeartbeatEcho) Kind() Kind { return KindHeartbeatEcho }
 
 // AppendBody implements Message.
 func (m *Hello) AppendBody(buf []byte) []byte {
@@ -240,6 +258,18 @@ func (m *Heartbeat) DecodeBody(body []byte) error {
 }
 
 // AppendBody implements Message.
+func (m *HeartbeatEcho) AppendBody(buf []byte) []byte {
+	return appendU64(buf, m.Clock)
+}
+
+// DecodeBody implements Message.
+func (m *HeartbeatEcho) DecodeBody(body []byte) error {
+	d := decoder{buf: body}
+	m.Clock = d.u64()
+	return d.finish()
+}
+
+// AppendBody implements Message.
 func (m *App) AppendBody(buf []byte) []byte {
 	buf = appendU64(buf, m.ID)
 	buf = appendU16(buf, m.Method)
@@ -277,6 +307,27 @@ func AppendFrame(buf []byte, msg Message) []byte {
 	return buf
 }
 
+// DataFrameOverhead is the encoded size of a Data frame minus its payload:
+// the 4-byte length prefix, the kind byte, and the fixed seq + timestamp
+// fields. A Data frame on the wire is exactly a DataFrameOverhead-byte
+// header followed by the raw payload, which is what lets the transport hand
+// header and payload to the kernel as separate iovecs (writev) without ever
+// copying the payload.
+const DataFrameOverhead = 4 + 1 + 8 + 8
+
+// AppendDataFrameHeader appends the complete frame header for a Data
+// message with a payloadLen-byte payload: the bytes such that
+// header||payload is identical to AppendFrame(nil, &Data{...}). It exists
+// so vectored writers can frame payloads in place.
+func AppendDataFrameHeader(buf []byte, seq uint64, sentUnixNano int64, payloadLen int) []byte {
+	var b [DataFrameOverhead]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(DataFrameOverhead-4+payloadLen))
+	b[4] = byte(KindData)
+	binary.BigEndian.PutUint64(b[5:13], seq)
+	binary.BigEndian.PutUint64(b[13:21], uint64(sentUnixNano))
+	return append(buf, b[:]...)
+}
+
 // WriteFrame encodes msg as one frame and writes it to w.
 func WriteFrame(w io.Writer, msg Message) error {
 	buf := AppendFrame(nil, msg)
@@ -291,15 +342,53 @@ func WriteFrame(w io.Writer, msg Message) error {
 // an internal buffer reused across calls, and the high-rate message kinds
 // (Data, Ack, Heartbeat) are decoded into Reader-owned scratch structs.
 type Reader struct {
-	br  *bufio.Reader
-	hdr [4]byte // length-prefix scratch, kept here so it never escapes
-	buf []byte  // reusable frame-body buffer
+	br    *bufio.Reader
+	hdr   [4]byte // length-prefix scratch, kept here so it never escapes
+	buf   []byte  // reusable frame-body buffer (slow path: oversized frames)
+	arena payloadArena
 
 	// Scratch messages for the hot-path kinds; handed out by Next and
 	// overwritten by the following call.
 	data Data
 	ack  Ack
 	hb   Heartbeat
+	hbe  HeartbeatEcho
+}
+
+// payloadArena amortizes the per-Data-frame payload allocation: payloads
+// are carved from shared slab chunks instead of individually heap
+// allocated. A carved payload stays valid indefinitely (it is never reused
+// — a full chunk is simply abandoned to the collector), at the cost that a
+// long-retained payload pins its whole chunk; payloads big enough to make
+// that waste matter are allocated exactly instead.
+type payloadArena struct {
+	buf []byte
+}
+
+// arenaChunk is the slab size; payloads of arenaChunk/4 bytes or more
+// bypass the arena so one retained payload never pins more than 4x its own
+// size.
+const arenaChunk = 32 << 10
+
+// copyOut returns a stable copy of src.
+func (a *payloadArena) copyOut(src []byte) []byte {
+	n := len(src)
+	if n == 0 {
+		return []byte{}
+	}
+	if n >= arenaChunk/4 {
+		out := make([]byte, n)
+		copy(out, src)
+		return out
+	}
+	if cap(a.buf)-len(a.buf) < n {
+		a.buf = make([]byte, 0, arenaChunk)
+	}
+	off := len(a.buf)
+	a.buf = a.buf[:off+n]
+	out := a.buf[off : off+n : off+n] // full-cap: appends cannot bleed over
+	copy(out, src)
+	return out
 }
 
 // bufKeep caps how much body-buffer capacity a Reader retains between
@@ -312,20 +401,51 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Next reads and decodes the next frame. The returned message is valid
-// only until the following call to Next — Data, Ack and Heartbeat decode
-// into Reader-owned scratch structs. Payload slices (Data.Payload,
-// App.Payload) are freshly allocated and remain valid indefinitely;
-// callers that need other fields past the next call must copy them out.
+// only until the following call to Next — Data, Ack, Heartbeat and
+// HeartbeatEcho decode into Reader-owned scratch structs. Payload slices
+// (Data.Payload, App.Payload) are stable copies that remain valid
+// indefinitely; callers that need other fields past the next call must
+// copy them out.
+//
+// Frames that fit inside the internal buffer are decoded in place via
+// Peek/Discard, so the body is copied at most once (payload into the
+// arena) instead of twice; only oversized frames take the copying path.
 func (r *Reader) Next() (Message, error) {
-	if _, err := io.ReadFull(r.br, r.hdr[:]); err != nil {
-		return nil, err
+	hdr, err := r.br.Peek(4)
+	if len(hdr) < 4 {
+		return nil, headerErr(len(hdr), err)
 	}
-	n := binary.BigEndian.Uint32(r.hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 {
 		return nil, ErrShortFrame
 	}
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if total := 4 + int(n); total <= r.br.Size() {
+		if cap(r.buf) > bufKeep {
+			r.buf = nil // a normal frame followed an oversize one: unpin
+		}
+		frame, err := r.br.Peek(total)
+		if len(frame) < total {
+			if err == nil || errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		msg, err := r.decodeBody(frame[4:])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.br.Discard(total); err != nil {
+			return nil, err
+		}
+		return msg, nil
+	}
+
+	// Oversized frame: stage the body in the reusable buffer.
+	if _, err := r.br.Discard(4); err != nil {
+		return nil, err
 	}
 	if uint32(cap(r.buf)) < n {
 		r.buf = make([]byte, n)
@@ -339,6 +459,36 @@ func (r *Reader) Next() (Message, error) {
 	}
 	if cap(r.buf) > bufKeep && n <= bufKeep {
 		r.buf = nil // drop an oversized buffer once a normal frame follows
+	}
+	return r.decodeBody(body)
+}
+
+// headerErr maps a short length-prefix peek onto io.ReadFull semantics: a
+// clean boundary is io.EOF, a torn prefix is io.ErrUnexpectedEOF.
+func headerErr(got int, err error) error {
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.EOF) && got > 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// decodeBody decodes one frame body (kind byte + fields). body may alias
+// the internal read buffer: every retained slice is copied out.
+func (r *Reader) decodeBody(body []byte) (Message, error) {
+	if Kind(body[0]) == KindData {
+		// Decoded by hand so the payload goes straight from the read
+		// buffer into the arena, skipping the generic copy in rest().
+		b := body[1:]
+		if len(b) < 16 {
+			return nil, fmt.Errorf("wire: decode data: %w", ErrShortFrame)
+		}
+		r.data.Seq = binary.BigEndian.Uint64(b)
+		r.data.SentUnixNano = int64(binary.BigEndian.Uint64(b[8:]))
+		r.data.Payload = r.arena.copyOut(b[16:])
+		return &r.data, nil
 	}
 	msg, err := r.message(Kind(body[0]))
 	if err != nil {
@@ -365,6 +515,8 @@ func (r *Reader) message(k Kind) (Message, error) {
 		return &r.ack, nil
 	case KindHeartbeat:
 		return &r.hb, nil
+	case KindHeartbeatEcho:
+		return &r.hbe, nil
 	case KindApp:
 		return &App{}, nil
 	default:

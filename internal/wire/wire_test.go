@@ -32,6 +32,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Data{Seq: 1, Payload: nil},
 		&Ack{Origin: 1, By: 5, Type: 16, Seq: 77},
 		&Heartbeat{Clock: 8},
+		&HeartbeatEcho{Clock: 8},
 		&App{ID: 12, Method: 0x5152, IsResponse: true, From: 2, Payload: []byte{0, 1, 2}},
 		&App{ID: 0, Method: 1, IsResponse: false, From: 8, Payload: []byte{}},
 	}
@@ -245,8 +246,27 @@ func TestReaderBufferShrinksAfterOversizeFrame(t *testing.T) {
 	}
 }
 
+// TestAppendDataFrameHeaderMatchesAppendFrame pins the vectored-write
+// invariant: a data frame header encoded standalone (for writev iovecs)
+// followed by the payload must be byte-identical to AppendFrame's output.
+func TestAppendDataFrameHeaderMatchesAppendFrame(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 1000)}
+	for _, p := range payloads {
+		d := &Data{Seq: 1 << 33, SentUnixNano: -7, Payload: p}
+		whole := AppendFrame(nil, d)
+		split := AppendDataFrameHeader(nil, d.Seq, d.SentUnixNano, len(p))
+		if len(split) != DataFrameOverhead {
+			t.Fatalf("header length %d, want DataFrameOverhead %d", len(split), DataFrameOverhead)
+		}
+		split = append(split, p...)
+		if !bytes.Equal(whole, split) {
+			t.Fatalf("payload len %d: header+payload differs from AppendFrame:\n%x\nvs\n%x", len(p), split, whole)
+		}
+	}
+}
+
 func TestKindStrings(t *testing.T) {
-	for k := KindHello; k <= KindApp; k++ {
+	for k := KindHello; k <= KindHeartbeatEcho; k++ {
 		if s := k.String(); s == "" || s[0] == 'k' {
 			t.Fatalf("kind %d has bad name %q", k, s)
 		}

@@ -177,6 +177,10 @@ const (
 // send log is full: the caller sheds load instead of queueing unbounded.
 var ErrBackpressure = transport.ErrBackpressure
 
+// DefaultLogStripes is the send-log stripe count used when
+// Config.LogStripes is zero: min(8, GOMAXPROCS). See Config.LogStripes.
+func DefaultLogStripes() int { return transport.DefaultLogStripes() }
+
 // Open starts a Stabilizer node and connects it to its peers. It is the
 // single-node form of OpenCluster: the node's metrics land in a
 // node-labeled group of the registry exactly as a cluster member's would.
