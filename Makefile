@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race examples chaos chaos-flow bench bench-transport bench-transport-short bench-optrace
+.PHONY: check vet build test race examples chaos chaos-flow bench bench-transport bench-transport-short bench-optrace bench-frontier bench-frontier-short fuzz-dsl
 
 check: vet build race
 
@@ -53,6 +53,28 @@ bench-transport:
 bench-transport-short:
 	$(GO) test -bench='StreamThroughput' -benchmem -benchtime=1s -run=^$$ ./internal/transport \
 	  | $(GO) run ./cmd/benchjson -compare BENCH_transport.json
+
+# bench-frontier measures the frontier control plane: batched advance cost
+# across a predicate × parked-waiter grid (1k to 1M waiters), waiter release
+# drains, mass-cancel detach, and idle-predicate insulation. Rewrites the
+# "current" run in BENCH_frontier.json (the first run seeds the baseline).
+bench-frontier:
+	$(GO) test -bench='FrontierAdvance|WaiterReleaseDrain|DetachCancel|IdlePredicates' -benchmem -run=^$$ ./internal/frontier \
+	  | $(GO) run ./cmd/benchjson -update BENCH_frontier.json
+
+# bench-frontier-short is the CI variant: a quick pass over the advance
+# grid, compared against BENCH_frontier.json on ns/op (lower is better).
+# Regressions under 50% warn; at or past 50% the target fails.
+bench-frontier-short:
+	$(GO) test -bench='FrontierAdvance' -benchtime=0.5s -run=^$$ ./internal/frontier \
+	  | $(GO) run ./cmd/benchjson -compare BENCH_frontier.json -match FrontierAdvance -metric ns/op -threshold 0.50
+
+# fuzz-dsl runs the predicate compiler/evaluator fuzzer for a bounded
+# session: compile-or-error on arbitrary input, and exact Cells()/
+# DependsOn() metadata — the contract the incremental frontier index
+# depends on.
+fuzz-dsl:
+	$(GO) test -fuzz=FuzzCompileEval -fuzztime=30s -run=^$$ ./internal/dsl
 
 # bench-optrace measures the flight recorder's cost: the raw Record and
 # sampler-miss microbenchmarks plus end-to-end stream throughput with

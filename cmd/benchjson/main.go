@@ -12,10 +12,13 @@
 // survive regeneration. A fresh file seeds "baseline" from the first run.
 //
 // With -compare, nothing is written: the run on stdin is checked against
-// the file's recorded "current" section (falling back to "baseline"). Every
-// StreamThroughput benchmark's msgs/s is compared; drops up to the blocking
-// threshold (default 20%) print a non-blocking warning, drops at or past it
-// fail the command — the CI gate for data-plane throughput regressions.
+// the file's recorded "current" section (falling back to "baseline").
+// Every benchmark whose name contains -match (default "StreamThroughput")
+// has its -metric value (default "msgs/s") compared; regressions up to the
+// blocking threshold (default 20%) print a non-blocking warning, and at or
+// past it fail the command — the CI gate for performance regressions.
+// Metrics whose unit ends in "/op" (ns/op, B/op, allocs/op) are
+// lower-is-better; everything else (msgs/s, MB/s, ...) higher-is-better.
 package main
 
 import (
@@ -56,7 +59,9 @@ func main() {
 	update := flag.String("update", "", "rewrite this JSON file, preserving its baseline section")
 	note := flag.String("note", "", "free-form note stored in the file (only with -update on a fresh file)")
 	compare := flag.String("compare", "", "compare the run on stdin against this JSON file's recorded numbers instead of writing anything")
-	threshold := flag.Float64("threshold", 0.20, "blocking regression threshold for -compare (fraction of the recorded msgs/s)")
+	threshold := flag.Float64("threshold", 0.20, "blocking regression threshold for -compare (fraction of the recorded value)")
+	match := flag.String("match", "StreamThroughput", "substring selecting which benchmarks -compare judges")
+	metric := flag.String("metric", "msgs/s", "metric unit -compare judges; units ending in /op are lower-is-better")
 	flag.Parse()
 
 	run := &Run{Date: time.Now().UTC().Format(time.RFC3339)}
@@ -80,7 +85,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		compareRun(run, *compare, *threshold)
+		compareRun(run, *compare, *threshold, *match, *metric)
 		return
 	}
 	if *update == "" {
@@ -111,10 +116,12 @@ func main() {
 }
 
 // compareRun gates the fresh run against the recorded numbers in path: for
-// every StreamThroughput benchmark present in both, a msgs/s drop of at
-// least thresh fails the command; smaller drops warn. Benchmarks missing on
-// either side are skipped (new benchmarks must not break the gate).
-func compareRun(run *Run, path string, thresh float64) {
+// every benchmark matching the name substring and present on both sides,
+// a regression of the chosen metric of at least thresh fails the command;
+// smaller regressions warn. Benchmarks missing on either side are skipped
+// (new benchmarks must not break the gate). For rate metrics a regression
+// is a drop; for /op metrics (time, bytes, allocs) it is an increase.
+func compareRun(run *Run, path string, thresh float64, match, metric string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("read %s: %v", path, err)
@@ -132,36 +139,46 @@ func compareRun(run *Run, path string, thresh float64) {
 	}
 	recorded := make(map[string]float64, len(ref.Benchmarks))
 	for _, b := range ref.Benchmarks {
-		if v, ok := b.Metrics["msgs/s"]; ok {
+		if v, ok := b.Metrics[metric]; ok {
 			recorded[b.Name] = v
 		}
 	}
+	lowerBetter := strings.HasSuffix(metric, "/op")
 	checked, failed := 0, false
 	for _, b := range run.Benchmarks {
-		if !strings.Contains(b.Name, "StreamThroughput") {
+		if !strings.Contains(b.Name, match) {
 			continue
 		}
 		want, ok := recorded[b.Name]
-		got, has := b.Metrics["msgs/s"]
+		got, has := b.Metrics[metric]
 		if !ok || !has || want <= 0 {
 			continue
 		}
 		checked++
-		drop := (want - got) / want
+		var reg float64 // fraction of the recorded value lost (or gained, for /op)
+		if lowerBetter {
+			reg = (got - want) / want
+		} else {
+			reg = (want - got) / want
+		}
+		direction := "below"
+		if lowerBetter {
+			direction = "above"
+		}
 		switch {
-		case drop >= thresh:
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f msgs/s is %.1f%% below the recorded %.0f (threshold %.0f%%)\n",
-				b.Name, got, drop*100, want, thresh*100)
+		case reg >= thresh:
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %.0f %s is %.1f%% %s the recorded %.0f (threshold %.0f%%)\n",
+				b.Name, got, metric, reg*100, direction, want, thresh*100)
 			failed = true
-		case drop > 0:
-			fmt.Fprintf(os.Stderr, "benchjson: warn %s: %.0f msgs/s is %.1f%% below the recorded %.0f\n",
-				b.Name, got, drop*100, want)
+		case reg > 0:
+			fmt.Fprintf(os.Stderr, "benchjson: warn %s: %.0f %s is %.1f%% %s the recorded %.0f\n",
+				b.Name, got, metric, reg*100, direction, want)
 		default:
-			fmt.Printf("benchjson: ok %s: %.0f msgs/s (recorded %.0f)\n", b.Name, got, want)
+			fmt.Printf("benchjson: ok %s: %.0f %s (recorded %.0f)\n", b.Name, got, metric, want)
 		}
 	}
 	if checked == 0 {
-		fatalf("no StreamThroughput benchmarks to compare against %s", path)
+		fatalf("no %q benchmarks with a %q metric to compare against %s", match, metric, path)
 	}
 	if failed {
 		os.Exit(1)

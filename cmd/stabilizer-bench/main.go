@@ -44,16 +44,18 @@ func run() error {
 		traceSample = flag.Int("trace-sample", 0, "flight-record 1 in N operations and mount /debug/trace on the metrics address (0 = off, the faithful-measurement default)")
 		logStripes  = flag.Int("log-stripes", 0, "send-log producer stripes per node (0 = min(8, GOMAXPROCS), 1 = classic single-stripe log)")
 		writevMin   = flag.Int("writev-min-bytes", 0, "smallest batch payload sent as one vectored write on TCP fabrics (0 = 8 KiB default, negative disables writev)")
+		stabilize   = flag.Duration("stabilize-interval", 0, "defer predicate stabilization onto a control-plane tick of this period (0 = inline; try 1ms)")
 	)
 	flag.Parse()
 
 	opts := bench.Options{
-		Out:        os.Stdout,
-		TimeScale:  *timescale,
-		Fabric:     *fabric,
-		Short:      *short,
-		LogStripes: *logStripes,
-		Trace:      optrace.Config{SampleEvery: *traceSample},
+		Out:               os.Stdout,
+		TimeScale:         *timescale,
+		Fabric:            *fabric,
+		Short:             *short,
+		LogStripes:        *logStripes,
+		Trace:             optrace.Config{SampleEvery: *traceSample},
+		StabilizeInterval: *stabilize,
 	}
 	opts.Batch.WritevMinBytes = *writevMin
 	if *metricsAddr != "" {
@@ -102,7 +104,10 @@ func run() error {
 			if _, err := bench.AblationControlPlane(opts); err != nil {
 				return err
 			}
-			_, err := bench.AblationBatching(opts)
+			if _, err := bench.AblationBatching(opts); err != nil {
+				return err
+			}
+			_, err := bench.AblationDeferredStabilization(opts)
 			return err
 		}},
 	}

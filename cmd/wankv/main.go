@@ -68,6 +68,7 @@ func run() error {
 		flowMode       = flag.String("flow-mode", "block", "admission at the cap: 'block' (put waits) or 'fail' (put errors)")
 		stallDeadline  = flag.Duration("stall-deadline", 0, "declare a predicate stalled after its frontier sits still this long (0 = off)")
 		traceSample    = flag.Int("trace-sample", 64, "flight-record 1 in N operations end to end (1 = every op, 0 = off)")
+		stabilizeEvery = flag.Duration("stabilize-interval", 0, "defer predicate stabilization onto a control-plane tick of this period (0 = inline; try 1ms)")
 	)
 	flag.Parse()
 	var mode stabilizer.FlowMode
@@ -100,12 +101,13 @@ func run() error {
 	// single scrape covers the whole emulated deployment.
 	reg := stabilizer.NewMetricsRegistry()
 	cluster, err := stabilizer.OpenCluster(stabilizer.ClusterConfig{
-		Topology: topo,
-		Network:  network,
-		Metrics:  reg,
-		Flow:     flow,
-		Stall:    stall,
-		Trace:    stabilizer.TraceConfig{SampleEvery: *traceSample},
+		Topology:          topo,
+		Network:           network,
+		Metrics:           reg,
+		Flow:              flow,
+		Stall:             stall,
+		Trace:             stabilizer.TraceConfig{SampleEvery: *traceSample},
+		StabilizeInterval: *stabilizeEvery,
 	})
 	if err != nil {
 		return err

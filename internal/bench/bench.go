@@ -69,6 +69,10 @@ type Options struct {
 	// boots, so a long-lived /debug/trace endpoint built over it follows
 	// the live run across successive short-lived clusters.
 	TraceTarget *TraceTarget
+	// StabilizeInterval defers predicate stabilization onto a periodic
+	// control-plane tick on every node an experiment starts (0 = inline;
+	// see core.Config.StabilizeInterval).
+	StabilizeInterval time.Duration
 }
 
 // TraceTarget adapts the most recently started experiment cluster to
@@ -135,15 +139,16 @@ type cluster struct {
 func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*cluster, error) {
 	net := opts.network(matrix)
 	cl, err := core.OpenCluster(core.ClusterConfig{
-		Topology:       topo,
-		Network:        net,
-		Metrics:        opts.Metrics,
-		HeartbeatEvery: 100 * time.Millisecond,
-		PeerTimeout:    5 * time.Second,
-		Batch:          opts.Batch,
-		Flow:           opts.Flow,
-		LogStripes:     opts.LogStripes,
-		Trace:          opts.Trace,
+		Topology:          topo,
+		Network:           net,
+		Metrics:           opts.Metrics,
+		HeartbeatEvery:    100 * time.Millisecond,
+		PeerTimeout:       5 * time.Second,
+		Batch:             opts.Batch,
+		Flow:              opts.Flow,
+		LogStripes:        opts.LogStripes,
+		Trace:             opts.Trace,
+		StabilizeInterval: opts.StabilizeInterval,
 	})
 	if err != nil {
 		_ = net.Close()

@@ -228,4 +228,16 @@ func TestAblationsHoldDesignClaims(t *testing.T) {
 	if ba.Ratio < 1 {
 		t.Errorf("upcall batching ratio %.2f; more upcalls than messages", ba.Ratio)
 	}
+	ds, err := AblationDeferredStabilization(shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The claim that must hold: batching stabilization onto a tick does not
+	// regress end-to-end time-to-stability (WAN latency dominates; the tick
+	// only trades control-plane CPU for at most one tick of lag). Generous
+	// slack absorbs emulated-network timing noise.
+	if ds.Speedup < 0.5 {
+		t.Errorf("deferred stabilization %.2fx vs inline; tick overhead regressed time-to-stability (inline %v, deferred %v)",
+			ds.Speedup, ds.InlineTime, ds.DeferredTime)
+	}
 }

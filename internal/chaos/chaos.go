@@ -65,6 +65,13 @@ type Options struct {
 	// Health report must carry a non-empty recorder tail for each blamed
 	// peer.
 	Trace optrace.Config
+	// StabilizeInterval defers predicate stabilization onto each node's
+	// control-plane tick of this period (0 = legacy inline evaluation on
+	// the ack path). Either way the frontier-truth invariant is swept: no
+	// frontier ahead of its own recorder evaluation, every release backed
+	// by witness receive cursors, and — with a tick — drain lag bounded
+	// well under a sweep period.
+	StabilizeInterval time.Duration
 	// AutoReclaim leaves send-log reclamation on (the soak default disables
 	// it so crash-restarted receivers can be resent the full prefix). A
 	// flow-capped soak needs it on — bounded memory requires truncation —
@@ -243,15 +250,16 @@ func Soak(o Options) (*Report, error) {
 	// CrossCheck sweeps and the final convergence reads.
 	var mu sync.Mutex
 	cl, err := core.OpenCluster(core.ClusterConfig{
-		Topology:       topo,
-		Network:        fabric,
-		Metrics:        o.Metrics,
-		HeartbeatEvery: o.HeartbeatEvery,
-		PeerTimeout:    o.PeerTimeout,
-		Flow:           o.Flow,
-		LogStripes:     o.LogStripes,
-		Stall:          o.Stall,
-		Trace:          o.Trace,
+		Topology:          topo,
+		Network:           fabric,
+		Metrics:           o.Metrics,
+		HeartbeatEvery:    o.HeartbeatEvery,
+		PeerTimeout:       o.PeerTimeout,
+		Flow:              o.Flow,
+		LogStripes:        o.LogStripes,
+		Stall:             o.Stall,
+		Trace:             o.Trace,
+		StabilizeInterval: o.StabilizeInterval,
 		// Unless the soak opts into reclamation, keep send buffers whole:
 		// a fresh-restarted receiver needs the full prefix resent, which
 		// reclaim would have truncated.
@@ -276,7 +284,12 @@ func Soak(o Options) (*Report, error) {
 		return out
 	}
 
+	// Quorum sizes follow the registered predicates: MIN($ALLWNODES) needs
+	// every node; KTH_MIN(k, $ALLWNODES) advances once N-k+1 nodes have
+	// acked that far. Both the frontier-truth sweeps and the trace check
+	// judge against these.
 	maj := o.N/2 + 1
+	quorums := map[string]int{"all": o.N, "maj": o.N - maj + 1}
 	for _, s := range o.Senders {
 		sn := cl.Node(s)
 		if err := sn.RegisterPredicate("all", "MIN($ALLWNODES)"); err != nil {
@@ -349,7 +362,7 @@ func Soak(o Options) (*Report, error) {
 		}
 	}
 
-	// Continuous invariant-3 sweeps while faults fly.
+	// Continuous invariant-3 and invariant-8 sweeps while faults fly.
 	ccStop := make(chan struct{})
 	ccDone := make(chan struct{})
 	go func() {
@@ -364,6 +377,7 @@ func Soak(o Options) (*Report, error) {
 				mu.Lock()
 				live := liveNodes()
 				check.CrossCheck(live)
+				check.CheckFrontierTruth(live, quorums)
 				if o.Flow.MaxBytes > 0 {
 					check.CheckBounded(live, o.Flow.MaxBytes, soakPayload)
 				}
@@ -436,6 +450,7 @@ func Soak(o Options) (*Report, error) {
 	mu.Lock()
 	final := liveNodes()
 	check.CrossCheck(final)
+	check.CheckFrontierTruth(final, quorums)
 	if o.Flow.MaxBytes > 0 {
 		check.CheckBounded(final, o.Flow.MaxBytes, soakPayload)
 	}
@@ -459,11 +474,7 @@ func Soak(o Options) (*Report, error) {
 	// Invariant 7: after convergence a sampled op must have a complete,
 	// well-ordered merged timeline. The cluster is quiescent here (faults
 	// healed, pumps stopped, sweeps done), so no lock is needed.
-	// Quorum sizes follow the registered predicates: MIN($ALLWNODES)
-	// needs every node; KTH_MIN(k, $ALLWNODES) advances once N-k+1
-	// nodes have acked that far.
 	if ok && o.Trace.Enabled() {
-		quorums := map[string]int{"all": o.N, "maj": o.N - maj + 1}
 		for _, s := range o.Senders {
 			check.CheckTraces(cl, s, heads[s], o.Trace.SampleEvery, quorums)
 		}

@@ -30,13 +30,23 @@
 //     origin — across any number of crashes and restarts. A violation
 //     means the observability layer would tell an operator a false story
 //     about where an operation spent its time.
+//  8. Frontier truth under deferred stabilization — a predicate's frontier
+//     never runs ahead of a fresh evaluation of its own recorder cells (no
+//     phantom release: a WaitFor resumed at seq s implies s really is
+//     stable), every frontier value is backed by a quorum of witnesses
+//     whose actual receive cursors reached it, and the deferred drain keeps
+//     up — the frontier observed at one sweep must have caught up with the
+//     ground-truth evaluation recorded a full sweep period (many tick
+//     intervals) earlier. Holds identically in inline mode, where the lag
+//     is zero by construction.
 //
 // Invariants 1 and 2 are asserted continuously from hooks on the live
-// nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded rides the
-// same sweeps for invariant 5); invariant 4 by the harness at drain time
-// via Violatef; invariant 6 by AttachStallHonesty on each node's OnStall
-// stream; invariant 7 by CheckTraces after convergence plus
-// AttachStallTraces on each stall report.
+// nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded and
+// CheckFrontierTruth ride the same sweeps for invariants 5 and 8);
+// invariant 4 by the harness at drain time via Violatef; invariant 6 by
+// AttachStallHonesty on each node's OnStall stream; invariant 7 by
+// CheckTraces after convergence plus AttachStallTraces on each stall
+// report.
 package chaos
 
 import (
@@ -71,6 +81,11 @@ type Checker struct {
 	mu           sync.Mutex
 	lastFrontier map[frontierKey]uint64
 	lastDeliv    map[streamKey]uint64
+	// lastTruth holds, per sender predicate, the ground-truth recorder
+	// evaluation observed at the previous CheckFrontierTruth sweep; the
+	// next sweep requires the frontier to have caught up with it
+	// (invariant 8's bounded-lag clause).
+	lastTruth map[frontierKey]uint64
 	// crashHW holds the receive high water each receiver had reached when
 	// it crashed, so invariant 3 stays checkable while the node is down
 	// and across its fresh (RecvLast-reset) incarnation.
@@ -87,6 +102,7 @@ func NewChecker(n int, senders []int) *Checker {
 		senders:      append([]int(nil), senders...),
 		lastFrontier: make(map[frontierKey]uint64),
 		lastDeliv:    make(map[streamKey]uint64),
+		lastTruth:    make(map[frontierKey]uint64),
 		crashHW:      make(map[streamKey]uint64),
 	}
 }
@@ -173,6 +189,11 @@ func (c *Checker) RecordRestart(node int) {
 			delete(c.lastFrontier, k)
 		}
 	}
+	for k := range c.lastTruth {
+		if k.node == node {
+			delete(c.lastTruth, k)
+		}
+	}
 }
 
 // CrossCheck sweeps invariant 3 over a snapshot of the cluster: for every
@@ -231,6 +252,97 @@ func (c *Checker) CheckBounded(nodes []*core.Node, capBytes, slack int64) {
 		if b := n.BufferedBytes(); b > capBytes+slack {
 			c.Violatef("bounded-memory violation: node %d buffers %d send-log bytes > cap %d + slack %d",
 				i+1, b, capBytes, slack)
+		}
+	}
+}
+
+// CheckFrontierTruth sweeps invariant 8 over a snapshot of the cluster:
+// for every sender s and registered predicate key (quorums maps keys to the
+// number of witnesses each needs), three clauses must hold.
+//
+// (a) No phantom frontier: s's published frontier must not exceed a fresh
+// evaluation of the predicate over s's own recorder. The frontier is read
+// first and recorder cells are monotone, so however stale a deferred
+// drain's snapshot was, a genuine frontier can never be observed above the
+// evaluation that defines it.
+//
+// (b) Witness-backed release: a frontier of f means every waiter parked at
+// seq ≤ f has been released, so at least quorum-many witnesses must have
+// receive cursors (crash high waters included — an ack can outlive its
+// sender's incarnation) that actually reached f. Receipt happens-before the
+// ack happens-before the table update happens-before the drain that
+// published f, and cursors are read after f, so a genuine release always
+// passes.
+//
+// (c) Bounded lag: the frontier must be at or past the ground truth
+// recorded by the previous sweep. Sweeps are spaced many stabilization
+// ticks apart, so a deferred control plane that is keeping up has long
+// since drained the dirty marks behind that older state; in inline mode the
+// lag is zero by construction.
+//
+// nodes is 0-indexed with nil entries for crashed nodes; the caller must
+// prevent concurrent crash/restart (the soak harness holds its cluster
+// lock).
+func (c *Checker) CheckFrontierTruth(nodes []*core.Node, quorums map[string]int) {
+	for _, s := range c.senders {
+		sn := nodes[s-1]
+		if sn == nil {
+			continue
+		}
+		for key, quorum := range quorums {
+			fr, err := sn.StabilityFrontier(key)
+			if err != nil {
+				continue // predicate not registered on this node
+			}
+			src, err := sn.PredicateSource(key)
+			if err != nil {
+				continue
+			}
+			gt, err := sn.Eval(src)
+			if err != nil {
+				c.Violatef("frontier truth: node %d predicate %q unevaluable: %v", s, key, err)
+				continue
+			}
+			if fr > gt {
+				c.Violatef("phantom frontier: node %d predicate %q frontier %d ahead of its own recorder evaluation %d",
+					s, key, fr, gt)
+			}
+			if fr > 0 {
+				stable := 0
+				for b := 1; b <= c.n; b++ {
+					var hw uint64
+					if b == s {
+						// The origin trivially "received" its own stream.
+						hw = sn.NextSeq() - 1
+					} else {
+						if bn := nodes[b-1]; bn != nil {
+							hw = bn.RecvLast(s)
+						}
+						c.mu.Lock()
+						if chw := c.crashHW[streamKey{b, s}]; chw > hw {
+							hw = chw
+						}
+						c.mu.Unlock()
+					}
+					if hw >= fr {
+						stable++
+					}
+				}
+				if stable < quorum {
+					c.Violatef("phantom release: node %d predicate %q frontier %d backed by only %d/%d witness receive cursors",
+						s, key, fr, stable, quorum)
+				}
+			}
+			c.mu.Lock()
+			prev := c.lastTruth[frontierKey{s, key}]
+			if gt > prev {
+				c.lastTruth[frontierKey{s, key}] = gt
+			}
+			c.mu.Unlock()
+			if prev > 0 && fr < prev {
+				c.Violatef("frontier lag unbounded: node %d predicate %q frontier %d still behind ground truth %d from the previous sweep",
+					s, key, fr, prev)
+			}
 		}
 	}
 }

@@ -39,14 +39,15 @@ type ClusterConfig struct {
 	// node; zero values pick transport defaults.
 	HeartbeatEvery time.Duration
 	PeerTimeout    time.Duration
-	// Batch, Flow, Stall, Trace and DialTimeout apply to every node; see
-	// Config.
-	Batch       transport.BatchConfig
-	Flow        transport.FlowConfig
-	LogStripes  int
-	Stall       StallConfig
-	Trace       optrace.Config
-	DialTimeout time.Duration
+	// Batch, Flow, Stall, Trace, DialTimeout and StabilizeInterval apply
+	// to every node; see Config.
+	Batch             transport.BatchConfig
+	Flow              transport.FlowConfig
+	LogStripes        int
+	Stall             StallConfig
+	Trace             optrace.Config
+	DialTimeout       time.Duration
+	StabilizeInterval time.Duration
 	// DisableAutoReclaim keeps every node's send buffer forever (tests,
 	// ablations).
 	DisableAutoReclaim bool
@@ -129,6 +130,7 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 			Trace:              cfg.Trace,
 			DialTimeout:        cfg.DialTimeout,
 			DisableAutoReclaim: cfg.DisableAutoReclaim,
+			StabilizeInterval:  cfg.StabilizeInterval,
 		}
 		if cfg.Configure != nil {
 			cfg.Configure(id, &c)

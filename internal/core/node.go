@@ -38,6 +38,12 @@ import (
 // send-buffer space once a message has been received everywhere (§III-B).
 const ReclaimPredicateKey = "__stabilizer_reclaim"
 
+// DefaultStabilizeInterval is the recommended control-plane tick for
+// deferred stabilization (Config.StabilizeInterval): long enough to batch a
+// burst of ACK updates into one dirty-set drain, short enough that frontier
+// visibility lags ground truth imperceptibly next to WAN RTTs.
+const DefaultStabilizeInterval = time.Millisecond
+
 // Errors returned by Node methods.
 var (
 	ErrClosed      = errors.New("core: node closed")
@@ -129,6 +135,16 @@ type Config struct {
 	// (sampling rate and ring size); the zero value disables tracing and
 	// keeps every hot path allocation-free.
 	Trace optrace.Config
+	// StabilizeInterval defers predicate stabilization onto a periodic
+	// control-plane tick: ACK ingestion only marks the affected predicates
+	// dirty, and a background drain every StabilizeInterval re-evaluates
+	// them, releases waiters and fires monitors. Batching takes frontier
+	// evaluation off the append/ACK hot path at the cost of frontier
+	// visibility lagging ground truth by at most one interval.
+	// DefaultStabilizeInterval (1ms) is a good starting point; the zero
+	// value keeps the legacy inline mode (stabilize synchronously on every
+	// ACK advance).
+	StabilizeInterval time.Duration
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -197,6 +213,7 @@ func Open(cfg Config) (*Node, error) {
 		Trace:              cfg.Trace,
 		DialTimeout:        cfg.DialTimeout,
 		DisableAutoReclaim: cfg.DisableAutoReclaim,
+		StabilizeInterval:  cfg.StabilizeInterval,
 		Configure: func(id int, c *Config) {
 			// Per-node state only a single-node caller can supply.
 			c.Persister = cfg.Persister
@@ -342,7 +359,13 @@ func openNode(cfg Config) (*Node, error) {
 		node.reclaimCancel = cancel
 	}
 
+	// Deferred mode starts after every predicate install above so the first
+	// tick sees a fully indexed registry; with the zero interval this is a
+	// no-op and stabilization stays inline.
+	registry.StartDeferred(cfg.StabilizeInterval)
+
 	if err := tr.Start(); err != nil {
+		registry.Close()
 		return nil, err
 	}
 	return node, nil
@@ -357,6 +380,10 @@ func (n *Node) Close() error {
 	if n.reclaimCancel != nil {
 		n.reclaimCancel()
 	}
+	// Stop the deferred stabilization tick (final drain included) before
+	// tearing down the log it may still truncate through the reclaim
+	// monitor.
+	n.registry.Close()
 	n.log.Close()
 	return n.tr.Close()
 }
@@ -438,9 +465,11 @@ func (n *Node) sendOwnedCtx(ctx context.Context, payload []byte) (uint64, error)
 	n.metrics.sendBytes.Add(int64(len(payload)))
 	// Completeness rule (§III-C): every stability property holds at the
 	// originating node the moment the message exists.
-	n.selfTable().UpdateAll(n.topo.Self, seq)
+	advanced := n.selfTable().UpdateAll(n.topo.Self, seq)
 	n.tr.NotifyData()
-	n.registry.Recompute()
+	if advanced {
+		n.registry.NoteNodeUpdate(n.topo.Self)
+	}
 	return seq, nil
 }
 
@@ -532,7 +561,7 @@ func (n *Node) ReportStability(origin int, typeName string, seq uint64) error {
 		Seq:    seq,
 	})
 	if advanced && origin == n.topo.Self {
-		n.registry.Recompute()
+		n.registry.NoteCellUpdate(n.topo.Self, typ)
 	}
 	return nil
 }
@@ -841,7 +870,7 @@ func (h *trHandler) HandleAck(a *wire.Ack) {
 	}
 	advanced := n.tables[origin-1].Update(int(a.By), a.Type, a.Seq)
 	if advanced && origin == n.topo.Self {
-		n.registry.Recompute()
+		n.registry.NoteCellUpdate(int(a.By), a.Type)
 	}
 }
 

@@ -1,0 +1,139 @@
+package dsl
+
+import (
+	"sort"
+	"testing"
+)
+
+// recordingSource wraps a Source and records every (node, type) cell read
+// during evaluation, so a test can compare the actual read set against the
+// program's static metadata.
+type recordingSource struct {
+	inner Source
+	reads map[Cell]struct{}
+	nodes map[int]struct{}
+}
+
+func newRecordingSource(inner Source) *recordingSource {
+	return &recordingSource{
+		inner: inner,
+		reads: make(map[Cell]struct{}),
+		nodes: make(map[int]struct{}),
+	}
+}
+
+func (r *recordingSource) Value(node int, typ uint16) uint64 {
+	r.reads[Cell{Node: node, Type: typ}] = struct{}{}
+	r.nodes[node] = struct{}{}
+	return r.inner.Value(node, typ)
+}
+
+// FuzzCompileEval fuzzes the compiler+evaluator contract the incremental
+// frontier registry depends on: for arbitrary input, Compile either
+// returns an error or a program whose static metadata is exact —
+// evaluation reads precisely the cells Cells() lists and precisely the
+// nodes DependsOn() lists, never more, never fewer. A predicate that read
+// an unlisted cell would be missing from the registry's inverted index and
+// silently stop stabilizing; one that listed an unread cell would only
+// waste drain work. Evaluation must also be deterministic. Seeds come from
+// the KTH boundary table (edgecases_test.go) plus the pipeline fuzz seeds.
+//
+// Run with `go test -fuzz=FuzzCompileEval ./internal/dsl` for a real
+// session; the seed corpus runs in ordinary test mode.
+func FuzzCompileEval(f *testing.F) {
+	for _, seed := range []string{
+		// KTH boundary table: rank extremes, SIZEOF ranks, duplicate
+		// operands, single- and deduped-union node sets.
+		"KTH_MIN(1, $ALLWNODES)",
+		"KTH_MAX(1, $ALLWNODES)",
+		"KTH_MIN(8, $ALLWNODES)",
+		"KTH_MAX(8, $ALLWNODES)",
+		"KTH_MIN(SIZEOF($ALLWNODES), $ALLWNODES)",
+		"KTH_MIN(2, $1, $1)",
+		"KTH_MAX(2, $3, $3)",
+		"KTH_MIN(1, $4)",
+		"KTH_MIN(1, $1+$1)",
+		// Invalid at resolve time — compile-or-error, never a panic.
+		"KTH_MIN(0, $ALLWNODES)",
+		"KTH_MIN(9, $ALLWNODES)",
+		"KTH_MIN(SIZEOF($ALLWNODES)+1, $ALLWNODES)",
+		"KTH_MIN(1-2, $ALLWNODES)",
+		"KTH_MIN(3, $1+$1, $2)",
+		"KTH_MIN(1, $ALLWNODES-$ALLWNODES)",
+		"KTH_MIN(1)",
+		// The paper's predicate zoo and assorted malformed inputs.
+		"MIN($ALLWNODES)",
+		"MAX($ALLWNODES-$MYWNODE)",
+		"KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)",
+		"MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+		"MIN(($ALLWNODES-$MYWNODE).verified)",
+		"MAX($WNODE_Ohio_A.persisted, $1)",
+		"MAX($",
+		"KTH_MIN(,)",
+		"\x00\xff$(",
+	} {
+		f.Add(seed)
+	}
+
+	env := newFakeEnv()
+	state := make(mapSource)
+	for node := 1; node <= 8; node++ {
+		for _, typ := range []int{1, 2, 3, 16} {
+			state[[2]int{node, typ}] = uint64(node*31+typ) % 97
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src, env)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rec := newRecordingSource(state)
+		got := prog.Eval(rec)
+
+		// Cells() must equal the evaluation read set exactly.
+		cells := prog.Cells()
+		declared := make(map[Cell]struct{}, len(cells))
+		for _, c := range cells {
+			if _, dup := declared[c]; dup {
+				t.Fatalf("Cells() of %q lists %+v twice", src, c)
+			}
+			declared[c] = struct{}{}
+		}
+		if len(declared) != len(rec.reads) {
+			t.Fatalf("%q: Cells() lists %d cells, evaluation read %d", src, len(declared), len(rec.reads))
+		}
+		for c := range rec.reads {
+			if _, ok := declared[c]; !ok {
+				t.Fatalf("%q read undeclared cell %+v", src, c)
+			}
+		}
+
+		// DependsOn() must equal the set of nodes read, distinct and
+		// ascending.
+		deps := prog.DependsOn()
+		if !sort.IntsAreSorted(deps) {
+			t.Fatalf("DependsOn() of %q not ascending: %v", src, deps)
+		}
+		seen := make(map[int]struct{}, len(deps))
+		for _, n := range deps {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("DependsOn() of %q lists node %d twice: %v", src, n, deps)
+			}
+			seen[n] = struct{}{}
+		}
+		if len(seen) != len(rec.nodes) {
+			t.Fatalf("%q: DependsOn() lists %d nodes, evaluation read %d", src, len(seen), len(rec.nodes))
+		}
+		for n := range rec.nodes {
+			if _, ok := seen[n]; !ok {
+				t.Fatalf("%q read undeclared node %d", src, n)
+			}
+		}
+
+		// Evaluation is deterministic.
+		if again := prog.Eval(state); again != got {
+			t.Fatalf("%q not deterministic: %d then %d", src, got, again)
+		}
+	})
+}

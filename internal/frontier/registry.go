@@ -1,10 +1,12 @@
 package frontier
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"stabilizer/internal/dsl"
 	"stabilizer/internal/metrics"
@@ -20,18 +22,44 @@ type MonitorFunc func(frontier uint64)
 // re-evaluation as the ACK recorder advances. It implements the paper's
 // three control-plane interfaces (§III-D): waitfor,
 // monitor_stability_frontier, and register/change_predicate.
+//
+// Evaluation is incremental and optionally deferred. Every predicate is
+// indexed by the recorder-table cells it reads; an ACK update marks dirty
+// only the predicates whose operands moved (NoteCellUpdate/NoteNodeUpdate),
+// so idle predicates cost nothing. In inline mode (the default) the dirty
+// set drains immediately on the update path — the original synchronous
+// semantics. StartDeferred moves the drain onto a periodic control-plane
+// tick instead, batching ACK ingestion off the data path (deferred update
+// stabilization); frontier visibility then lags ground truth by at most one
+// tick interval.
 type Registry struct {
 	env   dsl.Env
 	table *Table
 
 	mu    sync.Mutex
 	preds map[string]*predicate
+	// byCell and byNode invert each predicate's read set: byCell keys the
+	// exact (node, type) cells a program loads, byNode the WAN nodes it
+	// depends on (for UpdateAll-style whole-node advances). dirty is the
+	// set of predicates whose operands moved since the last drain.
+	byCell map[dsl.Cell]map[*predicate]struct{}
+	byNode map[int]map[*predicate]struct{}
+	dirty  map[*predicate]struct{}
+
+	// interval is the stabilization tick period; 0 means inline mode
+	// (drain on the update path). stop/wg manage the tick goroutine.
+	interval time.Duration
+	stop     chan struct{}
+	wg       sync.WaitGroup
 
 	// Instrumentation (optional; see EnableMetrics / OnAdvance).
 	recomputes   *metrics.Counter
+	predEvals    *metrics.Counter
 	monitorFires *metrics.Counter
 	waiters      *metrics.Gauge
+	dirtyPreds   *metrics.Gauge
 	frontiers    *metrics.GaugeVec
+	tickDur      *metrics.Histogram
 	// onAdvance is copy-on-write: OnAdvance swaps in a fresh slice under
 	// mu, so a snapshot taken under mu stays safe to iterate after unlock.
 	onAdvance []func(key string, old, new uint64)
@@ -40,37 +68,100 @@ type Registry struct {
 type predicate struct {
 	key      string
 	prog     *dsl.Program
+	cells    []dsl.Cell
 	frontier uint64
 
 	monitors  map[int]MonitorFunc
 	nextMonID int
-	waiters   []waiter
-}
-
-type waiter struct {
-	seq  uint64
-	done chan struct{}
+	waiters   waiterHeap
 }
 
 // NewRegistry creates a predicate registry evaluating against table and
 // resolving predicate sources against env.
 func NewRegistry(env dsl.Env, table *Table) *Registry {
-	return &Registry{env: env, table: table, preds: make(map[string]*predicate)}
+	return &Registry{
+		env:    env,
+		table:  table,
+		preds:  make(map[string]*predicate),
+		byCell: make(map[dsl.Cell]map[*predicate]struct{}),
+		byNode: make(map[int]map[*predicate]struct{}),
+		dirty:  make(map[*predicate]struct{}),
+	}
 }
 
 // EnableMetrics publishes the registry's control-plane instrumentation into
-// m: recompute count, monitor fires, pending waiters and a per-predicate
-// frontier gauge. Call before Register; not safe to call concurrently with
-// use.
+// m: recompute passes, per-predicate evaluations, monitor fires, pending
+// waiters, dirty-set depth, tick duration and a per-predicate frontier
+// gauge. Call before Register; not safe to call concurrently with use.
 func (r *Registry) EnableMetrics(m *metrics.Registry) {
 	r.recomputes = m.Counter("stabilizer_frontier_recomputes_total",
 		"Predicate re-evaluation passes over the ACK recorder.")
+	r.predEvals = m.Counter("stabilizer_frontier_pred_evals_total",
+		"Individual predicate evaluations against the ACK recorder.")
 	r.monitorFires = m.Counter("stabilizer_frontier_monitor_fires_total",
 		"Stability-frontier monitor callbacks invoked.")
 	r.waiters = m.Gauge("stabilizer_frontier_waiters",
 		"WaitFor callers currently blocked on a predicate.")
+	r.dirtyPreds = m.Gauge("stabilizer_frontier_dirty_preds",
+		"Predicates marked dirty and awaiting the next stabilization drain.")
 	r.frontiers = m.GaugeVec("stabilizer_frontier_seq",
 		"Last computed stability frontier per predicate.", "predicate")
+	r.tickDur = m.Histogram("stabilizer_frontier_tick_duration_seconds",
+		"Duration of stabilization drains (dirty-set evaluation passes).",
+		metrics.LatencyOpts)
+}
+
+// StartDeferred switches the registry into deferred mode: dirty predicates
+// are drained by a background tick every interval instead of inline on the
+// update path. A non-positive interval is a no-op (inline mode). Call once,
+// before concurrent use; pair with Close.
+func (r *Registry) StartDeferred(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	r.mu.Lock()
+	r.interval = interval
+	r.stop = stop
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Flush()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Interval returns the stabilization tick period (0 = inline mode).
+func (r *Registry) Interval() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interval
+}
+
+// Close stops the deferred tick goroutine (if any), performs a final drain
+// so no dirty predicate is left unevaluated, and reverts the registry to
+// inline mode so late updates still stabilize. Safe to call when deferred
+// mode was never started, and safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	stop := r.stop
+	r.stop = nil
+	r.interval = 0
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		r.wg.Wait()
+	}
+	r.Flush()
 }
 
 // OnAdvance adds a hook invoked with (key, old, new) after a predicate's
@@ -107,9 +198,58 @@ func (r *Registry) WaiterCount() int {
 	defer r.mu.Unlock()
 	n := 0
 	for _, p := range r.preds {
-		n += len(p.waiters)
+		n += p.waiters.Len()
 	}
 	return n
+}
+
+// DirtyCount returns the number of predicates awaiting the next drain.
+func (r *Registry) DirtyCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.dirty)
+}
+
+// indexLocked adds p to the inverted cell and node indexes. Caller holds mu.
+func (r *Registry) indexLocked(p *predicate) {
+	for _, c := range p.cells {
+		m := r.byCell[c]
+		if m == nil {
+			m = make(map[*predicate]struct{})
+			r.byCell[c] = m
+		}
+		m[p] = struct{}{}
+	}
+	for _, n := range p.prog.DependsOn() {
+		m := r.byNode[n]
+		if m == nil {
+			m = make(map[*predicate]struct{})
+			r.byNode[n] = m
+		}
+		m[p] = struct{}{}
+	}
+}
+
+// unindexLocked removes p from the inverted indexes and the dirty set.
+// Caller holds mu.
+func (r *Registry) unindexLocked(p *predicate) {
+	for _, c := range p.cells {
+		if m := r.byCell[c]; m != nil {
+			delete(m, p)
+			if len(m) == 0 {
+				delete(r.byCell, c)
+			}
+		}
+	}
+	for _, n := range p.prog.DependsOn() {
+		if m := r.byNode[n]; m != nil {
+			delete(m, p)
+			if len(m) == 0 {
+				delete(r.byNode, n)
+			}
+		}
+	}
+	delete(r.dirty, p)
 }
 
 // Register compiles source and installs it under key. Registering an
@@ -120,27 +260,32 @@ func (r *Registry) Register(key, source string) error {
 		return fmt.Errorf("register predicate %q: %w", key, err)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, dup := r.preds[key]; dup {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrPredExists, key)
 	}
 	p := &predicate{
 		key:      key,
 		prog:     prog,
+		cells:    prog.Cells(),
 		frontier: r.table.EvalLocked(prog),
 		monitors: make(map[int]MonitorFunc),
 	}
 	r.preds[key] = p
-	r.setFrontierGauge(key, p.frontier)
+	r.indexLocked(p)
+	f := p.frontier
+	r.mu.Unlock()
+	r.setFrontierGauge(key, f)
 	return nil
 }
 
 // Change swaps the predicate under key for a newly compiled source, at
 // runtime (paper §III-D / §VI-D dynamic reconfiguration). The frontier is
-// re-evaluated immediately; note that switching to a stronger predicate can
-// move the frontier backwards — the paper leaves handling that gap to the
-// application, and so do we. Pending waiters stay queued and are judged
-// against the new predicate.
+// re-evaluated immediately — even in deferred mode, so callers that swap to
+// a weaker predicate observe the effect without waiting a tick; note that
+// switching to a stronger predicate can move the frontier backwards — the
+// paper leaves handling that gap to the application, and so do we. Pending
+// waiters stay queued and are judged against the new predicate.
 func (r *Registry) Change(key, source string) error {
 	prog, err := dsl.Compile(source, r.env)
 	if err != nil {
@@ -153,13 +298,16 @@ func (r *Registry) Change(key, source string) error {
 		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
 	}
 	old := p.frontier
+	r.unindexLocked(p)
 	p.prog = prog
+	p.cells = prog.Cells()
+	r.indexLocked(p)
 	p.frontier = r.table.EvalLocked(prog)
 	newF := p.frontier
 	released := p.releaseWaitersLocked()
 	hooks := r.onAdvance
 	// A swap to a weaker predicate can advance the frontier immediately;
-	// monitors must hear about it just like a Recompute advance, or state
+	// monitors must hear about it just like a drain advance, or state
 	// keyed to the frontier (send-log reclaim, most importantly) would wait
 	// for an ACK that may never come — e.g. the degraded-mode fallback that
 	// swaps reclaim to a majority predicate precisely because the full set
@@ -200,8 +348,10 @@ func (r *Registry) Remove(key string) error {
 		return fmt.Errorf("%w: %q", ErrPredUnknown, key)
 	}
 	delete(r.preds, key)
-	var released []chan struct{}
+	r.unindexLocked(p)
+	released := make([]chan struct{}, 0, p.waiters.Len())
 	for _, w := range p.waiters {
+		w.idx = -1
 		released = append(released, w.done)
 	}
 	p.waiters = nil
@@ -293,8 +443,8 @@ func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
 		r.mu.Unlock()
 		return nil
 	}
-	w := waiter{seq: seq, done: make(chan struct{})}
-	p.waiters = append(p.waiters, w)
+	w := &waiter{seq: seq, done: make(chan struct{})}
+	heap.Push(&p.waiters, w)
 	r.mu.Unlock()
 	r.addWaiters(1)
 
@@ -302,7 +452,7 @@ func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
 	case <-w.done:
 		return nil
 	case <-ctx.Done():
-		r.detachWaiter(key, w.done)
+		r.detachWaiter(p, w)
 		// The frontier may have advanced concurrently with cancellation;
 		// prefer success if the wait actually completed.
 		select {
@@ -314,25 +464,24 @@ func (r *Registry) WaitFor(ctx context.Context, seq uint64, key string) error {
 	}
 }
 
-func (r *Registry) detachWaiter(key string, done chan struct{}) {
+// detachWaiter removes a cancelled waiter from its predicate's heap in
+// O(log n). The predicate object stays valid across Change (which mutates
+// in place); after Remove or release the waiter's idx is already -1 and
+// this is a no-op.
+func (r *Registry) detachWaiter(p *predicate, w *waiter) {
 	r.mu.Lock()
-	p, ok := r.preds[key]
-	if ok {
-		for i, w := range p.waiters {
-			if w.done == done {
-				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
-				r.mu.Unlock()
-				r.addWaiters(-1)
-				return
-			}
-		}
+	if w.idx >= 0 {
+		heap.Remove(&p.waiters, w.idx)
+		r.mu.Unlock()
+		r.addWaiters(-1)
+		return
 	}
 	r.mu.Unlock()
 }
 
 // Monitor registers fn to run each time key's frontier advances, and
-// returns a cancel function. fn runs on the recompute path; keep it short
-// or hand off to a goroutine.
+// returns a cancel function. fn runs on the stabilization drain path; keep
+// it short or hand off to a goroutine.
 func (r *Registry) Monitor(key string, fn MonitorFunc) (cancel func(), err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -352,59 +501,152 @@ func (r *Registry) Monitor(key string, fn MonitorFunc) (cancel func(), err error
 	}, nil
 }
 
-// Recompute re-evaluates every predicate against the current ACK recorder
-// state, releases satisfied waiters, and fires monitors for predicates
-// whose frontier advanced. It is called by the node's control-plane loop
-// after each batch of ACK updates.
-func (r *Registry) Recompute() {
-	type firing struct {
-		fns      []MonitorFunc
-		frontier uint64
-	}
-	type advance struct {
-		key      string
-		old, new uint64
-	}
-	var (
-		released []chan struct{}
-		firings  []firing
-		advances []advance
-	)
+// NoteCellUpdate records that recorder cell (node, typ) advanced: every
+// predicate reading that cell is marked dirty. In inline mode the dirty set
+// drains immediately; in deferred mode it waits for the next tick.
+func (r *Registry) NoteCellUpdate(node int, typ uint16) {
 	r.mu.Lock()
-	hooks := r.onAdvance
+	for p := range r.byCell[dsl.Cell{Node: node, Type: typ}] {
+		r.dirty[p] = struct{}{}
+	}
+	r.noteFlushLocked()
+}
+
+// NoteNodeUpdate records that every stability counter of node advanced
+// (Table.UpdateAll — the origin's own counters move on sequence
+// assignment): every predicate depending on that node is marked dirty.
+func (r *Registry) NoteNodeUpdate(node int) {
+	r.mu.Lock()
+	for p := range r.byNode[node] {
+		r.dirty[p] = struct{}{}
+	}
+	r.noteFlushLocked()
+}
+
+// noteFlushLocked finishes a Note*: publishes the dirty gauge and, in
+// inline mode, drains immediately. Caller holds mu; released on return.
+func (r *Registry) noteFlushLocked() {
+	if r.dirtyPreds != nil {
+		r.dirtyPreds.Set(int64(len(r.dirty)))
+	}
+	if r.interval != 0 || len(r.dirty) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	work, hooks := r.drainLocked()
+	r.mu.Unlock()
+	r.publish(work, hooks)
+}
+
+// Recompute re-evaluates every registered predicate against the current
+// ACK recorder state, regardless of dirtiness — the full pass older callers
+// and crash-recovery paths rely on (e.g. after Table.Restore, which bypasses
+// the Note* hooks).
+func (r *Registry) Recompute() {
+	r.mu.Lock()
 	for _, p := range r.preds {
+		r.dirty[p] = struct{}{}
+	}
+	work, hooks := r.drainLocked()
+	r.mu.Unlock()
+	r.publish(work, hooks)
+}
+
+// Flush drains the dirty set now: every dirty predicate is re-evaluated,
+// satisfied waiters released and monitors fired. The deferred tick calls
+// this once per interval; tests call it to force determinism.
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	work, hooks := r.drainLocked()
+	r.mu.Unlock()
+	r.publish(work, hooks)
+}
+
+type firing struct {
+	fns      []MonitorFunc
+	frontier uint64
+}
+
+type advance struct {
+	key      string
+	old, new uint64
+}
+
+// flushWork is everything a drain produced under mu that must be published
+// outside it: gauge moves and advance hooks first, then waiter releases,
+// then monitor fires — so latency observers run before WaitFor returns.
+type flushWork struct {
+	advances []advance
+	released []chan struct{}
+	firings  []firing
+	evals    int
+	took     time.Duration
+}
+
+// drainLocked evaluates and clears the dirty set. Caller holds mu.
+func (r *Registry) drainLocked() (flushWork, []func(string, uint64, uint64)) {
+	var work flushWork
+	if len(r.dirty) == 0 {
+		return work, nil
+	}
+	var start time.Time
+	if r.tickDur != nil {
+		start = time.Now()
+	}
+	hooks := r.onAdvance
+	for p := range r.dirty {
+		delete(r.dirty, p)
+		work.evals++
 		f := r.table.EvalLocked(p.prog)
 		if f <= p.frontier {
 			continue
 		}
-		advances = append(advances, advance{key: p.key, old: p.frontier, new: f})
+		work.advances = append(work.advances, advance{key: p.key, old: p.frontier, new: f})
 		p.frontier = f
-		released = append(released, p.releaseWaitersLocked()...)
+		work.released = append(work.released, p.releaseWaitersLocked()...)
 		if len(p.monitors) > 0 {
 			fns := make([]MonitorFunc, 0, len(p.monitors))
 			for _, fn := range p.monitors {
 				fns = append(fns, fn)
 			}
-			firings = append(firings, firing{fns: fns, frontier: f})
+			work.firings = append(work.firings, firing{fns: fns, frontier: f})
 		}
 	}
-	r.mu.Unlock()
+	if r.tickDur != nil {
+		work.took = time.Since(start)
+	}
+	return work, hooks
+}
 
+// publish applies a drain's effects outside the registry lock.
+func (r *Registry) publish(work flushWork, hooks []func(string, uint64, uint64)) {
+	if work.evals == 0 {
+		return
+	}
 	if r.recomputes != nil {
 		r.recomputes.Inc()
+	}
+	if r.predEvals != nil {
+		r.predEvals.Add(int64(work.evals))
+	}
+	if r.dirtyPreds != nil {
+		r.dirtyPreds.Set(0)
+	}
+	if r.tickDur != nil {
+		r.tickDur.Observe(int64(work.took))
 	}
 	// The advance hook runs before waiters are released so observers (the
 	// core's stability-latency samples) are recorded by the time a WaitFor
 	// caller resumes.
-	for _, a := range advances {
+	for _, a := range work.advances {
 		r.setFrontierGauge(a.key, a.new)
 		for _, fn := range hooks {
 			fn(a.key, a.old, a.new)
 		}
 	}
-	r.addWaiters(-len(released))
-	releaseAll(released)
-	for _, f := range firings {
+	r.addWaiters(-len(work.released))
+	releaseAll(work.released)
+	for _, f := range work.firings {
 		for _, fn := range f.fns {
 			fn(f.frontier)
 		}
@@ -414,22 +656,17 @@ func (r *Registry) Recompute() {
 	}
 }
 
-// releaseWaitersLocked removes and returns the done channels of waiters
-// satisfied by the current frontier. Caller holds r.mu.
+// releaseWaitersLocked pops and returns the done channels of waiters
+// satisfied by the current frontier, in ascending seq order. Caller holds
+// the registry mutex.
 func (p *predicate) releaseWaitersLocked() []chan struct{} {
-	if len(p.waiters) == 0 {
+	if p.waiters.Len() == 0 || p.waiters[0].seq > p.frontier {
 		return nil
 	}
 	var released []chan struct{}
-	kept := p.waiters[:0]
-	for _, w := range p.waiters {
-		if w.seq <= p.frontier {
-			released = append(released, w.done)
-		} else {
-			kept = append(kept, w)
-		}
+	for p.waiters.Len() > 0 && p.waiters[0].seq <= p.frontier {
+		released = append(released, heap.Pop(&p.waiters).(*waiter).done)
 	}
-	p.waiters = kept
 	return released
 }
 

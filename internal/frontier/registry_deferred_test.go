@@ -1,0 +1,404 @@
+package frontier
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFrontier polls until key's frontier reaches want or the deadline
+// passes, for tests racing the deferred tick.
+func waitFrontier(t *testing.T, reg *Registry, key string, want uint64, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		if f, err := reg.Frontier(key); err == nil && f >= want {
+			return
+		}
+		if time.Now().After(stop) {
+			f, _ := reg.Frontier(key)
+			t.Fatalf("frontier(%q) = %d, want >= %d after %v", key, f, want, deadline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDeferredMarksDirtyUntilFlush(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	// An hour-long interval means the tick never fires inside the test:
+	// drains happen only when we ask.
+	reg.StartDeferred(time.Hour)
+	defer reg.Close()
+
+	table.Update(1, TypeReceived, 5)
+	table.Update(2, TypeReceived, 5)
+	reg.NoteCellUpdate(1, TypeReceived)
+	reg.NoteCellUpdate(2, TypeReceived)
+	if f, _ := reg.Frontier("p"); f != 0 {
+		t.Fatalf("frontier advanced before the drain: %d", f)
+	}
+	if d := reg.DirtyCount(); d != 1 {
+		t.Fatalf("dirty count = %d, want 1 (same predicate marked twice)", d)
+	}
+	reg.Flush()
+	if f, _ := reg.Frontier("p"); f != 5 {
+		t.Fatalf("frontier after drain = %d, want 5", f)
+	}
+	if d := reg.DirtyCount(); d != 0 {
+		t.Fatalf("dirty count after drain = %d, want 0", d)
+	}
+}
+
+func TestDeferredTickDrains(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	reg.StartDeferred(time.Millisecond)
+	defer reg.Close()
+	if got := reg.Interval(); got != time.Millisecond {
+		t.Fatalf("Interval = %v, want 1ms", got)
+	}
+	table.Update(1, TypeReceived, 9)
+	table.Update(2, TypeReceived, 9)
+	reg.NoteCellUpdate(1, TypeReceived)
+	reg.NoteCellUpdate(2, TypeReceived)
+	waitFrontier(t, reg, "p", 9, 2*time.Second)
+}
+
+func TestDeferredWaitForReleasedByTick(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	reg.StartDeferred(time.Millisecond)
+	defer reg.Close()
+	done := make(chan error, 1)
+	go func() { done <- reg.WaitFor(context.Background(), 4, "p") }()
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	table.Update(1, TypeReceived, 4)
+	table.Update(2, TypeReceived, 4)
+	reg.NoteCellUpdate(1, TypeReceived)
+	reg.NoteCellUpdate(2, TypeReceived)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter errored: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tick never released the waiter")
+	}
+}
+
+func TestCloseDrainsAndRevertsInline(t *testing.T) {
+	reg, table, _ := newTestRegistry(1)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	reg.StartDeferred(time.Hour)
+	table.Update(1, TypeReceived, 3)
+	reg.NoteCellUpdate(1, TypeReceived)
+	if f, _ := reg.Frontier("p"); f != 0 {
+		t.Fatalf("frontier advanced before Close: %d", f)
+	}
+	reg.Close()
+	if f, _ := reg.Frontier("p"); f != 3 {
+		t.Fatalf("Close did not drain: frontier = %d, want 3", f)
+	}
+	// After Close the registry is inline again: updates stabilize
+	// synchronously, so a straggling ACK is not lost.
+	table.Update(1, TypeReceived, 7)
+	reg.NoteCellUpdate(1, TypeReceived)
+	if f, _ := reg.Frontier("p"); f != 7 {
+		t.Fatalf("post-Close update not inline: frontier = %d, want 7", f)
+	}
+	reg.Close() // idempotent
+}
+
+func TestIncrementalDirtiesOnlyReaders(t *testing.T) {
+	reg, table, _ := newTestRegistry(2)
+	if err := reg.Register("recv", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("deliv", "MIN($ALLWNODES.delivered)"); err != nil {
+		t.Fatal(err)
+	}
+	reg.StartDeferred(time.Hour)
+	defer reg.Close()
+
+	// A cell nobody reads dirties nothing.
+	reg.NoteCellUpdate(1, TypePersisted)
+	if d := reg.DirtyCount(); d != 0 {
+		t.Fatalf("unread cell dirtied %d predicates", d)
+	}
+	// A received cell dirties only the predicate reading received.
+	table.Update(1, TypeReceived, 2)
+	reg.NoteCellUpdate(1, TypeReceived)
+	if d := reg.DirtyCount(); d != 1 {
+		t.Fatalf("received cell dirtied %d predicates, want 1", d)
+	}
+	// A whole-node advance (UpdateAll) dirties every predicate that
+	// depends on the node, whatever type it reads.
+	reg.NoteNodeUpdate(1)
+	if d := reg.DirtyCount(); d != 2 {
+		t.Fatalf("node update dirtied %d predicates, want 2", d)
+	}
+	reg.Flush()
+	if d := reg.DirtyCount(); d != 0 {
+		t.Fatalf("dirty count after drain = %d", d)
+	}
+
+	// Change swaps the index along with the program: the old read set no
+	// longer dirties the predicate, the new one does.
+	if err := reg.Change("deliv", "MIN($ALLWNODES.persisted)"); err != nil {
+		t.Fatal(err)
+	}
+	reg.NoteCellUpdate(1, TypeDelivered)
+	if d := reg.DirtyCount(); d != 0 {
+		t.Fatalf("stale index: delivered cell dirtied %d predicates after Change", d)
+	}
+	reg.NoteCellUpdate(1, TypePersisted)
+	if d := reg.DirtyCount(); d != 1 {
+		t.Fatalf("persisted cell dirtied %d predicates, want 1", d)
+	}
+	// Remove detaches from the index entirely.
+	reg.Flush()
+	if err := reg.Remove("recv"); err != nil {
+		t.Fatal(err)
+	}
+	reg.NoteCellUpdate(1, TypeReceived)
+	if d := reg.DirtyCount(); d != 0 {
+		t.Fatalf("removed predicate still indexed: dirty = %d", d)
+	}
+}
+
+// TestReleaseOrderSeqSorted is the white-box heap contract: waiters come
+// off releaseWaitersLocked in ascending seq order, never past the
+// frontier, and the survivors keep a consistent heap index.
+func TestReleaseOrderSeqSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := &predicate{}
+	seqOf := make(map[chan struct{}]uint64)
+	const waiters, cut = 1000, 100
+	for i := 0; i < waiters; i++ {
+		w := &waiter{seq: uint64(rng.Intn(2*cut)) + 1, done: make(chan struct{})}
+		heap.Push(&p.waiters, w)
+		seqOf[w.done] = w.seq
+	}
+	// Detach a random subset first, like concurrent cancellations would.
+	for i := 0; i < 100; i++ {
+		heap.Remove(&p.waiters, rng.Intn(p.waiters.Len()))
+	}
+	p.frontier = cut
+	released := p.releaseWaitersLocked()
+	prev := uint64(0)
+	for _, c := range released {
+		s := seqOf[c]
+		if s < prev {
+			t.Fatalf("release order not seq-sorted: %d after %d", s, prev)
+		}
+		if s > cut {
+			t.Fatalf("phantom release: seq %d > frontier %d", s, cut)
+		}
+		prev = s
+	}
+	for i, w := range p.waiters {
+		if w.idx != i {
+			t.Fatalf("heap index corrupt: waiters[%d].idx = %d", i, w.idx)
+		}
+		if w.seq <= cut {
+			t.Fatalf("waiter seq %d <= frontier %d left unreleased", w.seq, cut)
+		}
+	}
+}
+
+// TestMassCancelBoundedTime is the en-masse cancellation regression: with
+// the heap's O(log n) detach, cancelling massCancelWaiters parked waiters
+// finishes in seconds; the old linear scan under the registry lock made
+// this wave quadratic.
+func TestMassCancelBoundedTime(t *testing.T) {
+	reg, _, _ := newTestRegistry(2)
+	if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make([]error, massCancelWaiters)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = reg.WaitFor(ctx, uint64(i+1), "p")
+		}(i)
+	}
+	parkBy := time.Now().Add(60 * time.Second)
+	for reg.WaiterCount() != massCancelWaiters {
+		if time.Now().After(parkBy) {
+			t.Fatalf("only %d/%d waiters parked", reg.WaiterCount(), massCancelWaiters)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	start := time.Now()
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := reg.WaiterCount(); n != 0 {
+		t.Fatalf("%d waiters left attached after cancellation", n)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrWaitCancelled) {
+			t.Fatalf("waiter %d: err = %v, want ErrWaitCancelled", i, err)
+		}
+	}
+	// Generous tripwire: the O(n²) scan took minutes at this size; the
+	// heap finishes in well under a second of detach work (wall clock is
+	// dominated by waking the goroutines).
+	if limit := 20 * time.Second; elapsed > limit {
+		t.Fatalf("mass cancel took %v, want < %v", elapsed, limit)
+	}
+	t.Logf("cancelled %d waiters in %v", massCancelWaiters, elapsed)
+}
+
+// TestConcurrentWaitCancelChangeProperty drives randomized concurrent
+// WaitFor / cancellation / Change / table-update / Remove interleavings
+// and asserts the release property: a waiter that resumed successfully
+// before Remove had seq <= the final frontier (no phantom release), every
+// waiter with seq <= frontier is released once the dust settles
+// (completeness), and cancellations never strand heap entries.
+func TestConcurrentWaitCancelChangeProperty(t *testing.T) {
+	const (
+		n       = 3
+		waiters = 300
+		maxSeq  = 200 // every node's counter ends here, so F = maxSeq
+	)
+	for round := 0; round < 3; round++ {
+		rng := rand.New(rand.NewSource(int64(1000 + round)))
+		reg, table, _ := newTestRegistry(n)
+		if err := reg.Register("p", "MIN($ALLWNODES)"); err != nil {
+			t.Fatal(err)
+		}
+
+		// Inputs (written before spawning, read-only afterwards) live apart
+		// from outcomes (written only by waiter i, read after wg.Wait()) so
+		// the main goroutine can inspect inputs while waiters still run.
+		seqs := make([]uint64, waiters)
+		cancels := make([]bool, waiters)
+		type wres struct {
+			preRemove bool // returned before Remove started
+			err       error
+		}
+		results := make([]wres, waiters)
+		var removed atomic.Bool
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			seq := uint64(rng.Intn(2*maxSeq)) + 1
+			doCancel := rng.Intn(5) == 0
+			seqs[i] = seq
+			cancels[i] = doCancel
+			delay := time.Duration(rng.Intn(2000)) * time.Microsecond
+			wg.Add(1)
+			go func(i int, seq uint64, doCancel bool, delay time.Duration) {
+				defer wg.Done()
+				ctx := context.Background()
+				if doCancel {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+				}
+				err := reg.WaitFor(ctx, seq, "p")
+				results[i].preRemove = !removed.Load()
+				results[i].err = err
+			}(i, seq, doCancel, delay)
+		}
+
+		var updWg sync.WaitGroup
+		for node := 1; node <= n; node++ {
+			updWg.Add(1)
+			go func(node int) {
+				defer updWg.Done()
+				for s := uint64(1); s <= maxSeq; s++ {
+					table.Update(node, TypeReceived, s)
+					reg.NoteCellUpdate(node, TypeReceived)
+				}
+			}(node)
+		}
+		// Swap between semantically equivalent predicates while updates
+		// and waits are in flight: the frontier stays monotonic, but the
+		// swap path (unindex/reindex, immediate re-eval, waiter re-judge)
+		// races everything else.
+		updWg.Add(1)
+		go func() {
+			defer updWg.Done()
+			srcs := []string{"KTH_MIN(1, $ALLWNODES)", "MIN($ALLWNODES)"}
+			for i := 0; i < 20; i++ {
+				if err := reg.Change("p", srcs[i%2]); err != nil {
+					t.Errorf("change: %v", err)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		updWg.Wait()
+		reg.Recompute()
+		frontier, err := reg.Frontier("p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontier != maxSeq {
+			t.Fatalf("round %d: final frontier = %d, want %d", round, frontier, maxSeq)
+		}
+
+		// Completeness: once quiesced, exactly the non-cancelled waiters
+		// beyond the frontier are still parked.
+		wantParked := 0
+		for i := range seqs {
+			if !cancels[i] && seqs[i] > frontier {
+				wantParked++
+			}
+		}
+		settleBy := time.Now().Add(30 * time.Second)
+		for reg.WaiterCount() != wantParked {
+			if time.Now().After(settleBy) {
+				t.Fatalf("round %d: %d waiters parked after quiesce, want %d",
+					round, reg.WaiterCount(), wantParked)
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		removed.Store(true)
+		if err := reg.Remove("p"); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		for i, r := range results {
+			if r.err == nil && r.preRemove && seqs[i] > frontier {
+				t.Fatalf("round %d: waiter %d released with seq %d > frontier %d",
+					round, i, seqs[i], frontier)
+			}
+			if r.err != nil {
+				if !errors.Is(r.err, ErrWaitCancelled) {
+					t.Fatalf("round %d: waiter %d unexpected error %v", round, i, r.err)
+				}
+				if !cancels[i] {
+					t.Fatalf("round %d: waiter %d cancelled without a cancel", round, i)
+				}
+			}
+		}
+		if n := reg.WaiterCount(); n != 0 {
+			t.Fatalf("round %d: %d waiters left after Remove", round, n)
+		}
+	}
+}

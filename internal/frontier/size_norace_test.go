@@ -1,0 +1,9 @@
+//go:build !race
+
+package frontier
+
+// massCancelWaiters is the en-masse cancellation regression size: large
+// enough that the old O(n) detach scan (O(n²) for the full cancellation
+// wave) would blow the test timeout, small enough to park comfortably as
+// goroutines.
+const massCancelWaiters = 100_000

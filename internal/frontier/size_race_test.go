@@ -1,0 +1,8 @@
+//go:build race
+
+package frontier
+
+// massCancelWaiters under the race detector: every parked goroutine costs
+// several KiB of shadow state, so the wave shrinks to keep -race CI within
+// memory while still dwarfing any schedule the old O(n²) detach survived.
+const massCancelWaiters = 25_000

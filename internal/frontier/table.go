@@ -53,20 +53,24 @@ func (t *Table) Update(node int, typ uint16, seq uint64) bool {
 }
 
 // UpdateAll advances every existing stability-type row for node to at least
-// seq. It implements the paper's completeness rule: all stability
-// properties hold trivially at the node that originated a message, so the
-// origin's own counters advance the moment a sequence number is assigned.
-func (t *Table) UpdateAll(node int, seq uint64) {
+// seq, reporting whether any counter moved. It implements the paper's
+// completeness rule: all stability properties hold trivially at the node
+// that originated a message, so the origin's own counters advance the
+// moment a sequence number is assigned.
+func (t *Table) UpdateAll(node int, seq uint64) bool {
 	if node < 1 || node > t.n {
-		return
+		return false
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	advanced := false
 	for _, row := range t.rows {
 		if row[node-1] < seq {
 			row[node-1] = seq
+			advanced = true
 		}
 	}
+	return advanced
 }
 
 // EnsureType materializes the row for typ (zero-initialized) so that
