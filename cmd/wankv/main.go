@@ -65,7 +65,9 @@ func run() error {
 
 		flowMaxBytes   = flag.Int64("flow-max-bytes", 0, "cap each node's send log at this many buffered bytes (0 = unbounded)")
 		flowMaxEntries = flag.Int("flow-max-entries", 0, "cap each node's send log at this many buffered entries (0 = unbounded)")
-		flowMode       = flag.String("flow-mode", "block", "admission at the cap: 'block' (put waits) or 'fail' (put errors)")
+		flowMode       = flag.String("flow-mode", "block", "admission at the cap: 'block' (put waits), 'fail' (put errors) or 'spill' (cold backlog migrates to disk; needs -spill-dir)")
+		spillDir       = flag.String("spill-dir", "", "directory for on-disk spill segments in 'spill' mode (each node uses its own subdirectory)")
+		spillSegBytes  = flag.Int64("spill-segment-bytes", 0, "payload bytes per spill segment file (0 = default 4 MiB)")
 		stallDeadline  = flag.Duration("stall-deadline", 0, "declare a predicate stalled after its frontier sits still this long (0 = off)")
 		traceSample    = flag.Int("trace-sample", 64, "flight-record 1 in N operations end to end (1 = every op, 0 = off)")
 		stabilizeEvery = flag.Duration("stabilize-interval", 0, "defer predicate stabilization onto a control-plane tick of this period (0 = inline; try 1ms)")
@@ -77,10 +79,24 @@ func run() error {
 		mode = stabilizer.FlowBlock
 	case "fail":
 		mode = stabilizer.FlowFail
+	case "spill":
+		mode = stabilizer.FlowSpill
+		if *spillDir == "" {
+			return fmt.Errorf("-flow-mode spill requires -spill-dir")
+		}
+		if *flowMaxBytes == 0 && *flowMaxEntries == 0 {
+			return fmt.Errorf("-flow-mode spill requires -flow-max-bytes or -flow-max-entries (the spill watermark)")
+		}
 	default:
-		return fmt.Errorf("bad -flow-mode %q (want block or fail)", *flowMode)
+		return fmt.Errorf("bad -flow-mode %q (want block, fail or spill)", *flowMode)
 	}
-	flow := stabilizer.FlowConfig{MaxBytes: *flowMaxBytes, MaxEntries: *flowMaxEntries, Mode: mode}
+	flow := stabilizer.FlowConfig{
+		MaxBytes:          *flowMaxBytes,
+		MaxEntries:        *flowMaxEntries,
+		Mode:              mode,
+		SpillDir:          *spillDir,
+		SpillSegmentBytes: *spillSegBytes,
+	}
 	stall := stabilizer.StallConfig{Deadline: *stallDeadline}
 
 	topo := stabilizer.EC2Topology(1)

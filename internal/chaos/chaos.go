@@ -47,8 +47,28 @@ type Options struct {
 	Kinds []faultinject.Kind
 	// Flow, when enabled, caps every node's send log and turns on the
 	// bounded-memory invariant: CrossCheck sweeps additionally assert no
-	// node's buffer exceeds the cap plus one payload.
+	// node's buffer exceeds the cap plus one payload. With Mode FlowSpill
+	// the soak switches to invariant 9: the cap bounds only the *in-memory*
+	// tier (CheckBoundedMemory), senders pump deterministic seq-derived
+	// payloads, and every delivery is checked byte-for-byte against ground
+	// truth via AttachPayloadTruth — so a corrupt disk round trip fails the
+	// run even though the stream stays FIFO.
 	Flow transport.FlowConfig
+	// PayloadBytes sizes every pumped message (default 96). Spill soaks
+	// raise it so a backlog measured in MBs or GBs accumulates within the
+	// horizon instead of over a literal day.
+	PayloadBytes int
+	// BacklogFault, when > 0, appends one backlog_partition event to the
+	// seeded schedule: the first non-sender is isolated until the senders'
+	// retransmission backlog (memory + spill) reaches this many bytes, the
+	// "day-long region outage" whose natural unit is data volume. Requires
+	// Flow.Mode == FlowSpill. The event is appended after generation, so
+	// seeded fingerprints of the generated prefix are unchanged.
+	BacklogFault int64
+	// BandwidthBps overrides the fabric's per-link bandwidth (default
+	// 200 Mbps). GB-scale spill soaks raise it so the post-heal drain fits
+	// DrainTimeout.
+	BandwidthBps float64
 	// LogStripes shards every node's send-log appends across that many
 	// producer stripes (0 = transport default, 1 = classic single-stripe
 	// log), so soaks exercise the striped merge path under faults.
@@ -121,6 +141,9 @@ func (o Options) withDefaults() Options {
 	if o.PeerTimeout == 0 {
 		o.PeerTimeout = 200 * time.Millisecond
 	}
+	if o.PayloadBytes == 0 {
+		o.PayloadBytes = soakPayload
+	}
 	return o
 }
 
@@ -136,9 +159,24 @@ func (o Options) genConfig() faultinject.GenConfig {
 	}
 }
 
-// soakPayload is the size of every pumped message; the bounded-memory sweep
-// uses it as the admission-control overshoot budget.
+// soakPayload is the default size of every pumped message; the
+// bounded-memory sweeps use the (possibly overridden) payload size as the
+// admission-control overshoot budget.
 const soakPayload = 96
+
+// chaosPayload derives the deterministic payload for (origin, seq): byte i
+// is a cheap mix of all three, so corruption, a cross-stream swap, or an
+// off-by-one resequencing anywhere on the spill tier's disk round trip
+// changes the bytes a receiver sees. Spill soaks pump these and verify
+// them at delivery, which is how invariant 9 gets ground truth without
+// storing a copy of every stream.
+func chaosPayload(origin int, seq uint64, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(uint64(origin)*31 + seq*131 + uint64(i)*7 + 13)
+	}
+	return p
+}
 
 // convergencePred is the predicate every node must agree on at drain time.
 // The .delivered suffix matters: the row advances only after application
@@ -155,6 +193,15 @@ type Report struct {
 	// Deliveries counts application upcalls across all nodes and
 	// incarnations (re-deliveries to restarted nodes included).
 	Deliveries int64
+	// PeakSpilledBytes is the high-water mark of any node's on-disk spill
+	// tier observed by the sweeps (0 unless the soak ran FlowSpill). A
+	// spill soak should assert it is non-zero: a run whose backlog never
+	// left memory did not exercise invariant 9.
+	PeakSpilledBytes int64
+	// SpillReadbackBytes totals the bytes senders streamed back from disk
+	// segments (0 unless FlowSpill); non-zero proves the post-heal drain
+	// actually crossed the disk→memory boundary.
+	SpillReadbackBytes int64
 	// Violations lists every invariant violation (empty on success).
 	Violations []string
 }
@@ -174,6 +221,8 @@ func Soak(o Options) (*Report, error) {
 		}
 	}
 
+	spill := o.Flow.Mode == transport.FlowSpill
+
 	sched := faultinject.Generate(o.Seed, o.genConfig())
 	if o.AutoReclaim {
 		for _, k := range sched.Kinds() {
@@ -184,6 +233,32 @@ func Soak(o Options) (*Report, error) {
 			}
 		}
 	}
+	if o.BacklogFault > 0 {
+		if !spill {
+			return nil, fmt.Errorf("chaos: BacklogFault requires Flow.Mode == FlowSpill (a memory-only capped log would just block the pumps)")
+		}
+		isSender := make(map[int]bool, len(o.Senders))
+		for _, s := range o.Senders {
+			isSender[s] = true
+		}
+		victim := 0
+		for i := 1; i <= o.N; i++ {
+			if !isSender[i] {
+				victim = i
+				break
+			}
+		}
+		if victim == 0 {
+			return nil, fmt.Errorf("chaos: BacklogFault needs a non-sender node to isolate")
+		}
+		sched.Events = append(sched.Events, faultinject.Event{
+			At:    o.Horizon / 10,
+			Dur:   o.Horizon, // safety timeout; the backlog threshold normally heals first
+			Kind:  faultinject.KindBacklogPartition,
+			Nodes: []int{victim},
+			Bytes: o.BacklogFault,
+		})
+	}
 	// Ground truth for the honesty invariant: the set of nodes any schedule
 	// event touches. A stall report may only blame these. A partition cuts
 	// every link crossing the set boundary, so both sides are affected — if
@@ -191,7 +266,7 @@ func Soak(o Options) (*Report, error) {
 	// fall behind on its stream.
 	suspect := make(map[int]bool)
 	for _, e := range sched.Events {
-		if e.Kind == faultinject.KindPartition {
+		if e.Kind == faultinject.KindPartition || e.Kind == faultinject.KindBacklogPartition {
 			for i := 1; i <= o.N; i++ {
 				suspect[i] = true
 			}
@@ -205,11 +280,15 @@ func Soak(o Options) (*Report, error) {
 	// A lightly shaped fabric: enough latency that faults hit in-flight
 	// traffic, jitter to exercise the seeded shaper, and a bandwidth cap so
 	// post-heal resends stream rather than teleport.
+	bw := emunet.Mbps(200)
+	if o.BandwidthBps > 0 {
+		bw = o.BandwidthBps
+	}
 	matrix := emunet.NewMatrix()
 	matrix.Default = emunet.Link{
 		OneWayLatency: 2 * time.Millisecond,
 		Jitter:        time.Millisecond,
-		BandwidthBps:  emunet.Mbps(200),
+		BandwidthBps:  bw,
 	}
 	fabric := emunet.NewMemNetwork(matrix)
 	fabric.Seed(o.Seed)
@@ -242,6 +321,11 @@ func Soak(o Options) (*Report, error) {
 		}
 		if o.Trace.Enabled() && o.Stall.Deadline > 0 {
 			check.AttachStallTraces(n)
+		}
+		if spill {
+			check.AttachPayloadTruth(n, func(origin int, seq uint64) []byte {
+				return chaosPayload(origin, seq, o.PayloadBytes)
+			})
 		}
 		n.OnDeliver(func(core.Message) { deliveries.Add(1) })
 	}
@@ -307,9 +391,9 @@ func Soak(o Options) (*Report, error) {
 	for _, s := range o.Senders {
 		sn := cl.Node(s)
 		pumps.Add(1)
-		go func(sn *core.Node) {
+		go func(s int, sn *core.Node) {
 			defer pumps.Done()
-			payload := make([]byte, soakPayload)
+			payload := make([]byte, o.PayloadBytes)
 			tick := time.NewTicker(o.SendEvery)
 			defer tick.Stop()
 			for {
@@ -317,12 +401,26 @@ func Soak(o Options) (*Report, error) {
 				case <-pumpStop:
 					return
 				case <-tick.C:
-					if _, err := sn.Send(payload); err != nil {
+					if spill {
+						// The pump is its node's only appender, so the next
+						// sequence is known before Send assigns it — that is
+						// what lets the payload be derived from (origin, seq)
+						// and re-derived independently at every receiver.
+						seq := sn.NextSeq()
+						got, err := sn.Send(chaosPayload(s, seq, o.PayloadBytes))
+						if err != nil {
+							return
+						}
+						if got != seq {
+							check.Violatef("pump: node %d predicted seq %d but Send assigned %d", s, seq, got)
+							return
+						}
+					} else if _, err := sn.Send(payload); err != nil {
 						return
 					}
 				}
 			}
-		}(sn)
+		}(s, sn)
 	}
 
 	crash := func(i int) {
@@ -362,6 +460,30 @@ func Soak(o Options) (*Report, error) {
 		}
 	}
 
+	// The bounded-memory sweep: under FlowSpill the cap governs only the
+	// in-memory tier (the whole point is that total backlog exceeds it),
+	// and the sweeps also track invariant 9's peak-spill witness.
+	var peakSpill int64 // guarded by mu
+	sweepBounded := func(nodes []*core.Node) {
+		if o.Flow.MaxBytes > 0 {
+			if spill {
+				check.CheckBoundedMemory(nodes, o.Flow.MaxBytes, int64(o.PayloadBytes))
+			} else {
+				check.CheckBounded(nodes, o.Flow.MaxBytes, int64(o.PayloadBytes))
+			}
+		}
+		if spill {
+			for _, n := range nodes {
+				if n == nil {
+					continue
+				}
+				if b := n.SpilledBytes(); b > peakSpill {
+					peakSpill = b
+				}
+			}
+		}
+	}
+
 	// Continuous invariant-3 and invariant-8 sweeps while faults fly.
 	ccStop := make(chan struct{})
 	ccDone := make(chan struct{})
@@ -378,9 +500,7 @@ func Soak(o Options) (*Report, error) {
 				live := liveNodes()
 				check.CrossCheck(live)
 				check.CheckFrontierTruth(live, quorums)
-				if o.Flow.MaxBytes > 0 {
-					check.CheckBounded(live, o.Flow.MaxBytes, soakPayload)
-				}
+				sweepBounded(live)
 				mu.Unlock()
 			}
 		}
@@ -389,6 +509,25 @@ func Soak(o Options) (*Report, error) {
 	runner := &faultinject.Runner{
 		Inj: inj, Sched: sched, N: o.N, Scale: 1,
 		Crash: crash, Restart: restart, Logf: o.Logf,
+	}
+	if o.BacklogFault > 0 {
+		// The backlog a region outage induces lives on the *senders*:
+		// reclamation is keyed to MIN over all nodes, so the isolated
+		// victim pins every origin's log. Senders never crash, so their
+		// handles are stable for the whole run.
+		senderNodes := make([]*core.Node, 0, len(o.Senders))
+		for _, s := range o.Senders {
+			senderNodes = append(senderNodes, cl.Node(s))
+		}
+		runner.Backlog = func(int) int64 {
+			var max int64
+			for _, sn := range senderNodes {
+				if b := sn.BufferedBytes(); b > max {
+					max = b
+				}
+			}
+			return max
+		}
 	}
 	runner.Run(nil)
 	inj.HealAll()
@@ -451,9 +590,7 @@ func Soak(o Options) (*Report, error) {
 	final := liveNodes()
 	check.CrossCheck(final)
 	check.CheckFrontierTruth(final, quorums)
-	if o.Flow.MaxBytes > 0 {
-		check.CheckBounded(final, o.Flow.MaxBytes, soakPayload)
-	}
+	sweepBounded(final)
 	// The checker's own FIFO counters must also have reached the heads:
 	// agreement on .delivered plus gap-free counting means every message
 	// was upcalled exactly once per incarnation.
@@ -485,6 +622,12 @@ func Soak(o Options) (*Report, error) {
 		Heads:      heads,
 		Deliveries: deliveries.Load(),
 		Violations: check.Violations(),
+	}
+	if spill {
+		rep.PeakSpilledBytes = peakSpill
+		for _, s := range o.Senders {
+			rep.SpillReadbackBytes += cl.Node(s).SpillReadbackBytes()
+		}
 	}
 	if len(rep.Violations) > 0 {
 		return rep, fmt.Errorf("chaos: %d invariant violation(s), seed %d:\n%s",

@@ -39,14 +39,24 @@
 //     ground-truth evaluation recorded a full sweep period (many tick
 //     intervals) earlier. Holds identically in inline mode, where the lag
 //     is zero by construction.
+//  9. Spill-tier integrity — with the send log's disk tier configured
+//     (FlowSpill), the bounded-memory invariant applies to the *in-memory*
+//     portion of the buffer while the total backlog is free to grow with
+//     the disk, and every delivered payload must be byte-identical to the
+//     origin's ground truth — data that round-tripped through spill
+//     segments and back is indistinguishable from data served from memory.
+//     The FIFO invariant (2) riding the same deliveries proves the
+//     disk→memory hand-off is gapless.
 //
 // Invariants 1 and 2 are asserted continuously from hooks on the live
 // nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded and
-// CheckFrontierTruth ride the same sweeps for invariants 5 and 8);
-// invariant 4 by the harness at drain time via Violatef; invariant 6 by
+// CheckFrontierTruth ride the same sweeps for invariants 5 and 8, and
+// CheckBoundedMemory plus peak-spill tracking for invariant 9); invariant
+// 4 by the harness at drain time via Violatef; invariant 6 by
 // AttachStallHonesty on each node's OnStall stream; invariant 7 by
 // CheckTraces after convergence plus AttachStallTraces on each stall
-// report.
+// report; invariant 9's byte-identity by AttachPayloadTruth on the same
+// delivery hooks as invariant 2.
 package chaos
 
 import (
@@ -254,6 +264,46 @@ func (c *Checker) CheckBounded(nodes []*core.Node, capBytes, slack int64) {
 				i+1, b, capBytes, slack)
 		}
 	}
+}
+
+// CheckBoundedMemory sweeps invariant 9's memory clause: under FlowSpill
+// the cap bounds the in-memory portion of each send buffer — the total
+// backlog (BufferedBytes) legitimately grows far past it, onto disk.
+func (c *Checker) CheckBoundedMemory(nodes []*core.Node, capBytes, slack int64) {
+	for i, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if b := n.MemoryBufferedBytes(); b > capBytes+slack {
+			c.Violatef("spill bounded-memory violation: node %d holds %d send-log bytes in memory > cap %d + slack %d (spilled %d)",
+				i+1, b, capBytes, slack, n.SpilledBytes())
+		}
+	}
+}
+
+// AttachPayloadTruth hooks invariant 9's byte-identity clause into a live
+// node: every delivered payload must equal truth(origin, seq). Pair it
+// with deterministic, sequence-derived sender payloads so ground truth
+// needs no copy of the stream. Violations are reported once per node per
+// origin to keep the log readable.
+func (c *Checker) AttachPayloadTruth(node *core.Node, truth func(origin int, seq uint64) []byte) {
+	self := node.Self()
+	reported := make(map[int]bool)
+	var mu sync.Mutex
+	node.OnDeliver(func(m core.Message) {
+		want := truth(m.Origin, m.Seq)
+		if string(m.Payload) == string(want) {
+			return
+		}
+		mu.Lock()
+		first := !reported[m.Origin]
+		reported[m.Origin] = true
+		mu.Unlock()
+		if first {
+			c.Violatef("payload corruption: node %d got %d bytes for origin %d seq %d that differ from ground truth (%d bytes)",
+				self, len(m.Payload), m.Origin, m.Seq, len(want))
+		}
+	})
 }
 
 // CheckFrontierTruth sweeps invariant 8 over a snapshot of the cluster:

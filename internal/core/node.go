@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -261,7 +262,17 @@ func openNode(cfg Config) (*Node, error) {
 	if stripes == 0 {
 		stripes = transport.DefaultLogStripes()
 	}
-	log := transport.NewSendLogOpts(firstSeq, cfg.Flow, stripes)
+	flow := cfg.Flow
+	if flow.Mode == transport.FlowSpill && flow.SpillDir != "" {
+		// Many nodes of one cluster commonly share a Config (and thus a
+		// SpillDir); give each its own segment namespace so restarting
+		// node i recovers exactly node i's backlog.
+		flow.SpillDir = filepath.Join(flow.SpillDir, fmt.Sprintf("node%d", topo.Self))
+	}
+	log, err := transport.NewSendLogTiered(firstSeq, flow, stripes)
+	if err != nil {
+		return nil, fmt.Errorf("core: node %d send log: %w", topo.Self, err)
+	}
 
 	mreg := cfg.Metrics
 	if mreg == nil {
@@ -714,8 +725,22 @@ func (n *Node) Checkpoint() *Checkpoint {
 // NextSeq returns the sequence number the next Send will be assigned.
 func (n *Node) NextSeq() uint64 { return n.log.NextSeq() }
 
-// BufferedBytes reports the bytes currently held in the send buffer.
+// BufferedBytes reports the bytes currently held in the send buffer —
+// memory plus any on-disk spill tier (the total retransmission backlog).
 func (n *Node) BufferedBytes() int64 { return n.log.Bytes() }
+
+// MemoryBufferedBytes reports only the in-memory portion of the send
+// buffer. Under FlowSpill this is the number the memory cap bounds, while
+// BufferedBytes keeps growing with the disk tier.
+func (n *Node) MemoryBufferedBytes() int64 { return n.log.MemoryBytes() }
+
+// SpilledBytes reports the bytes parked in the send log's on-disk spill
+// tier (0 unless FlowSpill is configured).
+func (n *Node) SpilledBytes() int64 { return n.log.SpilledBytes() }
+
+// SpillReadbackBytes reports the cumulative bytes the send log has served
+// to peers from its spill tier (0 unless FlowSpill is configured).
+func (n *Node) SpillReadbackBytes() int64 { return n.log.SpillReadbackBytes() }
 
 // BytesSent reports total frame bytes written to peers.
 func (n *Node) BytesSent() int64 { return n.tr.BytesSent() }

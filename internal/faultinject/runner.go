@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -20,6 +21,11 @@ type Runner struct {
 	// run on the runner's goroutine; nil skips crash events.
 	Crash   func(node int)
 	Restart func(node int)
+	// Backlog reports the retransmission backlog (bytes, memory plus any
+	// spill tier) of the node a KindBacklogPartition isolates. Required
+	// for backlog-driven heals; with it nil (or Event.Bytes zero) the
+	// event degrades to a plain timed partition.
+	Backlog func(node int) int64
 	// Logf, when set, traces each applied action.
 	Logf func(format string, args ...any)
 }
@@ -82,6 +88,45 @@ func (r *Runner) Run(stop <-chan struct{}) {
 				}},
 				action{e.At + e.Dur, "heal " + e.String(), func() {
 					r.Inj.ClearSlowReceiver(e.Nodes[0], e.Nodes[1], extra)
+				}})
+		case KindBacklogPartition:
+			// Engage like a partition; heal on whichever comes first —
+			// the victim's backlog crossing e.Bytes (polled on a side
+			// goroutine) or the At+Dur safety timeout on the timeline.
+			var heal sync.Once
+			healFn := func(why string) {
+				heal.Do(func() {
+					if r.Logf != nil {
+						r.Logf("faultinject: %s %s", why, e.String())
+					}
+					r.Inj.HealPartition(e.Nodes, r.N)
+				})
+			}
+			actions = append(actions,
+				action{e.At, e.String(), func() {
+					r.Inj.RecordFault(KindBacklogPartition)
+					r.Inj.Partition(e.Nodes, r.N)
+					if r.Backlog == nil || e.Bytes <= 0 {
+						return
+					}
+					go func() {
+						tick := time.NewTicker(5 * time.Millisecond)
+						defer tick.Stop()
+						for {
+							select {
+							case <-stop:
+								return
+							case <-tick.C:
+								if r.Backlog(e.Nodes[0]) >= e.Bytes {
+									healFn("backlog-heal")
+									return
+								}
+							}
+						}
+					}()
+				}},
+				action{e.At + e.Dur, "timeout-heal " + e.String(), func() {
+					healFn("timeout-heal")
 				}})
 		case KindCrashRestart:
 			if r.Crash == nil || r.Restart == nil {

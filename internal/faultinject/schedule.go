@@ -55,6 +55,17 @@ const (
 	KindSlowReceiver
 
 	numKinds
+
+	// KindBacklogPartition isolates one node (blackhole-style partition,
+	// both directions) until the *backlog* it induces — not a timer —
+	// reaches Event.Bytes: the runner polls Runner.Backlog and heals as
+	// soon as the victim's unsent retransmission buffer has grown past the
+	// threshold (typically GBs, the "day-long region outage" shape whose
+	// natural unit is data volume, not wall time). Event.Dur still bounds
+	// the fault as a safety timeout. Deliberately numbered after numKinds
+	// and absent from AllKinds: Generate never draws it (existing seeded
+	// schedules keep their fingerprints); harnesses place it explicitly.
+	KindBacklogPartition
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +83,8 @@ func (k Kind) String() string {
 		return "crash_restart"
 	case KindSlowReceiver:
 		return "slow_receiver"
+	case KindBacklogPartition:
+		return "backlog_partition"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -98,6 +111,10 @@ type Event struct {
 	Nodes []int
 	// Extra is the added one-way delay of a latency spike.
 	Extra time.Duration
+	// Bytes is a KindBacklogPartition's heal threshold: the fault ends
+	// once the isolated node's retransmission backlog reaches this many
+	// bytes (At+Dur remains the safety timeout).
+	Bytes int64
 }
 
 // String renders the event canonically.
@@ -109,6 +126,9 @@ func (e Event) String() string {
 	}
 	if e.Extra > 0 {
 		fmt.Fprintf(&b, " extra=%dms", e.Extra.Milliseconds())
+	}
+	if e.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", e.Bytes)
 	}
 	return b.String()
 }

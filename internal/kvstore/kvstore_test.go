@@ -369,3 +369,50 @@ func TestWALWriteFaultEntersReadOnly(t *testing.T) {
 		t.Fatalf("latest after recovery = %q, want v3", v.Value)
 	}
 }
+
+func TestWALEveryTruncationPointRecoversPrefix(t *testing.T) {
+	// The crash matrix for the shared segment framing, exercised through
+	// kvstore's own encoding: a WAL truncated at every possible byte
+	// boundary recovers an exact prefix of the written puts.
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	w, err := OpenWAL(full, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(WithWAL(w))
+	want := make([][2]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		k, v := fmt.Sprintf("key%d", i), fmt.Sprintf("value-%d", i)
+		if _, err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, [2]string{k, v})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		p := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ReadWAL(p)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(recs) > len(want) {
+			t.Fatalf("cut=%d: recovered %d > written %d", cut, len(recs), len(want))
+		}
+		for i, r := range recs {
+			if r.Key != want[i][0] || string(r.Value) != want[i][1] {
+				t.Fatalf("cut=%d: record %d = %s=%q, want %s=%q",
+					cut, i, r.Key, r.Value, want[i][0], want[i][1])
+			}
+		}
+	}
+}

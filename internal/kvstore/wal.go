@@ -1,36 +1,28 @@
 package kvstore
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
-	"sync"
 	"time"
+
+	"stabilizer/internal/storage/segment"
 )
 
-// WAL is a minimal append-only write-ahead log. Records are CRC-protected
-// and length-prefixed; recovery stops cleanly at the first torn record.
+// WAL is a minimal append-only write-ahead log. It sits on the shared
+// internal/storage/segment framing (the same machinery the transport's
+// spill tier uses), so CRC protection, fsync discipline, and torn-tail
+// recovery live in one implementation. Files written before the extraction
+// stay readable: the framing is byte-identical.
 //
-// Record layout:
+// Record body layout (inside the segment frame):
 //
-//	uint32  crc32 (IEEE) of everything after this field
-//	uint32  body length
 //	uint16  key length, key bytes
 //	uint64  version
 //	int64   unix-nano timestamp
 //	[]byte  value (rest of body)
 type WAL struct {
-	mu   sync.Mutex
-	f    *os.File
-	bw   *bufio.Writer
-	sync bool
-	// fault, when non-nil, makes every append fail with it (wrapped in
-	// ErrWALWrite) before touching the file — the disk-full fault hook.
-	fault error
+	w *segment.Writer
 }
 
 // ErrWALWrite wraps every error from appending to the log, so callers can
@@ -50,23 +42,15 @@ type Record struct {
 // OpenWAL opens (creating if needed) the log at path. If syncEveryWrite is
 // set, each record is fsynced — the durable flavor of "persisted".
 func OpenWAL(path string, syncEveryWrite bool) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	w, err := segment.OpenWriter(path, syncEveryWrite)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open wal: %w", err)
 	}
-	return &WAL{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEveryWrite}, nil
+	return &WAL{w: w}, nil
 }
 
 // Close flushes and closes the log.
-func (w *WAL) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.bw.Flush(); err != nil {
-		_ = w.f.Close()
-		return err
-	}
-	return w.f.Close()
-}
+func (w *WAL) Close() error { return w.w.Close() }
 
 func (w *WAL) appendPut(key string, value []byte, ver uint64, ts time.Time) error {
 	body := make([]byte, 0, 2+len(key)+8+8+len(value))
@@ -75,32 +59,8 @@ func (w *WAL) appendPut(key string, value []byte, ver uint64, ts time.Time) erro
 	body = binary.BigEndian.AppendUint64(body, ver)
 	body = binary.BigEndian.AppendUint64(body, uint64(ts.UnixNano()))
 	body = append(body, value...)
-
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[4:], uint32(len(body)))
-	crc := crc32.NewIEEE()
-	_, _ = crc.Write(hdr[4:])
-	_, _ = crc.Write(body)
-	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
-
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.fault != nil {
-		return fmt.Errorf("%w: %w", ErrWALWrite, w.fault)
-	}
-	if _, err := w.bw.Write(hdr[:]); err != nil {
+	if err := w.w.Append(body); err != nil {
 		return fmt.Errorf("%w: %w", ErrWALWrite, err)
-	}
-	if _, err := w.bw.Write(body); err != nil {
-		return fmt.Errorf("%w: %w", ErrWALWrite, err)
-	}
-	if w.sync {
-		if err := w.bw.Flush(); err != nil {
-			return fmt.Errorf("%w: %w", ErrWALWrite, err)
-		}
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("%w: %w", ErrWALWrite, err)
-		}
 	}
 	return nil
 }
@@ -108,62 +68,37 @@ func (w *WAL) appendPut(key string, value []byte, ver uint64, ts time.Time) erro
 // SetWriteFault makes every subsequent append fail with cause (wrapped in
 // ErrWALWrite) without touching the file — the fault-injection hook for
 // disk-full and similar persistent write failures. nil clears the fault.
-func (w *WAL) SetWriteFault(cause error) {
-	w.mu.Lock()
-	w.fault = cause
-	w.mu.Unlock()
-}
+func (w *WAL) SetWriteFault(cause error) { w.w.SetWriteFault(cause) }
 
 // Flush forces buffered records to the OS.
-func (w *WAL) Flush() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.bw.Flush()
-}
+func (w *WAL) Flush() error { return w.w.Flush() }
 
 // ReadWAL recovers all intact records from the log at path. A torn tail
 // (partial final record or CRC mismatch) terminates recovery without error,
-// mirroring standard WAL semantics.
+// mirroring standard WAL semantics; a record body too short to parse also
+// terminates recovery (a corrupt tail that happened to pass the CRC of a
+// differently-framed write never occurs in practice, but stopping is the
+// safe reading of it).
 func ReadWAL(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("kvstore: open wal for read: %w", err)
-	}
-	defer f.Close()
-
-	br := bufio.NewReaderSize(f, 64<<10)
 	var out []Record
-	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return out, nil // clean EOF or torn header: stop
-		}
-		want := binary.BigEndian.Uint32(hdr[:4])
-		n := binary.BigEndian.Uint32(hdr[4:])
-		if n < 2+8+8 || n > 1<<30 {
-			return out, nil
-		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return out, nil // torn record
-		}
-		crc := crc32.NewIEEE()
-		_, _ = crc.Write(hdr[4:])
-		_, _ = crc.Write(body)
-		if crc.Sum32() != want {
-			return out, nil // corrupt tail
+	stop := errors.New("stop")
+	err := segment.Scan(path, func(body []byte) error {
+		if len(body) < 2+8+8 {
+			return stop
 		}
 		klen := int(binary.BigEndian.Uint16(body[:2]))
 		if 2+klen+16 > len(body) {
-			return out, nil
+			return stop
 		}
 		key := string(body[2 : 2+klen])
 		ver := binary.BigEndian.Uint64(body[2+klen:])
 		ts := int64(binary.BigEndian.Uint64(body[2+klen+8:]))
 		val := body[2+klen+16:]
 		out = append(out, Record{Key: key, Value: val, Ver: ver, Time: time.Unix(0, ts)})
+		return nil
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return nil, fmt.Errorf("kvstore: wal read: %w", err)
 	}
+	return out, nil
 }

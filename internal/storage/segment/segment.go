@@ -1,0 +1,242 @@
+// Package segment implements the CRC-framed, append-only record file shared
+// by every on-disk log in the system: the kvstore write-ahead log and the
+// transport send-log spill tier both sit on it, so fsync discipline, framing,
+// and torn-tail recovery live in exactly one place.
+//
+// Record layout (identical to the original kvstore WAL, so files written
+// before the extraction stay readable):
+//
+//	uint32  crc32 (IEEE) of everything after this field
+//	uint32  body length
+//	[]byte  body (opaque to this package)
+//
+// Recovery semantics: a reader returns every intact record and stops cleanly
+// at the first torn or corrupt one — a partial header, a partial body, a CRC
+// mismatch, or an implausible length all terminate the scan without error,
+// mirroring standard WAL tail-recovery.
+package segment
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrWrite wraps every error from appending to a segment, so callers can
+// distinguish "the disk failed" from bad-input errors without matching on
+// platform-specific causes. The original cause stays in the chain for
+// errors.Is (e.g. syscall.ENOSPC).
+var ErrWrite = errors.New("segment: write failed")
+
+// maxBody rejects implausible record lengths during recovery: anything past
+// 1 GiB is treated as a corrupt header, terminating the scan.
+const maxBody = 1 << 30
+
+// headerSize is the fixed per-record framing overhead (crc32 + length).
+const headerSize = 8
+
+// FrameSize returns the on-disk size of a record with the given body length.
+func FrameSize(bodyLen int) int64 { return int64(headerSize + bodyLen) }
+
+// Writer appends CRC-framed records to one segment file. Writes are buffered;
+// Sync (or syncEveryWrite) makes them durable. Safe for concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	sync bool
+	size int64
+	// fault, when non-nil, makes every append fail with it (wrapped in
+	// ErrWrite) before touching the file — the disk-full fault hook.
+	fault error
+}
+
+// OpenWriter opens (creating if needed) the segment at path for appending.
+// If syncEveryWrite is set, each record is fsynced — the durable flavor of
+// "persisted". The returned writer's Size starts at the file's current
+// length, so appending to an existing segment accounts correctly.
+func OpenWriter(path string, syncEveryWrite bool) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("segment: stat: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, 64<<10), sync: syncEveryWrite, size: st.Size()}, nil
+}
+
+// Append frames body with a length prefix and CRC and appends it. The body
+// is opaque; callers own its encoding. Returns the error wrapped in ErrWrite
+// on any failure.
+func (w *Writer) Append(body []byte) error {
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(body)))
+	crc := crc32.NewIEEE()
+	_, _ = crc.Write(hdr[4:])
+	_, _ = crc.Write(body)
+	binary.BigEndian.PutUint32(hdr[:4], crc.Sum32())
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fault != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, w.fault)
+	}
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, err)
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, err)
+	}
+	w.size += FrameSize(len(body))
+	if w.sync {
+		if err := w.bw.Flush(); err != nil {
+			return fmt.Errorf("%w: %w", ErrWrite, err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("%w: %w", ErrWrite, err)
+		}
+	}
+	return nil
+}
+
+// SetWriteFault makes every subsequent append fail with cause (wrapped in
+// ErrWrite) without touching the file — the fault-injection hook for
+// disk-full and similar persistent write failures. nil clears the fault.
+func (w *Writer) SetWriteFault(cause error) {
+	w.mu.Lock()
+	w.fault = cause
+	w.mu.Unlock()
+}
+
+// Size returns the framed bytes appended so far (including any pre-existing
+// file content), whether or not they have been flushed.
+func (w *Writer) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Flush forces buffered records to the OS.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, err)
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file: on return every
+// appended record is durable.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("%w: %w", ErrWrite, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the segment.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		_ = w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader streams intact record bodies from one segment file in append order.
+// It is a sequential cursor: Next returns io.EOF at the end of the intact
+// prefix — a clean end of file and a torn or corrupt tail look the same, by
+// design (recovery keeps what the CRC vouches for and ignores the rest).
+type Reader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+// OpenReader opens the segment at path for sequential reading.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open for read: %w", err)
+	}
+	return &Reader{f: f, br: bufio.NewReaderSize(f, 64<<10)}, nil
+}
+
+// Next returns the next intact record body, or io.EOF at the end of the
+// intact prefix (clean EOF, torn tail, or corrupt record). The returned
+// slice is freshly allocated and owned by the caller.
+func (r *Reader) Next() ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return nil, io.EOF // clean EOF or torn header
+	}
+	want := binary.BigEndian.Uint32(hdr[:4])
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > maxBody {
+		return nil, io.EOF // implausible length: corrupt header
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return nil, io.EOF // torn body
+	}
+	crc := crc32.NewIEEE()
+	_, _ = crc.Write(hdr[4:])
+	_, _ = crc.Write(body)
+	if crc.Sum32() != want {
+		return nil, io.EOF // corrupt record
+	}
+	return body, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// ReadFile returns every intact record body in the segment at path, stopping
+// cleanly at the first torn or corrupt record. A missing file yields no
+// records and no error (an empty log is a valid log).
+func ReadFile(path string) ([][]byte, error) {
+	var out [][]byte
+	err := Scan(path, func(body []byte) error {
+		out = append(out, body)
+		return nil
+	})
+	return out, err
+}
+
+// Scan streams every intact record body in the segment at path through fn,
+// stopping cleanly at the first torn or corrupt record. fn's error aborts
+// the scan and is returned. A missing file is an empty log.
+func Scan(path string, fn func(body []byte) error) error {
+	r, err := OpenReader(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer r.Close()
+	for {
+		body, err := r.Next()
+		if err != nil {
+			return nil // end of intact prefix
+		}
+		if err := fn(body); err != nil {
+			return err
+		}
+	}
+}

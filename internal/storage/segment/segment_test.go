@@ -1,0 +1,211 @@
+package segment
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecords(t *testing.T, path string, bodies [][]byte) {
+	t.Helper()
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	for _, b := range bodies {
+		if err := w.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	bodies := [][]byte{[]byte("alpha"), {}, []byte("gamma with a longer body")}
+	writeRecords(t, path, bodies)
+
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != len(bodies) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(bodies))
+	}
+	for i := range bodies {
+		if !bytes.Equal(got[i], bodies[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], bodies[i])
+		}
+	}
+}
+
+func TestMissingFileIsEmptyLog(t *testing.T) {
+	got, err := ReadFile(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadFile(missing) = %v records, err %v; want 0, nil", len(got), err)
+	}
+}
+
+func TestTornTailStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	bodies := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+
+	full := filepath.Join(dir, "full.log")
+	writeRecords(t, full, bodies)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate at every possible byte boundary: recovery must return a
+	// prefix of the written records, never an error, never garbage.
+	for cut := 0; cut < len(raw); cut++ {
+		p := filepath.Join(dir, fmt.Sprintf("cut%d.log", cut))
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("cut=%d: ReadFile error: %v", cut, err)
+		}
+		if len(got) > len(bodies) {
+			t.Fatalf("cut=%d: recovered %d > written %d", cut, len(got), len(bodies))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], bodies[i]) {
+				t.Fatalf("cut=%d: record %d = %q, want %q", cut, i, got[i], bodies[i])
+			}
+		}
+	}
+}
+
+func TestCorruptTailStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	bodies := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	full := filepath.Join(dir, "full.log")
+	writeRecords(t, full, bodies)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte at every offset. Recovery must return an intact prefix
+	// (corruption in record i loses records >= i, never fabricates data).
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xff
+		p := filepath.Join(dir, "mut.log")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(p)
+		if err != nil {
+			t.Fatalf("off=%d: ReadFile error: %v", off, err)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], bodies[i]) {
+				t.Fatalf("off=%d: record %d = %q, want intact prefix %q", off, i, got[i], bodies[i])
+			}
+		}
+	}
+}
+
+func TestWriteFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	w, err := OpenWriter(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("no space left on device")
+	w.SetWriteFault(cause)
+	err = w.Append([]byte("during"))
+	if !errors.Is(err, ErrWrite) || !errors.Is(err, cause) {
+		t.Fatalf("faulted Append = %v; want ErrWrite wrapping cause", err)
+	}
+	w.SetWriteFault(nil)
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after clearing fault: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("recovered %d records, err %v; want 2 (faulted append untracked)", len(got), err)
+	}
+	if string(got[0]) != "before" || string(got[1]) != "after" {
+		t.Fatalf("recovered %q, %q", got[0], got[1])
+	}
+}
+
+func TestWriterSizeAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	w, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Size(), FrameSize(100); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: size continues from the file, and appends land after the
+	// existing records.
+	w2, err := OpenWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w2.Size(), FrameSize(100); got != want {
+		t.Fatalf("reopened Size = %d, want %d", got, want)
+	}
+	if err := w2.Append(make([]byte, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("recovered %d records, err %v; want 2", len(got), err)
+	}
+	if len(got[0]) != 100 || len(got[1]) != 7 {
+		t.Fatalf("record lengths %d, %d; want 100, 7", len(got[0]), len(got[1]))
+	}
+}
+
+func TestReaderSequential(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.log")
+	var bodies [][]byte
+	for i := 0; i < 50; i++ {
+		bodies = append(bodies, bytes.Repeat([]byte{byte(i)}, i))
+	}
+	writeRecords(t, path, bodies)
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; ; i++ {
+		body, err := r.Next()
+		if err == io.EOF {
+			if i != len(bodies) {
+				t.Fatalf("EOF after %d records, want %d", i, len(bodies))
+			}
+			return
+		}
+		if !bytes.Equal(body, bodies[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}

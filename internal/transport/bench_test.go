@@ -88,8 +88,15 @@ func benchmarkThroughput(b *testing.B, matrix *emunet.Matrix, payloadSize int, t
 // engage on raw *net.TCPConn).
 func benchmarkThroughputNet(b *testing.B, net emunet.Network, payloadSize int, trace optrace.Config) {
 	b.Helper()
+	benchmarkThroughputLog(b, net, NewSendLog(1), payloadSize, trace)
+}
+
+// benchmarkThroughputLog is the general form: the caller supplies the
+// sender's send log, so the spill benchmarks can measure a tiered log on
+// the identical harness the recorded baselines used.
+func benchmarkThroughputLog(b *testing.B, net emunet.Network, sendLog *SendLog, payloadSize int, trace optrace.Config) {
+	b.Helper()
 	defer net.Close()
-	sendLog := NewSendLog(1)
 	rx := &countHandler{}
 	tr1, err := New(Config{
 		Self: 1, N: 2, Network: net, Handler: &countHandler{}, Log: sendLog,

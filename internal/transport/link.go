@@ -90,6 +90,13 @@ type link struct {
 	// connection of this link; entries at or below it are resends.
 	// Touched only by the run/stream goroutine.
 	maxDataSeq uint64
+	// sendCursor is the next log sequence this link will drain while a
+	// connection is live, 0 while disconnected. It feeds the spill
+	// horizon: the minimum live cursor marks where the send log's cold
+	// prefix ends, so the spiller prefers migrating entries no connected
+	// peer still needs from memory. Advisory only — a stale value costs a
+	// disk read-back, never correctness.
+	sendCursor atomic.Uint64
 	// batch is the reusable drain buffer for TryNextBatch; budgetBytes
 	// caches the adaptive batch budget and budgetAge counts batches until
 	// the next recomputation. Run/stream goroutine only.
@@ -480,6 +487,8 @@ const directWriteMin = 32 << 10
 // batch behind bulk data — that bound is the control/data fairness rule.
 func (l *link) stream(conn net.Conn, cursor uint64) {
 	defer l.draining.Store(false)
+	l.sendCursor.Store(cursor)
+	defer l.sendCursor.Store(0)
 	tcp, _ := conn.(*net.TCPConn)
 	cfg := &l.t.cfg.Batch
 	bw := bufio.NewWriterSize(conn, 64<<10)
@@ -520,6 +529,7 @@ func (l *link) stream(conn net.Conn, cursor uint64) {
 				}
 			}
 			cursor = l.batch[n-1].Seq + 1
+			l.sendCursor.Store(cursor)
 			ackB, appB, hbB := l.encodeControl(&ctl)
 			var err error
 			if tcp != nil && cfg.WritevMinBytes >= 0 && payloadBytes >= cfg.WritevMinBytes {

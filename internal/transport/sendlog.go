@@ -37,12 +37,23 @@ const (
 	FlowBlock FlowMode = iota
 	// FlowFail makes Append return ErrBackpressure immediately.
 	FlowFail
+	// FlowSpill migrates the cold prefix of the log to on-disk segment
+	// files once the high watermark latches, keeping memory bounded while
+	// the total backlog grows with the disk: a partitioned peer's stream
+	// is preserved in full and read back through the same batched drain
+	// path on reconnect. Appends block (like FlowBlock) only while the
+	// spiller is behind or the disk has failed. Requires
+	// FlowConfig.SpillDir and at least one cap; see NewSendLogTiered.
+	FlowSpill
 )
 
 // String implements fmt.Stringer.
 func (m FlowMode) String() string {
-	if m == FlowFail {
+	switch m {
+	case FlowFail:
 		return "fail"
+	case FlowSpill:
+		return "spill"
 	}
 	return "block"
 }
@@ -69,8 +80,17 @@ type FlowConfig struct {
 	// LowFrac positions the low watermark as a fraction of each cap
 	// (default 0.5; clamped to (0, 1]).
 	LowFrac float64
-	// Mode picks blocking or fail-fast admission (default FlowBlock).
+	// Mode picks blocking, fail-fast, or disk-spilling admission (default
+	// FlowBlock).
 	Mode FlowMode
+	// SpillDir is the directory holding the on-disk segment files of the
+	// spill tier. Required in FlowSpill mode; ignored otherwise. Existing
+	// segments found at open are recovered (crash restart).
+	SpillDir string
+	// SpillSegmentBytes bounds each spill segment file's payload bytes
+	// (default 4 MiB). Smaller segments reclaim disk sooner as the peer
+	// catches up; larger ones amortize file overhead.
+	SpillSegmentBytes int64
 }
 
 // Enabled reports whether any cap is configured.
@@ -154,6 +174,10 @@ type SendLog struct {
 	readWaiters atomic.Int32
 	// closedA mirrors closed for the lock-free append fast path.
 	closedA atomic.Bool
+	// flowFast is fixed at construction: true when the optimistic
+	// reserve-and-check admission fast path applies (byte cap only — an
+	// entry cap needs the retained base, which is mutex state).
+	flowFast bool
 	// flowOn is fixed at construction: admission-controlled appends take
 	// the central mutex so the caps stay global across stripes.
 	flowOn bool
@@ -169,6 +193,12 @@ type SendLog struct {
 	off     int
 	entries []LogEntry // canonical merged log, contiguous from base
 	closed  bool
+	// reclaimed is the highest sequence ever passed to TruncateThrough
+	// (clamped to assigned sequences). A truncation can overtake a staged
+	// entry stuck behind a reservation gap in another stripe; the merge
+	// consults this watermark so such an entry is dropped on arrival
+	// instead of being re-exposed to readers after its reclaim.
+	reclaimed uint64
 
 	// Flow control (admission) state. full latches once a cap is hit and
 	// clears only below the low watermarks (hysteresis). spaceCh is the
@@ -176,6 +206,11 @@ type SendLog struct {
 	// dropped when space frees, so each stall round gets a fresh channel.
 	flow    FlowConfig
 	full    bool
+	// fullA mirrors full for the lock-free admission fast path: byte-capped
+	// appends far below the watermark skip the central mutex entirely and
+	// only fall into the exact (locked) path once the latch is set or a
+	// byte reservation would cross the cap.
+	fullA   atomic.Bool
 	spaceCh chan struct{}
 	waiting int   // appenders currently blocked
 	blocked int64 // total appends that had to wait
@@ -185,6 +220,12 @@ type SendLog struct {
 	// enabled (same-package wiring; nil-safe).
 	mBlocked *metrics.Counter
 	mShed    *metrics.Counter
+
+	// spill is the disk tier (FlowSpill mode only; nil otherwise). spillErr
+	// records a spill setup failure when the caller used a constructor that
+	// cannot return it — the log then degrades to FlowBlock semantics.
+	spill    *spillState
+	spillErr error
 }
 
 // NewSendLog returns an empty single-stripe log whose first assigned
@@ -204,7 +245,67 @@ func NewSendLogFlow(firstSeq uint64, flow FlowConfig) *SendLog {
 // clamped. Striping only changes append-side contention — the external
 // contract (gapless sequences, contiguous batches, global flow caps) is
 // identical at every stripe count.
+//
+// FlowSpill setup can fail (directory creation, segment recovery); use
+// NewSendLogTiered to observe the error. Through this constructor a failed
+// spill setup degrades the log to FlowBlock semantics — still bounded, no
+// disk tier — and records the cause in SpillSetupErr.
 func NewSendLogOpts(firstSeq uint64, flow FlowConfig, stripes int) *SendLog {
+	flow = flow.normalized()
+	if flow.Mode == FlowSpill {
+		l, err := NewSendLogTiered(firstSeq, flow, stripes)
+		if err == nil {
+			return l
+		}
+		fb := flow
+		fb.Mode = FlowBlock
+		l = newSendLog(firstSeq, fb, stripes)
+		l.spillErr = err
+		return l
+	}
+	return newSendLog(firstSeq, flow, stripes)
+}
+
+// NewSendLogTiered is NewSendLogOpts with spill setup errors surfaced: in
+// FlowSpill mode it creates (or recovers) the on-disk segment tier under
+// flow.SpillDir and starts the spiller. Recovered segments re-anchor the
+// log: the next assigned sequence continues after the highest recovered one,
+// and the recovered backlog is served from disk exactly as if it had just
+// been spilled. For other modes it behaves like NewSendLogOpts.
+func NewSendLogTiered(firstSeq uint64, flow FlowConfig, stripes int) (*SendLog, error) {
+	flow = flow.normalized()
+	if flow.Mode != FlowSpill {
+		return newSendLog(firstSeq, flow, stripes), nil
+	}
+	if flow.SpillDir == "" {
+		return nil, errors.New("transport: FlowSpill requires FlowConfig.SpillDir")
+	}
+	if !flow.Enabled() {
+		return nil, errors.New("transport: FlowSpill requires a byte or entry cap (the spill watermark)")
+	}
+	sp, err := newSpillState(flow)
+	if err != nil {
+		return nil, err
+	}
+	l := newSendLog(firstSeq, flow, stripes)
+	l.spill = sp
+	if n := len(sp.segs); n > 0 {
+		last := sp.segs[n-1].last
+		if l.base > last+1 {
+			// The recovered chain cannot be sequenced under the caller's
+			// checkpoint (a gap would separate disk from new appends):
+			// discard it rather than serve a stream with a hole.
+			sp.discardAllLocked()
+		} else {
+			l.base = last + 1
+			l.next.Store(last + 1)
+		}
+	}
+	go l.spiller()
+	return l, nil
+}
+
+func newSendLog(firstSeq uint64, flow FlowConfig, stripes int) *SendLog {
 	if firstSeq == 0 {
 		firstSeq = 1
 	}
@@ -216,11 +317,13 @@ func NewSendLogOpts(firstSeq uint64, flow FlowConfig, stripes int) *SendLog {
 	}
 	l := &SendLog{
 		base:    firstSeq,
-		flow:    flow.normalized(),
+		flow:    flow,
 		stripes: make([]logStripe, stripes),
 	}
 	l.flowOn = l.flow.Enabled()
+	l.flowFast = flow.MaxEntries <= 0 && flow.MaxBytes > 0
 	l.next.Store(firstSeq)
+	l.reclaimed = firstSeq - 1
 	l.cond.L = &l.mu
 	return l
 }
@@ -303,8 +406,39 @@ func (l *SendLog) appendFast(payload []byte, sentUnixNano int64) (uint64, error)
 
 // appendFlow is the admission-controlled append: capacity checks, sequence
 // reservation and byte accounting all happen under the central mutex so the
-// caps stay global and exact across stripes.
+// caps stay global and exact across stripes — except far below a byte cap,
+// where an optimistic reserve-and-check keeps the hot path striped and
+// lock-free like appendFast (a flow-configured-but-idle log must not tax
+// the stream).
 func (l *SendLog) appendFlow(ctx context.Context, payload []byte, sentUnixNano int64) (uint64, error) {
+	// Fast path: reserve the bytes atomically; if the reservation stays
+	// under the cap and the full latch is clear, admission could not have
+	// blocked this append, so the central mutex adds nothing but
+	// contention with the drainer. A reservation that crosses the cap is
+	// rolled back and retried on the exact path (which latches full, kicks
+	// the spiller, and blocks as configured). MaxEntries needs the retained
+	// base — mutex state — so entry-capped logs always take the exact path.
+	if pl := int64(len(payload)); l.flowFast && !l.fullA.Load() {
+		nb := l.bytes.Add(pl)
+		if nb < l.flow.MaxBytes {
+			s := l.lockStripe()
+			if l.closedA.Load() {
+				s.mu.Unlock()
+				l.bytes.Add(-pl)
+				return 0, ErrLogClosed
+			}
+			seq := l.next.Add(1) - 1
+			s.entries = append(s.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
+			s.mu.Unlock()
+			if l.readWaiters.Load() != 0 {
+				l.mu.Lock()
+				l.cond.Broadcast()
+				l.mu.Unlock()
+			}
+			return seq, nil
+		}
+		l.bytes.Add(-pl)
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -323,6 +457,9 @@ func (l *SendLog) appendFlow(ctx context.Context, payload []byte, sentUnixNano i
 		l.blocked++
 		if c := l.mBlocked; c != nil {
 			c.Inc()
+		}
+		if l.spill != nil {
+			l.kickSpill()
 		}
 		for l.overLocked() {
 			ch := l.spaceCh
@@ -359,6 +496,11 @@ func (l *SendLog) appendFlow(ctx context.Context, payload []byte, sentUnixNano i
 	s.entries = append(s.entries, LogEntry{Seq: seq, SentUnixNano: sentUnixNano, Payload: payload})
 	s.mu.Unlock()
 	l.bytes.Add(int64(len(payload)))
+	if l.spill != nil && l.overLocked() {
+		// The high watermark latched: wake the spiller so the cold prefix
+		// starts migrating to disk before appenders have to block.
+		l.kickSpill()
+	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
 	return seq, nil
@@ -376,10 +518,12 @@ func (l *SendLog) overLocked() bool {
 	if (fc.MaxBytes > 0 && bytes >= fc.MaxBytes) ||
 		(fc.MaxEntries > 0 && live >= fc.MaxEntries) {
 		l.full = true
+		l.fullA.Store(true)
 	} else if l.full {
 		if (fc.MaxBytes <= 0 || bytes <= fc.lowBytes()) &&
 			(fc.MaxEntries <= 0 || live <= fc.lowEntries()) {
 			l.full = false
+			l.fullA.Store(false)
 		}
 	}
 	return l.full
@@ -407,6 +551,7 @@ func (l *SendLog) mergeLocked() {
 	if l.next.Load() == want {
 		return // nothing staged
 	}
+	dropped := false
 	for {
 		advanced := false
 		for i := range l.stripes {
@@ -414,7 +559,19 @@ func (l *SendLog) mergeLocked() {
 			s.mu.Lock()
 			n := 0
 			for n < len(s.entries) && s.entries[n].Seq == want {
-				l.entries = append(l.entries, s.entries[n])
+				if want <= l.reclaimed {
+					// A truncation overtook this entry while it was staged
+					// behind a reservation gap: it is already reclaimed and
+					// must never become visible again. want <= reclaimed
+					// implies the merged region is empty (truncation strips
+					// merged entries <= reclaimed), so advancing base keeps
+					// the dense invariant.
+					l.bytes.Add(-int64(len(s.entries[n].Payload)))
+					l.base++
+					dropped = true
+				} else {
+					l.entries = append(l.entries, s.entries[n])
+				}
 				want++
 				n++
 			}
@@ -427,6 +584,9 @@ func (l *SendLog) mergeLocked() {
 			s.mu.Unlock()
 		}
 		if !advanced || l.next.Load() == want {
+			if dropped {
+				l.releaseSpaceLocked()
+			}
 			return
 		}
 	}
@@ -447,6 +607,21 @@ func (l *SendLog) Next(seq uint64) (LogEntry, error) {
 	defer l.mu.Unlock()
 	for {
 		l.mergeLocked()
+		if l.spill != nil && seq < l.base {
+			memBase := l.base
+			l.mu.Unlock()
+			e, ok, resume := l.spill.readOne(seq, memBase)
+			l.mu.Lock()
+			if ok {
+				return e, nil
+			}
+			if resume > seq {
+				seq = resume // the prefix below resume was reclaimed
+				continue
+			}
+			// Disk tier wedged (unreadable sealed segment): fall through
+			// and block rather than fabricate a gap in the stream.
+		}
 		if seq < l.base {
 			seq = l.base
 		}
@@ -473,16 +648,33 @@ func (l *SendLog) Next(seq uint64) (LogEntry, error) {
 
 // TryNext is Next without blocking; ok is false when no entry is ready.
 func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.mergeLocked()
-	if seq < l.base {
-		seq = l.base
+	for {
+		l.mu.Lock()
+		l.mergeLocked()
+		if l.spill != nil && seq < l.base {
+			memBase := l.base
+			l.mu.Unlock()
+			e, ok, resume := l.spill.readOne(seq, memBase)
+			if ok {
+				return e, true
+			}
+			if resume > seq {
+				seq = resume
+				continue
+			}
+			return LogEntry{}, false // disk tier wedged: stall, don't gap
+		}
+		if seq < l.base {
+			seq = l.base
+		}
+		if seq < l.visibleNextLocked() {
+			e := l.entries[l.off+int(seq-l.base)]
+			l.mu.Unlock()
+			return e, true
+		}
+		l.mu.Unlock()
+		return LogEntry{}, false
 	}
-	if seq < l.visibleNextLocked() {
-		return l.entries[l.off+int(seq-l.base)], true
-	}
-	return LogEntry{}, false
 }
 
 // TryNextBatch drains a contiguous run of ready entries starting at seq
@@ -499,6 +691,9 @@ func (l *SendLog) TryNext(seq uint64) (entry LogEntry, ok bool) {
 func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes int) []LogEntry {
 	if maxFrames < 1 {
 		maxFrames = 1
+	}
+	if l.spill != nil {
+		return l.tryNextBatchTiered(seq, dst, maxFrames, maxBytes)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -520,6 +715,50 @@ func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes i
 	return dst
 }
 
+// tryNextBatchTiered is the FlowSpill drain: it serves the disk tier first
+// (sequences below the in-memory base) and crosses seamlessly into the live
+// memory tail within the same batch, preserving the gapless FIFO order the
+// link protocol depends on. The same frame/byte budget and oversize
+// first-frame rule apply across the boundary.
+func (l *SendLog) tryNextBatchTiered(seq uint64, dst []LogEntry, maxFrames, maxBytes int) []LogEntry {
+	sp := l.spill
+	budget := maxBytes
+	start := len(dst)
+	for {
+		l.mu.Lock()
+		l.mergeLocked()
+		if seq < l.base {
+			memBase := l.base
+			l.mu.Unlock()
+			prevSeq, prevLen := seq, len(dst)
+			var ok bool
+			dst, seq, ok = sp.readBatch(seq, memBase, dst, start, maxFrames, &budget)
+			if !ok || len(dst)-start >= maxFrames {
+				return dst // wedged disk (stall, don't gap) or batch full
+			}
+			if budget <= 0 && len(dst) > start {
+				return dst
+			}
+			if seq == prevSeq && len(dst) == prevLen {
+				return dst // no progress (budget-stopped mid-tier)
+			}
+			continue // advanced below memBase exhausted: re-check tiers
+		}
+		vnext := l.visibleNextLocked()
+		for len(dst)-start < maxFrames && seq < vnext {
+			e := l.entries[l.off+int(seq-l.base)]
+			if len(dst) > start && len(e.Payload) > budget {
+				break
+			}
+			dst = append(dst, e)
+			budget -= len(e.Payload)
+			seq++
+		}
+		l.mu.Unlock()
+		return dst
+	}
+}
+
 // TruncateThrough reclaims every entry with sequence ≤ seq. Reclaim is
 // amortized: dropped entries are zeroed in place (releasing their payloads
 // to the collector) and the slice is only compacted once the dead prefix
@@ -529,6 +768,17 @@ func (l *SendLog) TryNextBatch(seq uint64, dst []LogEntry, maxFrames, maxBytes i
 func (l *SendLog) TruncateThrough(seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if hi := l.next.Load() - 1; seq > hi {
+		// Clamp to assigned sequences so a permissive caller cannot
+		// poison entries that do not exist yet.
+		seq = hi
+	}
+	if seq > l.reclaimed {
+		l.reclaimed = seq
+	}
+	if l.spill != nil {
+		l.spill.truncate(seq)
+	}
 	if seq < l.base {
 		return
 	}
@@ -569,23 +819,119 @@ func (l *SendLog) NextSeq() uint64 {
 	return l.next.Load()
 }
 
-// Base returns the oldest retained sequence.
+// Base returns the oldest retained sequence, across both tiers: with a
+// spill tier holding data, that is the oldest sequence still on disk.
 func (l *SendLog) Base() uint64 {
+	if sp := l.spill; sp != nil {
+		if first, ok := sp.oldest(); ok {
+			return first
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.base
 }
 
-// Bytes returns the payload bytes currently buffered (staged and merged).
+// Bytes returns the payload bytes currently buffered across both tiers:
+// the total retransmission backlog. Use MemoryBytes for the in-memory
+// share that admission control bounds.
 func (l *SendLog) Bytes() int64 {
+	b := l.bytes.Load()
+	if sp := l.spill; sp != nil {
+		b += sp.spilled.Load()
+	}
+	return b
+}
+
+// MemoryBytes returns the payload bytes held in memory (staged and merged).
+// This is the quantity the FlowConfig caps bound; in FlowSpill mode the
+// on-disk remainder is excluded.
+func (l *SendLog) MemoryBytes() int64 {
 	return l.bytes.Load()
 }
 
-// Len returns the number of buffered entries (staged and merged).
+// Len returns the number of buffered entries across both tiers.
 func (l *SendLog) Len() int {
+	if sp := l.spill; sp != nil {
+		if first, ok := sp.oldest(); ok {
+			return int(l.next.Load() - first)
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return int(l.next.Load() - l.base)
+}
+
+// SpilledBytes returns the payload bytes currently parked in on-disk spill
+// segments (0 without a spill tier).
+func (l *SendLog) SpilledBytes() int64 {
+	if sp := l.spill; sp != nil {
+		return sp.spilled.Load()
+	}
+	return 0
+}
+
+// SpilledSegments returns the number of live on-disk spill segment files.
+func (l *SendLog) SpilledSegments() int64 {
+	if sp := l.spill; sp != nil {
+		return sp.segCount.Load()
+	}
+	return 0
+}
+
+// SpillReadbackBytes returns the cumulative payload bytes served back to
+// readers from the disk tier.
+func (l *SendLog) SpillReadbackBytes() int64 {
+	if sp := l.spill; sp != nil {
+		return sp.readback.Load()
+	}
+	return 0
+}
+
+// SpillDegraded reports whether the spill tier is currently unable to write
+// (disk fault): the log keeps running with FlowBlock semantics — bounded
+// memory, blocking appends, zero data loss — until the disk recovers.
+func (l *SendLog) SpillDegraded() bool {
+	if sp := l.spill; sp != nil {
+		return sp.degraded.Load()
+	}
+	return false
+}
+
+// SpillSetupErr returns the spill initialization error recorded when a
+// constructor without an error result (NewSendLogOpts) had to degrade a
+// FlowSpill request to FlowBlock semantics. nil when spill is healthy or
+// was never requested.
+func (l *SendLog) SpillSetupErr() error { return l.spillErr }
+
+// SetSpillWriteFault makes every subsequent spill segment write fail with
+// cause — the fault-injection hook for disk-full and similar persistent
+// failures. The spiller degrades to FlowBlock semantics while the fault is
+// set; nil clears it and spilling resumes on the next append over the
+// watermark.
+func (l *SendLog) SetSpillWriteFault(cause error) {
+	if sp := l.spill; sp != nil {
+		sp.setFault(cause)
+		if cause == nil {
+			// Appenders blocked on the watermark kicked the spiller before
+			// the fault cleared; wake it again so they aren't stranded.
+			l.kickSpill()
+		}
+	}
+}
+
+// SetSpillHorizon installs the cold-prefix bias: fn returns the lowest
+// sequence a live reader still needs from memory (typically the minimum
+// send cursor across connected links). The spiller prefers not to migrate
+// entries at or above it, so peers that are merely slow keep streaming from
+// memory — but when the watermark demands it, bounded memory wins and the
+// bias is ignored. nil (the default) treats the whole merged prefix as
+// cold. Correctness never depends on the horizon: spilled entries remain
+// readable through the same drain calls.
+func (l *SendLog) SetSpillHorizon(fn func() uint64) {
+	if sp := l.spill; sp != nil {
+		sp.horizon.Store(&fn)
+	}
 }
 
 // Flow returns the admission-control configuration (zero when unbounded).
@@ -633,7 +979,8 @@ func (l *SendLog) setBackpressureCounters(blocked, shed *metrics.Counter) {
 	l.mu.Unlock()
 }
 
-// Close wakes all blocked readers with ErrLogClosed.
+// Close wakes all blocked readers and appenders with ErrLogClosed and
+// stops the spiller (on-disk segments are left in place for recovery).
 func (l *SendLog) Close() {
 	l.mu.Lock()
 	l.closed = true
@@ -644,4 +991,11 @@ func (l *SendLog) Close() {
 	}
 	l.mu.Unlock()
 	l.cond.Broadcast()
+	if sp := l.spill; sp != nil {
+		sp.closeOnce.Do(func() { close(sp.kick) })
+		// Wait for the spiller to finish any in-flight segment write and
+		// release its cached reader: after Close returns, the spill
+		// directory is quiescent and safe to recover from.
+		<-sp.done
+	}
 }

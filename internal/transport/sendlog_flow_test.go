@@ -158,6 +158,64 @@ func TestFlowCloseUnblocksWaiters(t *testing.T) {
 	}
 }
 
+// TestFlowCloseDuringBlockedAppendCtx pins down the terminal-error contract
+// of Close racing a blocked AppendCtx: every appender parked on the space
+// latch — with or without a context — must wake promptly with ErrLogClosed
+// (never hang, never succeed, never return a nil error), the waiter count
+// must drain to zero, and the log must stay terminally closed for new
+// appends. Unlike TestFlowCloseUnblocksWaiters this waits until every
+// appender is provably parked (no sleep-and-hope) and closes from a
+// concurrent goroutine, so the wakeup path itself is what's under test.
+func TestFlowCloseDuringBlockedAppendCtx(t *testing.T) {
+	l := NewSendLogFlow(1, FlowConfig{MaxBytes: 1 << 10, Mode: FlowBlock})
+	fillToCap(t, l, 256)
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			var err error
+			if i%2 == 0 {
+				_, err = l.AppendCtx(ctx, make([]byte, 256), 0)
+			} else {
+				_, err = l.AppendCtx(nil, make([]byte, 256), 0) // no-deadline flavor
+			}
+			errs <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Waiting() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d appenders parked", l.Waiting(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() { l.Close(); close(closed) }()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrLogClosed) {
+				t.Fatalf("blocked appender woke with %v, want ErrLogClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("blocked appender never woke after Close")
+		}
+	}
+	<-closed
+	if got := l.Waiting(); got != 0 {
+		t.Fatalf("Waiting() = %d after Close, want 0", got)
+	}
+	// Terminal: appends after Close fail immediately, blocked or not.
+	if _, err := l.Append([]byte("late"), 0); !errors.Is(err, ErrLogClosed) {
+		t.Fatalf("append after Close = %v, want ErrLogClosed", err)
+	}
+	l.Close() // idempotent
+}
+
 func TestFlowEntryCap(t *testing.T) {
 	l := NewSendLogFlow(1, FlowConfig{MaxEntries: 4, Mode: FlowFail})
 	defer l.Close()

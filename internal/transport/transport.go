@@ -314,6 +314,29 @@ func New(cfg Config) (*Transport, error) {
 	bp := m.CounterVec("stabilizer_transport_backpressure_total",
 		"Appends gated by send-log admission control, by outcome.", "outcome")
 	log.setBackpressureCounters(bp.With("blocked"), bp.With("shed"))
+
+	// Spill-tier families (zero and inert unless FlowSpill is configured):
+	// how much retransmission backlog has been migrated to disk, how much
+	// has been streamed back to reconnecting peers, and whether the tier is
+	// currently degraded by a disk fault. Same az/region tagging as the
+	// sendlog family, for the same rollups.
+	m.GaugeFuncVec("stabilizer_sendlog_spilled_bytes",
+		"Payload bytes parked in on-disk spill segments awaiting reclaim or read-back.",
+		"az", "region").Set(func() float64 { return float64(log.SpilledBytes()) }, az, region)
+	m.GaugeFuncVec("stabilizer_sendlog_spilled_segments",
+		"Live on-disk spill segment files.",
+		"az", "region").Set(func() float64 { return float64(log.SpilledSegments()) }, az, region)
+	m.GaugeFuncVec("stabilizer_sendlog_readback_bytes",
+		"Cumulative payload bytes served to readers from the spill tier.",
+		"az", "region").Set(func() float64 { return float64(log.SpillReadbackBytes()) }, az, region)
+	m.GaugeFuncVec("stabilizer_sendlog_spill_degraded",
+		"1 while the spill tier cannot write (log degraded to blocking admission).",
+		"az", "region").Set(func() float64 {
+		if log.SpillDegraded() {
+			return 1
+		}
+		return 0
+	}, az, region)
 	if cfg.Trace != nil {
 		stage := m.HistogramVec(optrace.StageFamily, optrace.StageFamilyHelp, metrics.LatencyOpts, "stage")
 		t.stageBatchQueue = stage.With(optrace.SegBatchQueue)
@@ -347,7 +370,25 @@ func New(cfg Config) (*Transport, error) {
 		t.links[p] = newLink(t, p)
 		t.linkList = append(t.linkList, t.links[p])
 	}
+	// Feed the send log's spill tier (if configured) the live cursor
+	// horizon, so it migrates the truly cold prefix first. No-op for
+	// in-memory-only flow modes.
+	log.SetSpillHorizon(t.spillHorizon)
 	return t, nil
+}
+
+// spillHorizon returns the minimum next-to-send sequence across connected
+// links — the boundary below which no live peer reads from memory — or 0
+// when no link is streaming (everything buffered is cold).
+func (t *Transport) spillHorizon() uint64 {
+	var min uint64
+	for _, l := range t.linkList {
+		c := l.sendCursor.Load()
+		if c != 0 && (min == 0 || c < min) {
+			min = c
+		}
+	}
+	return min
 }
 
 // Start opens the listener, the accept loop, the per-peer dial loops, the

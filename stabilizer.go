@@ -171,6 +171,12 @@ const (
 	FlowBlock = transport.FlowBlock
 	// FlowFail makes Send return ErrBackpressure when the log is full.
 	FlowFail = transport.FlowFail
+	// FlowSpill migrates the cold prefix of the send log to on-disk
+	// segment files when the memory cap latches: memory stays bounded
+	// while a partitioned peer's backlog grows with the disk, and the
+	// stream is read back gapless on reconnect. Requires
+	// FlowConfig.SpillDir plus at least one cap.
+	FlowSpill = transport.FlowSpill
 )
 
 // ErrBackpressure is returned by Send in FlowFail mode when the bounded
