@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race examples chaos chaos-flow chaos-spill bench bench-transport bench-transport-short bench-optrace bench-frontier bench-frontier-short bench-spill bench-spill-short fuzz-dsl fuzz-segment
+.PHONY: check vet build test race examples chaos chaos-flow chaos-spill chaos-adaptive bench bench-transport bench-transport-short bench-optrace bench-frontier bench-frontier-short bench-spill bench-spill-short fuzz-dsl fuzz-segment
 
 check: vet build race
 
@@ -45,6 +45,17 @@ chaos-flow:
 chaos-spill:
 	STABILIZER_CHAOS_FULL=1 $(GO) test -race -v -run 'TestChaosSoakSpill' ./internal/chaos
 	STABILIZER_CHAOS_FULL=1 $(GO) test -race -v -run 'TestSpillCrashScheduleGroundTruth|TestSpillEndToEndReconnectDrain' ./internal/transport
+
+# chaos-adaptive is invariant 10: the closed-loop consistency acceptance
+# scenario. A seeded blackhole (stall-detector path) and latency spike
+# (burn-detector path) each force the SLO controller down its ladder and
+# back up after the heal, while sweeps assert guarantee honesty (never
+# report a rung stronger than the one installed), hysteresis (one rung per
+# step, never faster than MinDwell), and release consistency (every WaitFor
+# release re-evaluates under the rung active when it happened). Runs under
+# the race detector; replay with STABILIZER_CHAOS_SEED=<n>.
+chaos-adaptive:
+	STABILIZER_CHAOS_FULL=1 $(GO) test -race -v -run 'TestAdaptiveDemo|TestCheckerAdaptiveFlapDetection' ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

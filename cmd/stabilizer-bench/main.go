@@ -9,6 +9,10 @@
 //	stabilizer-bench -metrics-addr :9090 -trace-sample 64
 //	                       # /metrics plus /debug/trace (per-op flight
 //	                       # recorder: ?origin=N&seq=M, ?op=latest-slow)
+//	stabilizer-bench -experiment fig6 \
+//	    -adaptive-ladder 'all=MIN($ALLWNODES);one=KTH_MAX(1, $ALLWNODES)' \
+//	    -adaptive-target 500ms
+//	                       # closed-loop consistency controller on every node
 //
 // Experiments: table1 table2 table3 micro fig3 fig4 fig5 fig6 fig7 fig8
 // ablation all.
@@ -21,7 +25,9 @@ import (
 	"os"
 	"time"
 
+	"stabilizer/internal/adaptive"
 	"stabilizer/internal/bench"
+	"stabilizer/internal/core"
 	"stabilizer/internal/metrics"
 	"stabilizer/internal/optrace"
 )
@@ -45,8 +51,26 @@ func run() error {
 		logStripes  = flag.Int("log-stripes", 0, "send-log producer stripes per node (0 = min(8, GOMAXPROCS), 1 = classic single-stripe log)")
 		writevMin   = flag.Int("writev-min-bytes", 0, "smallest batch payload sent as one vectored write on TCP fabrics (0 = 8 KiB default, negative disables writev)")
 		stabilize   = flag.Duration("stabilize-interval", 0, "defer predicate stabilization onto a control-plane tick of this period (0 = inline; try 1ms)")
+
+		adaptLadder = flag.String("adaptive-ladder", "", "run the closed-loop consistency controller on every experiment node: 'name=SOURCE;name=SOURCE' strongest rung first (empty = off)")
+		adaptKey    = flag.String("adaptive-key", "adaptive", "predicate key the adaptive controller drives")
+		adaptTarget = flag.Duration("adaptive-target", 2*time.Second, "adaptive SLO: this fraction of appends should stabilize within the target")
+		adaptObj    = flag.Float64("adaptive-objective", 0.99, "adaptive SLO good fraction in (0,1)")
 	)
 	flag.Parse()
+
+	var adaptiveSpec *core.AdaptiveSpec
+	if *adaptLadder != "" {
+		ladder, err := adaptive.ParseLadder(*adaptLadder)
+		if err != nil {
+			return fmt.Errorf("-adaptive-ladder: %w", err)
+		}
+		adaptiveSpec = &core.AdaptiveSpec{
+			Key:    *adaptKey,
+			Ladder: ladder,
+			Config: adaptive.Config{Target: *adaptTarget, Objective: *adaptObj},
+		}
+	}
 
 	opts := bench.Options{
 		Out:               os.Stdout,
@@ -56,6 +80,7 @@ func run() error {
 		LogStripes:        *logStripes,
 		Trace:             optrace.Config{SampleEvery: *traceSample},
 		StabilizeInterval: *stabilize,
+		Adaptive:          adaptiveSpec,
 	}
 	opts.Batch.WritevMinBytes = *writevMin
 	if *metricsAddr != "" {

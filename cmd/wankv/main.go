@@ -17,6 +17,9 @@
 //	wankv -trace-sample 1       # trace every op instead of 1 in 64
 //	wankv -flow-max-bytes 65536 -flow-mode fail -stall-deadline 2s
 //	                            # bounded send logs + degraded-mode reporting
+//	wankv -adaptive-ladder 'all=MIN($ALLWNODES);one=KTH_MAX(1, $ALLWNODES)'
+//	                            # closed-loop consistency controller on
+//	                            # every node; inspect with 'adaptive'
 //
 // Commands:
 //
@@ -28,6 +31,7 @@
 //	change <key> <predicate...>      swap a consistency model at runtime
 //	frontier [key]                   show stability frontiers
 //	predicates                       list registered predicates
+//	adaptive                         adaptive controller rungs + history
 //	acks                             dump the ACK recorder for node 1
 //	health                           send-log pressure + stall blame for node 1
 //	help, quit
@@ -71,8 +75,24 @@ func run() error {
 		stallDeadline  = flag.Duration("stall-deadline", 0, "declare a predicate stalled after its frontier sits still this long (0 = off)")
 		traceSample    = flag.Int("trace-sample", 64, "flight-record 1 in N operations end to end (1 = every op, 0 = off)")
 		stabilizeEvery = flag.Duration("stabilize-interval", 0, "defer predicate stabilization onto a control-plane tick of this period (0 = inline; try 1ms)")
+
+		adaptLadder = flag.String("adaptive-ladder", "", "run the closed-loop consistency controller on every node: 'name=SOURCE;name=SOURCE' strongest rung first (empty = off; inspect with the 'adaptive' command)")
+		adaptKey    = flag.String("adaptive-key", "adaptive", "predicate key the adaptive controller drives")
+		adaptTarget = flag.Duration("adaptive-target", 2*time.Second, "adaptive SLO: stabilize within this latency or step the ladder down")
 	)
 	flag.Parse()
+	var adaptiveSpec *stabilizer.AdaptiveSpec
+	if *adaptLadder != "" {
+		ladder, err := stabilizer.ParseLadder(*adaptLadder)
+		if err != nil {
+			return fmt.Errorf("-adaptive-ladder: %w", err)
+		}
+		adaptiveSpec = &stabilizer.AdaptiveSpec{
+			Key:    *adaptKey,
+			Ladder: ladder,
+			Config: stabilizer.AdaptiveConfig{Target: *adaptTarget},
+		}
+	}
 	var mode stabilizer.FlowMode
 	switch *flowMode {
 	case "block":
@@ -124,6 +144,7 @@ func run() error {
 		Stall:             stall,
 		Trace:             stabilizer.TraceConfig{SampleEvery: *traceSample},
 		StabilizeInterval: *stabilizeEvery,
+		Adaptive:          adaptiveSpec,
 	})
 	if err != nil {
 		return err
@@ -217,7 +238,7 @@ func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.No
 		return errQuit
 
 	case "help":
-		fmt.Println("put get mirror wait register change frontier predicates acks health quit")
+		fmt.Println("put get mirror wait register change frontier predicates adaptive acks health quit")
 		return nil
 
 	case "put":
@@ -304,6 +325,24 @@ func dispatch(fields []string, topo *stabilizer.Topology, primary *stabilizer.No
 		for _, k := range primary.Predicates() {
 			src, _ := primary.PredicateSource(k)
 			fmt.Printf("%-20s %s\n", k, src)
+		}
+		return nil
+
+	case "adaptive":
+		ctrls := primary.AdaptiveControllers()
+		if len(ctrls) == 0 {
+			fmt.Println("no adaptive controllers (start wankv with -adaptive-ladder)")
+			return nil
+		}
+		for _, c := range ctrls {
+			rung := c.Rung()
+			fmt.Printf("%-20s rung %d (%s) installed=%d firing=%v ladder=%s\n",
+				c.Key(), c.RungIndex(), rung.Name, c.InstalledIndex(), c.Firing(), c.Ladder())
+			for _, tr := range c.History() {
+				fmt.Printf("    %s %s %s->%s (%s)\n",
+					tr.At.Format("15:04:05.000"), tr.Direction,
+					tr.FromRung.Name, tr.ToRung.Name, tr.Reason)
+			}
 		}
 		return nil
 

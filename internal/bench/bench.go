@@ -73,6 +73,11 @@ type Options struct {
 	// control-plane tick on every node an experiment starts (0 = inline;
 	// see core.Config.StabilizeInterval).
 	StabilizeInterval time.Duration
+	// Adaptive, when set, starts the closed-loop consistency controller
+	// on every node of every cluster an experiment boots (see
+	// core.ClusterConfig.Adaptive). Off by default: the controller swaps
+	// predicates underneath the measured workloads.
+	Adaptive *core.AdaptiveSpec
 }
 
 // TraceTarget adapts the most recently started experiment cluster to
@@ -149,6 +154,7 @@ func startCluster(topo *config.Topology, matrix *emunet.Matrix, opts Options) (*
 		LogStripes:        opts.LogStripes,
 		Trace:             opts.Trace,
 		StabilizeInterval: opts.StabilizeInterval,
+		Adaptive:          opts.Adaptive,
 	})
 	if err != nil {
 		_ = net.Close()

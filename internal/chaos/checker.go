@@ -47,6 +47,15 @@
 //     segments and back is indistinguishable from data served from memory.
 //     The FIFO invariant (2) riding the same deliveries proves the
 //     disk→memory hand-off is gapless.
+// 10. Adaptive-controller honesty — a closed-loop consistency controller
+//     (internal/adaptive) never reports a guarantee stronger than the
+//     predicate rung actually installed in the frontier registry, never
+//     moves more than one rung per transition or faster than its MinDwell
+//     hysteresis, and a WaitFor caller that observes a released sequence
+//     can re-evaluate the rung active at release time and find the
+//     sequence still covered. A violation means the adaptation layer
+//     *lied* about consistency — the one thing it must never do while
+//     trading it away under faults.
 //
 // Invariants 1 and 2 are asserted continuously from hooks on the live
 // nodes; invariant 3 by periodic CrossCheck sweeps (CheckBounded and
@@ -56,7 +65,9 @@
 // AttachStallHonesty on each node's OnStall stream; invariant 7 by
 // CheckTraces after convergence plus AttachStallTraces on each stall
 // report; invariant 9's byte-identity by AttachPayloadTruth on the same
-// delivery hooks as invariant 2.
+// delivery hooks as invariant 2; invariant 10 by AttachAdaptive on each
+// controller's transition stream plus CheckAdaptiveHonesty sweeps and the
+// release validator inside AdaptiveDemo.
 package chaos
 
 import (

@@ -51,6 +51,11 @@ type ClusterConfig struct {
 	// DisableAutoReclaim keeps every node's send buffer forever (tests,
 	// ablations).
 	DisableAutoReclaim bool
+	// Adaptive, when set, starts the same closed-loop consistency
+	// controller on every booted node (each drives its own predicate over
+	// its own outbound stream); see Config.Adaptive. Per-node divergence
+	// goes through Configure as usual.
+	Adaptive *AdaptiveSpec
 	// Configure, when set, runs on each node's Config after the shared
 	// fields above are applied and before the node boots — the hook for
 	// anything per-node: Persister, Checkpoint, Epoch, or overriding a
@@ -131,6 +136,7 @@ func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
 			DialTimeout:        cfg.DialTimeout,
 			DisableAutoReclaim: cfg.DisableAutoReclaim,
 			StabilizeInterval:  cfg.StabilizeInterval,
+			Adaptive:           cfg.Adaptive,
 		}
 		if cfg.Configure != nil {
 			cfg.Configure(id, &c)

@@ -115,13 +115,20 @@ type predStall struct {
 	tails map[int][]optrace.Event
 }
 
+// stallHook is one OnStall registration; the id makes it detachable.
+type stallHook struct {
+	id int
+	fn func(StallReport)
+}
+
 // stallState is the node's stall-monitor state, split out of Node so the
 // hot data plane never touches it.
 type stallState struct {
-	mu     sync.Mutex
-	preds  map[string]*predStall
-	hooks  []func(StallReport)
-	stop   chan struct{}
+	mu         sync.Mutex
+	preds      map[string]*predStall
+	hooks      []stallHook
+	nextHookID int
+	stop       chan struct{}
 	wg     sync.WaitGroup
 	cfg    StallConfig
 	gauge  *metrics.GaugeVec // stabilizer_frontier_stalled{predicate,peer}
@@ -179,12 +186,30 @@ func (n *Node) stopStallMonitor() {
 // OnStall registers fn to receive degraded-mode notifications: it fires when
 // a predicate first stalls and again whenever a stalled predicate's blamed
 // peer set changes. fn runs on the monitor goroutine; keep it short or hand
-// off. Requires Config.Stall.Deadline > 0 for the monitor to run.
-func (n *Node) OnStall(fn func(StallReport)) {
+// off. Requires Config.Stall.Deadline > 0 for the monitor to run. The
+// returned cancel detaches the hook (idempotent); a nil fn is ignored and
+// gets a harmless no-op cancel.
+func (n *Node) OnStall(fn func(StallReport)) (cancel func()) {
+	if fn == nil {
+		return func() {}
+	}
 	st := n.stall
 	st.mu.Lock()
-	st.hooks = append(st.hooks, fn)
+	id := st.nextHookID
+	st.nextHookID++
+	st.hooks = append(st.hooks, stallHook{id: id, fn: fn})
 	st.mu.Unlock()
+	return func() {
+		st.mu.Lock()
+		hooks := st.hooks[:0]
+		for _, h := range st.hooks {
+			if h.id != id {
+				hooks = append(hooks, h)
+			}
+		}
+		st.hooks = hooks
+		st.mu.Unlock()
+	}
 }
 
 // blamePeers names the dependent peers holding key's frontier at f: those
@@ -331,13 +356,13 @@ func (n *Node) checkStalls(now time.Time) {
 		delete(st.preds, key)
 	}
 	n.refreshZoneRollupLocked()
-	hooks := make([]func(StallReport), len(st.hooks))
+	hooks := make([]stallHook, len(st.hooks))
 	copy(hooks, st.hooks)
 	st.mu.Unlock()
 
 	for _, r := range reports {
-		for _, fn := range hooks {
-			fn(r)
+		for _, h := range hooks {
+			h.fn(r)
 		}
 	}
 }

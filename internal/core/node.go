@@ -20,11 +20,13 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"stabilizer/internal/adaptive"
 	"stabilizer/internal/config"
 	"stabilizer/internal/dsl"
 	"stabilizer/internal/emunet"
@@ -146,6 +148,26 @@ type Config struct {
 	// value keeps the legacy inline mode (stabilize synchronously on every
 	// ACK advance).
 	StabilizeInterval time.Duration
+	// Adaptive, when set, starts a closed-loop consistency controller at
+	// Open: the ladder's strongest rung is registered under Spec.Key and
+	// the controller steps it down (and back up) against the stability
+	// SLO. Equivalent to calling StartAdaptive right after Open.
+	Adaptive *AdaptiveSpec
+}
+
+// AdaptiveSpec wires an SLO-driven predicate controller into a node: the
+// ladder's rung 0 predicate is registered under Key at Open and an
+// adaptive.Controller steps the active predicate down the ladder when the
+// stability SLO burns (or the frontier stalls) and back up, with
+// hysteresis, when it recovers.
+type AdaptiveSpec struct {
+	// Key is the predicate key the controller owns.
+	Key string
+	// Ladder orders the rungs, strongest first (adaptive.NewLadder /
+	// adaptive.ParseLadder).
+	Ladder adaptive.Ladder
+	// Config is the controller tuning (SLO target, windows, hysteresis).
+	Config adaptive.Config
 }
 
 // Checkpoint captures the durable control-plane state of a node so a
@@ -180,10 +202,12 @@ type Node struct {
 	mu            sync.Mutex
 	deliverFns    []DeliverFunc
 	appFns        []AppFunc
-	peerDownFns   []func(peer int)
-	peerUpFns     []func(peer int)
+	peerDownFns   []peerHook
+	peerUpFns     []peerHook
+	nextPeerHook  int
 	customByName  map[string]uint16
 	reclaimCancel func()
+	adaptiveCtrls map[string]*adaptive.Controller
 
 	closed atomic.Bool
 	nowFn  func() time.Time
@@ -215,6 +239,7 @@ func Open(cfg Config) (*Node, error) {
 		DialTimeout:        cfg.DialTimeout,
 		DisableAutoReclaim: cfg.DisableAutoReclaim,
 		StabilizeInterval:  cfg.StabilizeInterval,
+		Adaptive:           cfg.Adaptive,
 		Configure: func(id int, c *Config) {
 			// Per-node state only a single-node caller can supply.
 			c.Persister = cfg.Persister
@@ -290,9 +315,10 @@ func openNode(cfg Config) (*Node, error) {
 		registry:     registry,
 		log:          log,
 		env:          env,
-		persister:    cfg.Persister,
-		metrics:      newCoreMetrics(mreg, log),
-		customByName: make(map[string]uint16),
+		persister:     cfg.Persister,
+		metrics:       newCoreMetrics(mreg, log),
+		customByName:  make(map[string]uint16),
+		adaptiveCtrls: make(map[string]*adaptive.Controller),
 		trace:        optrace.New(topo.Self, cfg.Trace),
 		nowFn:        time.Now,
 	}
@@ -379,6 +405,12 @@ func openNode(cfg Config) (*Node, error) {
 		registry.Close()
 		return nil, err
 	}
+	if cfg.Adaptive != nil {
+		if _, err := node.StartAdaptive(cfg.Adaptive.Key, cfg.Adaptive.Ladder, cfg.Adaptive.Config); err != nil {
+			node.Close()
+			return nil, fmt.Errorf("core: start adaptive controller: %w", err)
+		}
+	}
 	return node, nil
 }
 
@@ -386,6 +418,17 @@ func openNode(cfg Config) (*Node, error) {
 func (n *Node) Close() error {
 	if n.closed.Swap(true) {
 		return nil
+	}
+	// Stop the adaptive controllers first: they drive ChangePredicate into
+	// the registry this teardown is about to close.
+	n.mu.Lock()
+	ctrls := make([]*adaptive.Controller, 0, len(n.adaptiveCtrls))
+	for _, c := range n.adaptiveCtrls {
+		ctrls = append(ctrls, c)
+	}
+	n.mu.Unlock()
+	for _, c := range ctrls {
+		c.Close()
 	}
 	n.stopStallMonitor()
 	if n.reclaimCancel != nil {
@@ -498,21 +541,56 @@ func (n *Node) OnApp(fn AppFunc) {
 	n.appFns = append(n.appFns, fn)
 }
 
+// peerHook is one OnPeerDown/OnPeerUp registration; the id makes it
+// detachable via the returned cancel.
+type peerHook struct {
+	id int
+	fn func(peer int)
+}
+
+// detachPeerHook removes the hook with the given id from *list (which is
+// either peerDownFns or peerUpFns). Caller must NOT hold n.mu.
+func (n *Node) detachPeerHook(list *[]peerHook, id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	hooks := (*list)[:0]
+	for _, h := range *list {
+		if h.id != id {
+			hooks = append(hooks, h)
+		}
+	}
+	*list = hooks
+}
+
 // OnPeerDown registers a callback fired when a peer is suspected failed.
 // The paper's recovery recipe (§III-E): the application inspects which
 // predicates depend on the dead node (PredicateDependsOn) and adjusts them
-// with ChangePredicate.
-func (n *Node) OnPeerDown(fn func(peer int)) {
+// with ChangePredicate. The returned cancel detaches the callback
+// (idempotent); a nil fn is ignored and gets a no-op cancel.
+func (n *Node) OnPeerDown(fn func(peer int)) (cancel func()) {
+	if fn == nil {
+		return func() {}
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.peerDownFns = append(n.peerDownFns, fn)
+	id := n.nextPeerHook
+	n.nextPeerHook++
+	n.peerDownFns = append(n.peerDownFns, peerHook{id: id, fn: fn})
+	n.mu.Unlock()
+	return func() { n.detachPeerHook(&n.peerDownFns, id) }
 }
 
-// OnPeerUp registers a callback fired when a peer is (re)heard from.
-func (n *Node) OnPeerUp(fn func(peer int)) {
+// OnPeerUp registers a callback fired when a peer is (re)heard from. The
+// returned cancel detaches it, mirroring OnPeerDown.
+func (n *Node) OnPeerUp(fn func(peer int)) (cancel func()) {
+	if fn == nil {
+		return func() {}
+	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.peerUpFns = append(n.peerUpFns, fn)
+	id := n.nextPeerHook
+	n.nextPeerHook++
+	n.peerUpFns = append(n.peerUpFns, peerHook{id: id, fn: fn})
+	n.mu.Unlock()
+	return func() { n.detachPeerHook(&n.peerUpFns, id) }
 }
 
 // SendApp sends an out-of-band application message to one peer.
@@ -585,6 +663,17 @@ func (n *Node) RegisterPredicate(key, source string) error {
 		return fmt.Errorf("%w: %q", ErrReservedKey, key)
 	}
 	return n.registry.Register(key, source)
+}
+
+// RegisterPredicates installs a batch of predicates atomically: every
+// source must compile and every key must be new (and none reserved), or
+// nothing is registered at all. Keys are validated in sorted order, so the
+// first error reported is deterministic regardless of map iteration.
+func (n *Node) RegisterPredicates(preds map[string]string) error {
+	if _, ok := preds[ReclaimPredicateKey]; ok {
+		return fmt.Errorf("%w: %q", ErrReservedKey, ReclaimPredicateKey)
+	}
+	return n.registry.RegisterBatch(preds)
 }
 
 // ChangePredicate swaps the predicate under key at runtime (paper
@@ -666,11 +755,86 @@ func (n *Node) StabilityFrontier(key string) (uint64, error) {
 // frontier advances, with the predicate key and the old and new frontiers.
 // Unlike MonitorStabilityFrontier it covers every predicate (the reserved
 // reclaim predicate included) and reports the previous value, which is what
-// invariant checkers need to assert monotonicity. Hooks accumulate and are
-// safe to add on a live node; fn runs on the control-plane recompute path,
-// so keep it short.
-func (n *Node) OnFrontierAdvance(fn func(key string, old, new uint64)) {
-	n.registry.OnAdvance(fn)
+// invariant checkers need to assert monotonicity. Hooks accumulate until
+// their returned cancel detaches them, and are safe to add on a live node;
+// fn runs on the control-plane recompute path, so keep it short. A nil fn
+// is ignored and gets a no-op cancel.
+func (n *Node) OnFrontierAdvance(fn func(key string, old, new uint64)) (cancel func()) {
+	return n.registry.OnAdvance(fn)
+}
+
+// StartAdaptive registers the ladder's strongest rung under key and starts
+// a closed-loop controller that steps the active predicate down the ladder
+// when the stability SLO burns (or the frontier stalls) and back up, with
+// hysteresis, when it recovers. Every rung is validated through the real
+// DSL compile path up front, so a broken rung fails here instead of
+// mid-incident. If key is already registered, the existing predicate is
+// swapped to rung 0. One controller per key; the controller stops at node
+// Close (or its own Close), leaving the last installed rung in place.
+func (n *Node) StartAdaptive(key string, ladder adaptive.Ladder, cfg adaptive.Config) (*adaptive.Controller, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	if key == ReclaimPredicateKey {
+		return nil, fmt.Errorf("%w: %q", ErrReservedKey, key)
+	}
+	if ladder.Len() < 2 {
+		return nil, errors.New("core: adaptive ladder is empty or unvalidated; build it with adaptive.NewLadder")
+	}
+	for _, r := range ladder.Rungs() {
+		if _, err := dsl.Compile(r.Source, n.env); err != nil {
+			return nil, fmt.Errorf("core: adaptive rung %q: %w", r.Name, err)
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.adaptiveCtrls[key]; dup {
+		return nil, fmt.Errorf("core: adaptive controller already running for %q", key)
+	}
+	if n.registry.Has(key) {
+		if err := n.registry.Change(key, ladder.Rung(0).Source); err != nil {
+			return nil, err
+		}
+	} else if err := n.registry.Register(key, ladder.Rung(0).Source); err != nil {
+		return nil, err
+	}
+	ctrl, err := adaptive.Start(n, key, ladder, cfg, n.metrics.reg)
+	if err != nil {
+		return nil, err
+	}
+	// Swap events go into the flight recorder as stabilize-stage events
+	// labeled adaptive:<direction>:<rung>, so a trace of an incident shows
+	// when the guarantee changed relative to the op stream around it.
+	if rec := n.trace; rec != nil {
+		ctrl.OnTransition(func(tr adaptive.Transition) {
+			f, _ := n.registry.Frontier(key)
+			label := rec.Label("adaptive:" + string(tr.Direction) + ":" + tr.ToRung.Name)
+			rec.Record(optrace.StageStabilize, n.topo.Self, f, tr.To, label, n.nowFn().UnixNano())
+		})
+	}
+	n.adaptiveCtrls[key] = ctrl
+	return ctrl, nil
+}
+
+// AdaptiveController returns the running controller for key, or nil when
+// none was started.
+func (n *Node) AdaptiveController(key string) *adaptive.Controller {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.adaptiveCtrls[key]
+}
+
+// AdaptiveControllers returns every running adaptive controller, sorted by
+// predicate key.
+func (n *Node) AdaptiveControllers() []*adaptive.Controller {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*adaptive.Controller, 0, len(n.adaptiveCtrls))
+	for _, c := range n.adaptiveCtrls {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
 }
 
 // RecvLast returns the highest contiguous data sequence received from peer
@@ -922,11 +1086,11 @@ func (h *trHandler) HandleApp(from int, a *wire.App) {
 func (h *trHandler) PeerUp(peer int) {
 	n := (*Node)(h)
 	n.mu.Lock()
-	fns := make([]func(int), len(n.peerUpFns))
+	fns := make([]peerHook, len(n.peerUpFns))
 	copy(fns, n.peerUpFns)
 	n.mu.Unlock()
-	for _, fn := range fns {
-		fn(peer)
+	for _, hk := range fns {
+		hk.fn(peer)
 	}
 }
 
@@ -934,11 +1098,11 @@ func (h *trHandler) PeerUp(peer int) {
 func (h *trHandler) PeerDown(peer int) {
 	n := (*Node)(h)
 	n.mu.Lock()
-	fns := make([]func(int), len(n.peerDownFns))
+	fns := make([]peerHook, len(n.peerDownFns))
 	copy(fns, n.peerDownFns)
 	n.mu.Unlock()
-	for _, fn := range fns {
-		fn(peer)
+	for _, hk := range fns {
+		hk.fn(peer)
 	}
 }
 

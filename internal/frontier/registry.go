@@ -60,9 +60,27 @@ type Registry struct {
 	dirtyPreds   *metrics.Gauge
 	frontiers    *metrics.GaugeVec
 	tickDur      *metrics.Histogram
-	// onAdvance is copy-on-write: OnAdvance swaps in a fresh slice under
-	// mu, so a snapshot taken under mu stays safe to iterate after unlock.
-	onAdvance []func(key string, old, new uint64)
+	// onAdvance is copy-on-write: OnAdvance and its cancel funcs swap in a
+	// fresh slice under mu, so a snapshot taken under mu stays safe to
+	// iterate after unlock.
+	onAdvance     []advanceHook
+	nextAdvanceID int
+
+	// pubMu orders advance deliveries per predicate. The drain path
+	// (publish) and the swap path (Change) both fire onAdvance hooks
+	// outside mu, so two racing publishes for the same key could hand
+	// observers the same frontier twice — or an older value after a newer
+	// one. published is the high-water of values already delivered per
+	// key; pubMu stays held across the hook calls because the claim and
+	// the delivery must be atomic for the per-key stream to stay ordered.
+	pubMu     sync.Mutex
+	published map[string]uint64
+}
+
+// advanceHook is one OnAdvance registration; the id makes it detachable.
+type advanceHook struct {
+	id int
+	fn func(key string, old, new uint64)
 }
 
 type predicate struct {
@@ -86,6 +104,8 @@ func NewRegistry(env dsl.Env, table *Table) *Registry {
 		byCell: make(map[dsl.Cell]map[*predicate]struct{}),
 		byNode: make(map[int]map[*predicate]struct{}),
 		dirty:  make(map[*predicate]struct{}),
+
+		published: make(map[string]uint64),
 	}
 }
 
@@ -168,14 +188,31 @@ func (r *Registry) Close() {
 // frontier moves forward — outside the registry lock, before waiters are
 // released, so latency samples exist by the time WaitFor returns. The core
 // uses it to record stability latency; invariant checkers use it to watch
-// monotonicity. Hooks run in registration order and accumulate. Safe to
-// call on a live registry.
-func (r *Registry) OnAdvance(fn func(key string, old, new uint64)) {
+// monotonicity. Hooks run in registration order and accumulate until their
+// cancel func detaches them (cancel is idempotent). Safe to call on a live
+// registry; a nil fn returns a harmless no-op cancel.
+func (r *Registry) OnAdvance(fn func(key string, old, new uint64)) (cancel func()) {
+	if fn == nil {
+		return func() {}
+	}
 	r.mu.Lock()
-	hooks := make([]func(string, uint64, uint64), len(r.onAdvance), len(r.onAdvance)+1)
+	id := r.nextAdvanceID
+	r.nextAdvanceID++
+	hooks := make([]advanceHook, len(r.onAdvance), len(r.onAdvance)+1)
 	copy(hooks, r.onAdvance)
-	r.onAdvance = append(hooks, fn)
+	r.onAdvance = append(hooks, advanceHook{id: id, fn: fn})
 	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		hooks := make([]advanceHook, 0, len(r.onAdvance))
+		for _, h := range r.onAdvance {
+			if h.id != id {
+				hooks = append(hooks, h)
+			}
+		}
+		r.onAdvance = hooks
+		r.mu.Unlock()
+	}
 }
 
 // setFrontierGauge mirrors a predicate's frontier into its gauge.
@@ -279,6 +316,58 @@ func (r *Registry) Register(key, source string) error {
 	return nil
 }
 
+// RegisterBatch compiles and installs a set of predicates atomically:
+// either every source compiles and every key is new, and all of them are
+// registered in one step, or nothing is registered at all. Keys are
+// validated in sorted order so the first error reported is deterministic.
+func (r *Registry) RegisterBatch(preds map[string]string) error {
+	keys := make([]string, 0, len(preds))
+	for k := range preds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Compile everything before taking the lock: compilation is the slow,
+	// fallible part and needs no registry state.
+	progs := make(map[string]*dsl.Program, len(preds))
+	for _, k := range keys {
+		prog, err := dsl.Compile(preds[k], r.env)
+		if err != nil {
+			return fmt.Errorf("register predicate %q: %w", k, err)
+		}
+		progs[k] = prog
+	}
+	r.mu.Lock()
+	for _, k := range keys {
+		if _, dup := r.preds[k]; dup {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrPredExists, k)
+		}
+	}
+	type installed struct {
+		key string
+		f   uint64
+	}
+	out := make([]installed, 0, len(keys))
+	for _, k := range keys {
+		prog := progs[k]
+		p := &predicate{
+			key:      k,
+			prog:     prog,
+			cells:    prog.Cells(),
+			frontier: r.table.EvalLocked(prog),
+			monitors: make(map[int]MonitorFunc),
+		}
+		r.preds[k] = p
+		r.indexLocked(p)
+		out = append(out, installed{key: k, f: p.frontier})
+	}
+	r.mu.Unlock()
+	for _, in := range out {
+		r.setFrontierGauge(in.key, in.f)
+	}
+	return nil
+}
+
 // Change swaps the predicate under key for a newly compiled source, at
 // runtime (paper §III-D / §VI-D dynamic reconfiguration). The frontier is
 // re-evaluated immediately — even in deferred mode, so callers that swap to
@@ -320,11 +409,10 @@ func (r *Registry) Change(key, source string) error {
 		}
 	}
 	r.mu.Unlock()
-	r.setFrontierGauge(key, newF)
 	if newF > old {
-		for _, fn := range hooks {
-			fn(key, old, newF)
-		}
+		r.publishAdvance(key, old, newF, hooks)
+	} else {
+		r.setFrontierGauge(key, newF)
 	}
 	r.addWaiters(-len(released))
 	releaseAll(released)
@@ -359,6 +447,10 @@ func (r *Registry) Remove(key string) error {
 	if r.frontiers != nil {
 		r.frontiers.Delete(key)
 	}
+	// A later Register under the same key starts a fresh event stream.
+	r.pubMu.Lock()
+	delete(r.published, key)
+	r.pubMu.Unlock()
 	r.addWaiters(-len(released))
 	releaseAll(released)
 	return nil
@@ -584,7 +676,7 @@ type flushWork struct {
 }
 
 // drainLocked evaluates and clears the dirty set. Caller holds mu.
-func (r *Registry) drainLocked() (flushWork, []func(string, uint64, uint64)) {
+func (r *Registry) drainLocked() (flushWork, []advanceHook) {
 	var work flushWork
 	if len(r.dirty) == 0 {
 		return work, nil
@@ -619,7 +711,7 @@ func (r *Registry) drainLocked() (flushWork, []func(string, uint64, uint64)) {
 }
 
 // publish applies a drain's effects outside the registry lock.
-func (r *Registry) publish(work flushWork, hooks []func(string, uint64, uint64)) {
+func (r *Registry) publish(work flushWork, hooks []advanceHook) {
 	if work.evals == 0 {
 		return
 	}
@@ -639,10 +731,7 @@ func (r *Registry) publish(work flushWork, hooks []func(string, uint64, uint64))
 	// core's stability-latency samples) are recorded by the time a WaitFor
 	// caller resumes.
 	for _, a := range work.advances {
-		r.setFrontierGauge(a.key, a.new)
-		for _, fn := range hooks {
-			fn(a.key, a.old, a.new)
-		}
+		r.publishAdvance(a.key, a.old, a.new, hooks)
 	}
 	r.addWaiters(-len(work.released))
 	releaseAll(work.released)
@@ -653,6 +742,32 @@ func (r *Registry) publish(work flushWork, hooks []func(string, uint64, uint64))
 		if r.monitorFires != nil {
 			r.monitorFires.Add(int64(len(f.fns)))
 		}
+	}
+}
+
+// publishAdvance delivers one frontier advance to the gauge and the
+// onAdvance hooks, in strictly increasing per-key order. Both publish
+// paths — drain and swap — run outside mu, so without this guard two
+// concurrent publishes could deliver the same value twice or out of
+// order. Advances at or below the published high-water are dropped:
+// after a swap to a stronger predicate legally retreats the frontier,
+// the re-climb back to ground already covered stays silent, so latency
+// observers never sample the same sequence twice and the per-key event
+// stream stays monotonic. Hooks must not re-enter the registry's
+// publish paths (they already must not: they run under drains).
+func (r *Registry) publishAdvance(key string, old, newF uint64, hooks []advanceHook) {
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	if last, seen := r.published[key]; seen {
+		if newF <= last {
+			return
+		}
+		old = last
+	}
+	r.published[key] = newF
+	r.setFrontierGauge(key, newF)
+	for _, h := range hooks {
+		h.fn(key, old, newF)
 	}
 }
 

@@ -130,7 +130,7 @@ func TestSLOMonitorBurnTransitions(t *testing.T) {
 	// Healthy traffic for 2 minutes.
 	for i := 0; i < 8; i++ {
 		good(100)
-		m.tick(now)
+		m.Tick(now)
 		now = now.Add(step)
 	}
 	if m.Firing() {
@@ -140,7 +140,7 @@ func TestSLOMonitorBurnTransitions(t *testing.T) {
 	// both windows (the long window still holds the burst).
 	for i := 0; i < 4; i++ {
 		bad(100)
-		m.tick(now)
+		m.Tick(now)
 		now = now.Add(step)
 	}
 	if !m.Firing() {
@@ -149,7 +149,7 @@ func TestSLOMonitorBurnTransitions(t *testing.T) {
 	// Recovery: healthy again until the short window is clean.
 	for i := 0; i < 8; i++ {
 		good(100)
-		m.tick(now)
+		m.Tick(now)
 		now = now.Add(step)
 	}
 	if m.Firing() {
@@ -174,7 +174,7 @@ func TestSLOMonitorNoTrafficNoAlert(t *testing.T) {
 	defer m.Close()
 	now := time.Unix(0, 0)
 	for i := 0; i < 10; i++ {
-		m.tick(now)
+		m.Tick(now)
 		now = now.Add(time.Minute)
 	}
 	if m.Firing() {

@@ -35,8 +35,15 @@ type SLOConfig struct {
 	// CheckEvery is the sampling interval. Default ShortWindow/4.
 	CheckEvery time.Duration
 	// OnAlert is called on every transition (firing and resolving).
-	// Called from the monitor goroutine; keep it fast or hand off.
+	// Called from the monitor goroutine (or from Tick when the caller
+	// drives the clock); keep it fast or hand off.
 	OnAlert func(BurnAlert)
+	// Source, when set, re-resolves the observed histogram before every
+	// sample. Use it when the histogram identity can change under the
+	// monitor — e.g. a HistogramVec child re-bound after a Delete, whose
+	// replacement is a fresh instance the original pointer no longer
+	// sees. A nil return keeps the previous histogram.
+	Source func() *Histogram
 }
 
 func (c SLOConfig) normalized() (SLOConfig, error) {
@@ -100,18 +107,30 @@ type SLOMonitor struct {
 }
 
 // NewSLOMonitor starts a monitor over h. Close it to stop the background
-// sampler.
+// sampler. h may be nil when cfg.Source is set (the source resolves it).
 func NewSLOMonitor(h *Histogram, cfg SLOConfig) (*SLOMonitor, error) {
+	m, err := NewSLOMonitorPaused(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.done = make(chan struct{})
+	go m.run()
+	return m, nil
+}
+
+// NewSLOMonitorPaused constructs a monitor without starting the background
+// sampler: the caller drives it by invoking Tick on its own clock. The
+// adaptive consistency controller uses this form so SLO evaluation and
+// ladder decisions share one deterministic tick.
+func NewSLOMonitorPaused(h *Histogram, cfg SLOConfig) (*SLOMonitor, error) {
 	cfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
 	}
-	if h == nil {
-		return nil, fmt.Errorf("metrics: SLO %q: nil histogram", cfg.Name)
+	if h == nil && cfg.Source == nil {
+		return nil, fmt.Errorf("metrics: SLO %q: nil histogram and no Source", cfg.Name)
 	}
-	m := &SLOMonitor{cfg: cfg, hist: h, stop: make(chan struct{}), done: make(chan struct{})}
-	go m.run()
-	return m, nil
+	return &SLOMonitor{cfg: cfg, hist: h, stop: make(chan struct{})}, nil
 }
 
 func (m *SLOMonitor) run() {
@@ -123,20 +142,26 @@ func (m *SLOMonitor) run() {
 		case <-m.stop:
 			return
 		case now := <-t.C:
-			m.tick(now)
+			m.Tick(now)
 		}
 	}
 }
 
 // Close stops the monitor. It does not emit a resolving alert; callers that
-// care should treat Close as end-of-signal.
+// care should treat Close as end-of-signal. Safe to call more than once and
+// concurrently with Tick.
 func (m *SLOMonitor) Close() {
+	m.mu.Lock()
 	select {
 	case <-m.stop:
 	default:
 		close(m.stop)
 	}
-	<-m.done
+	done := m.done
+	m.mu.Unlock()
+	if done != nil {
+		<-done
+	}
 }
 
 // Firing reports whether the alert is currently active.
@@ -146,13 +171,39 @@ func (m *SLOMonitor) Firing() bool {
 	return m.firing
 }
 
-// tick takes one sample at now and evaluates both windows. Split out from
-// run so tests can drive the monitor with a synthetic clock.
-func (m *SLOMonitor) tick(now time.Time) {
+// Tick takes one sample at now and evaluates both windows, firing OnAlert
+// on a transition. The background sampler calls it every CheckEvery;
+// paused monitors (NewSLOMonitorPaused) and tests drive it directly with
+// their own clock. Returns the burn rates the evaluation produced.
+func (m *SLOMonitor) Tick(now time.Time) (shortBurn, longBurn float64) {
+	m.mu.Lock()
+	select {
+	case <-m.stop:
+		// Closed concurrently with a pending tick: drop the sample so no
+		// alert transition fires after Close returns.
+		m.mu.Unlock()
+		return 0, 0
+	default:
+	}
+	if m.cfg.Source != nil {
+		if h := m.cfg.Source(); h != nil {
+			m.hist = h
+		}
+	}
 	total := m.hist.Count()
 	good := m.hist.CountLe(m.cfg.Threshold)
 
-	m.mu.Lock()
+	// A histogram re-bind (vec child deleted and re-created) or any other
+	// counter reset shows up as the running totals moving backwards. The
+	// old baselines are meaningless against the new counters, so restart
+	// the sample history rather than reporting a bogus burn.
+	if n := len(m.samples); n > 0 {
+		last := m.samples[n-1]
+		if total < last.total || good < last.good {
+			m.samples = m.samples[:0]
+		}
+	}
+
 	m.samples = append(m.samples, sloSample{at: now, total: total, good: good})
 	// Drop samples older than the long window, but keep one sample at or
 	// beyond the horizon so the long window always has a baseline.
@@ -165,8 +216,8 @@ func (m *SLOMonitor) tick(now time.Time) {
 		m.samples = append(m.samples[:0], m.samples[cut:]...)
 	}
 
-	shortBurn := m.burnRate(now, m.cfg.ShortWindow)
-	longBurn := m.burnRate(now, m.cfg.LongWindow)
+	shortBurn = m.burnRate(now, m.cfg.ShortWindow)
+	longBurn = m.burnRate(now, m.cfg.LongWindow)
 	shouldFire := shortBurn >= m.cfg.Burn && longBurn >= m.cfg.Burn
 	transition := shouldFire != m.firing
 	m.firing = shouldFire
@@ -182,11 +233,14 @@ func (m *SLOMonitor) tick(now time.Time) {
 			At:        now,
 		})
 	}
+	return shortBurn, longBurn
 }
 
 // burnRate computes the budget burn multiple over the trailing window:
 // (bad events / total events) / (1 - objective). Returns 0 when the window
-// saw no traffic (no traffic spends no budget).
+// saw no traffic (no traffic spends no budget). The bad count is clamped
+// into [0, total] so a mid-window counter glitch can never produce a burn
+// above the all-bad rate or below zero.
 func (m *SLOMonitor) burnRate(now time.Time, window time.Duration) float64 {
 	if len(m.samples) == 0 {
 		return 0
@@ -207,6 +261,12 @@ func (m *SLOMonitor) burnRate(now time.Time, window time.Duration) float64 {
 		return 0
 	}
 	dBad := dTotal - (cur.good - base.good)
+	if dBad < 0 {
+		dBad = 0
+	}
+	if dBad > dTotal {
+		dBad = dTotal
+	}
 	errRate := float64(dBad) / float64(dTotal)
 	return errRate / (1 - m.cfg.Objective)
 }

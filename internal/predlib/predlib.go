@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"stabilizer/internal/adaptive"
 	"stabilizer/internal/config"
 )
 
@@ -133,4 +134,48 @@ func ExcludeNodes(excluded []int) string {
 // sites" style predicate of §VI-D).
 func KOfRemote(k int) string {
 	return fmt.Sprintf("KTH_MAX(%d, $ALLWNODES-$MYWNODE)", k)
+}
+
+// mustLadder wraps adaptive.NewLadder for the preset builders below, whose
+// rungs are fixed distinct sources — a validation failure is a library bug,
+// not a caller mistake.
+func mustLadder(rungs ...adaptive.Rung) adaptive.Ladder {
+	l, err := adaptive.NewLadder(rungs...)
+	if err != nil {
+		panic("predlib: invalid preset ladder: " + err.Error())
+	}
+	return l
+}
+
+// LadderWNodes is the canonical WAN-node adaptation ladder for the adaptive
+// controller: all remote WAN nodes, then a majority, then any one —
+// Table III rows 6, 5, 4 from strongest to weakest.
+func LadderWNodes() adaptive.Ladder {
+	return mustLadder(
+		adaptive.Rung{Name: "all", Source: AllWNodes()},
+		adaptive.Rung{Name: "majority", Source: MajorityWNodes()},
+		adaptive.Rung{Name: "one", Source: OneWNode()},
+	)
+}
+
+// LadderAllMajorityK builds the three-rung ladder the §VI-D reconfiguration
+// example sketches: all remote WAN nodes, a majority of them, then any k of
+// them as the escape hatch under wide outages.
+func LadderAllMajorityK(k int) adaptive.Ladder {
+	return mustLadder(
+		adaptive.Rung{Name: "all", Source: AllWNodes()},
+		adaptive.Rung{Name: "majority", Source: MajorityWNodes()},
+		adaptive.Rung{Name: fmt.Sprintf("k%d", k), Source: KOfRemote(k)},
+	)
+}
+
+// LadderRegions is the region-granular adaptation ladder: every remote
+// region, then a majority of them, then any one — Table III rows 3, 2, 1
+// from strongest to weakest.
+func LadderRegions(topo *config.Topology) adaptive.Ladder {
+	return mustLadder(
+		adaptive.Rung{Name: "all-regions", Source: AllRegions(topo)},
+		adaptive.Rung{Name: "majority-regions", Source: MajorityRegions(topo)},
+		adaptive.Rung{Name: "one-region", Source: OneRegion(topo)},
+	)
 }

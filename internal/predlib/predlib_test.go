@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"stabilizer/internal/adaptive"
 	"stabilizer/internal/config"
 	"stabilizer/internal/core"
 	"stabilizer/internal/dsl"
@@ -119,5 +120,42 @@ func TestRegionFallbackToAZ(t *testing.T) {
 	}
 	if _, err := dsl.Compile(src, e); err != nil {
 		t.Fatalf("compile %q: %v", src, err)
+	}
+}
+
+func TestLadderPresets(t *testing.T) {
+	topo := config.EC2Topology(1)
+	e := env(t, topo)
+	presets := map[string]adaptive.Ladder{
+		"LadderWNodes":       LadderWNodes(),
+		"LadderAllMajorityK": LadderAllMajorityK(2),
+		"LadderRegions":      LadderRegions(topo),
+	}
+	for name, l := range presets {
+		if l.Len() != 3 {
+			t.Errorf("%s has %d rungs, want 3", name, l.Len())
+		}
+		// Strongest first, and every rung compiles on the EC2 topology.
+		for _, r := range l.Rungs() {
+			if _, err := dsl.Compile(r.Source, e); err != nil {
+				t.Errorf("%s rung %q (%s): %v", name, r.Name, r.Source, err)
+			}
+		}
+	}
+	if got := presets["LadderAllMajorityK"].Rung(2).Source; got != KOfRemote(2) {
+		t.Fatalf("LadderAllMajorityK weakest rung = %q", got)
+	}
+	if got := presets["LadderWNodes"].Rung(0).Source; got != AllWNodes() {
+		t.Fatalf("LadderWNodes strongest rung = %q", got)
+	}
+	// Round-trips through the CLI form.
+	for name, l := range presets {
+		back, err := adaptive.ParseLadder(l.String())
+		if err != nil {
+			t.Fatalf("%s does not round-trip: %v", name, err)
+		}
+		if back.String() != l.String() {
+			t.Fatalf("%s round-trip mismatch: %q vs %q", name, back.String(), l.String())
+		}
 	}
 }

@@ -45,3 +45,16 @@ func ExcludeNodes(excluded []int) string { return predlib.ExcludeNodes(excluded)
 
 // KOfRemote waits until at least k remote sites acknowledge.
 func KOfRemote(k int) string { return predlib.KOfRemote(k) }
+
+// Ladder presets for the adaptive controller (Node.StartAdaptive,
+// Config.Adaptive): ready-made strong→weak sequences over the Table III
+// predicates.
+
+// LadderWNodes: all remote WAN nodes → majority → any one.
+func LadderWNodes() Ladder { return predlib.LadderWNodes() }
+
+// LadderAllMajorityK: all remote WAN nodes → majority → any k of them.
+func LadderAllMajorityK(k int) Ladder { return predlib.LadderAllMajorityK(k) }
+
+// LadderRegions: every remote region → majority of regions → any one.
+func LadderRegions(topo *Topology) Ladder { return predlib.LadderRegions(topo) }

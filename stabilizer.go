@@ -62,6 +62,7 @@ package stabilizer
 import (
 	"net/http"
 
+	"stabilizer/internal/adaptive"
 	"stabilizer/internal/config"
 	"stabilizer/internal/core"
 	"stabilizer/internal/emunet"
@@ -118,6 +119,30 @@ type (
 	SLOMonitor = metrics.SLOMonitor
 	// BurnAlert is one SLO alert state change.
 	BurnAlert = metrics.BurnAlert
+
+	// Ladder is an ordered, validated sequence of predicate rungs from
+	// strongest to weakest for the adaptive controller; build one with
+	// NewLadder, ParseLadder, or a preset (LadderWNodes, LadderRegions,
+	// LadderAllMajorityK).
+	Ladder = adaptive.Ladder
+	// Rung is one ladder step: a display name plus the predicate DSL
+	// source installed while the rung is active.
+	Rung = adaptive.Rung
+	// AdaptiveConfig tunes one closed-loop consistency controller: the
+	// stability-latency SLO (Target, Objective, burn windows) and the
+	// hysteresis that keeps it from flapping (MinDwell, Cooldown).
+	AdaptiveConfig = adaptive.Config
+	// AdaptiveController is the handle for a running controller: current
+	// rung, transition history, OnTransition hook. Obtain one from
+	// Node.StartAdaptive or Node.AdaptiveController.
+	AdaptiveController = adaptive.Controller
+	// AdaptiveTransition is one recorded controller rung change.
+	AdaptiveTransition = adaptive.Transition
+	// AdaptiveDirection labels a transition AdaptiveDown or AdaptiveUp.
+	AdaptiveDirection = adaptive.Direction
+	// AdaptiveSpec starts the controller at boot time; set via
+	// Config.Adaptive / ClusterConfig.Adaptive.
+	AdaptiveSpec = core.AdaptiveSpec
 
 	// Topology describes the WAN deployment.
 	Topology = config.Topology
@@ -179,6 +204,14 @@ const (
 	FlowSpill = transport.FlowSpill
 )
 
+// Directions an adaptive controller transition can move.
+const (
+	// AdaptiveDown is a step to a weaker rung (higher ladder index).
+	AdaptiveDown = adaptive.DirectionDown
+	// AdaptiveUp is a step back to a stronger rung (lower ladder index).
+	AdaptiveUp = adaptive.DirectionUp
+)
+
 // ErrBackpressure is returned by Send in FlowFail mode when the bounded
 // send log is full: the caller sheds load instead of queueing unbounded.
 var ErrBackpressure = transport.ErrBackpressure
@@ -216,6 +249,14 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 func NewSLOMonitor(h *MetricsHistogram, cfg SLOConfig) (*SLOMonitor, error) {
 	return metrics.NewSLOMonitor(h, cfg)
 }
+
+// NewLadder validates and builds an adaptation ladder, strongest rung
+// first. It needs at least two rungs with unique names and sources.
+func NewLadder(rungs ...Rung) (Ladder, error) { return adaptive.NewLadder(rungs...) }
+
+// ParseLadder builds a ladder from the CLI form "name=SOURCE;name=SOURCE",
+// strongest rung first — the syntax the -adaptive-ladder flags take.
+func ParseLadder(s string) (Ladder, error) { return adaptive.ParseLadder(s) }
 
 // ServeMetrics binds addr and serves reg at /metrics (Prometheus text
 // format; JSON with ?format=json) in the background, plus any extra

@@ -245,3 +245,62 @@ func TestPublicAPITopologyRoundTrip(t *testing.T) {
 		t.Fatalf("CloudLab self = %s", topo.SelfNode().Name)
 	}
 }
+
+func TestPublicAPIAdaptive(t *testing.T) {
+	net := stabilizer.NewMemNetwork(nil)
+	cluster, err := stabilizer.OpenCluster(stabilizer.ClusterConfig{
+		Topology: threeNodeTopo(),
+		Network:  net,
+		Adaptive: &stabilizer.AdaptiveSpec{
+			Key:    "stable",
+			Ladder: stabilizer.LadderWNodes(),
+			Config: stabilizer.AdaptiveConfig{Target: time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cluster.Close()
+		_ = net.Close()
+	})
+	n1 := cluster.Node(1)
+	ctrl := n1.AdaptiveController("stable")
+	if ctrl == nil {
+		t.Fatal("no adaptive controller on node 1")
+	}
+	if ctrl.RungIndex() != 0 || ctrl.Rung().Name != "all" {
+		t.Fatalf("initial rung = %d (%s)", ctrl.RungIndex(), ctrl.Rung().Name)
+	}
+	var _ stabilizer.AdaptiveDirection = stabilizer.AdaptiveDown
+	var hooked []stabilizer.AdaptiveTransition
+	cancel := ctrl.OnTransition(func(tr stabilizer.AdaptiveTransition) { hooked = append(hooked, tr) })
+	defer cancel()
+
+	// The adaptive predicate waits like any other.
+	seq, err := n1.Send([]byte("adaptive public api"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := n1.WaitFor(ctx, seq, "stable"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second controller over a CLI-form ladder on the same node.
+	ladder, err := stabilizer.ParseLadder("all=MIN($ALLWNODES);one=KTH_MAX(1, $ALLWNODES)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl2, err := n1.StartAdaptive("fast", ladder, stabilizer.AdaptiveConfig{Target: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.AdaptiveControllers(); len(got) != 2 {
+		t.Fatalf("AdaptiveControllers = %d, want 2", len(got))
+	}
+	if len(ctrl2.History()) != 0 || len(hooked) != 0 {
+		t.Fatalf("transitions on a healthy cluster: %v / %v", ctrl2.History(), hooked)
+	}
+}
